@@ -1,0 +1,209 @@
+package instameasure
+
+import (
+	"fmt"
+
+	"instameasure/internal/apps"
+	"instameasure/internal/detect"
+	"instameasure/internal/wsaf"
+)
+
+// SpreadConfig parameterizes the spread-based anomaly detectors
+// (SuperSpreader and DDoS victim detection).
+type SpreadConfig struct {
+	// Threshold is the distinct-peer count that flags an endpoint.
+	Threshold float64
+	// Precision is the per-endpoint HyperLogLog precision (default 10:
+	// 1 KB per endpoint, ~3% error).
+	Precision int
+	// MaxTracked caps concurrently tracked endpoints (default 4096).
+	MaxTracked int
+	// Seed drives peer hashing.
+	Seed uint64
+}
+
+// SpreadReport is one flagged endpoint: its IPv4 address (or folded IPv6),
+// estimated distinct peers, and first-flag timestamp.
+type SpreadReport = apps.SpreadReport
+
+// SuperSpreaderDetector flags sources contacting many distinct
+// destinations — scan and worm behaviour. Feed it the same packet stream
+// as the Meter.
+type SuperSpreaderDetector struct {
+	d *apps.SuperSpreaderDetector
+}
+
+// NewSuperSpreaderDetector builds a detector from cfg.
+func NewSuperSpreaderDetector(cfg SpreadConfig) (*SuperSpreaderDetector, error) {
+	d, err := apps.NewSuperSpreaderDetector(apps.SpreadConfig{
+		Threshold:  cfg.Threshold,
+		Precision:  cfg.Precision,
+		MaxTracked: cfg.MaxTracked,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &SuperSpreaderDetector{d: d}, nil
+}
+
+// Observe records one packet.
+func (s *SuperSpreaderDetector) Observe(p Packet) { s.d.Observe(p) }
+
+// SuperSpreaders returns flagged sources, largest spread first.
+func (s *SuperSpreaderDetector) SuperSpreaders() []SpreadReport {
+	return s.d.SuperSpreaders()
+}
+
+// Estimate returns the current distinct-destination estimate for a source
+// address.
+func (s *SuperSpreaderDetector) Estimate(src uint32) float64 {
+	return s.d.Estimate(src)
+}
+
+// DDoSDetector flags destinations contacted by many distinct sources —
+// volumetric attack victims.
+type DDoSDetector struct {
+	d *apps.DDoSDetector
+}
+
+// NewDDoSDetector builds a detector from cfg.
+func NewDDoSDetector(cfg SpreadConfig) (*DDoSDetector, error) {
+	d, err := apps.NewDDoSDetector(apps.SpreadConfig{
+		Threshold:  cfg.Threshold,
+		Precision:  cfg.Precision,
+		MaxTracked: cfg.MaxTracked,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &DDoSDetector{d: d}, nil
+}
+
+// Observe records one packet.
+func (d *DDoSDetector) Observe(p Packet) { d.d.Observe(p) }
+
+// Victims returns flagged destinations, largest spread first.
+func (d *DDoSDetector) Victims() []SpreadReport { return d.d.Victims() }
+
+// Estimate returns the current distinct-source estimate for a destination
+// address.
+func (d *DDoSDetector) Estimate(dst uint32) float64 { return d.d.Estimate(dst) }
+
+// FlowEntropy returns the Shannon entropy (bits) of the meter's current
+// flow-size distribution. Sudden drops indicate traffic concentration
+// (DDoS, elephant bursts); rises indicate dispersion (scans).
+func (m *Meter) FlowEntropy() float64 {
+	return apps.FlowSizeEntropy(m.eng.Snapshot())
+}
+
+// NormalizedFlowEntropy scales FlowEntropy into [0,1].
+func (m *Meter) NormalizedFlowEntropy() float64 {
+	return apps.NormalizedFlowSizeEntropy(m.eng.Snapshot())
+}
+
+// PersistConfig parameterizes long-term persistence tracking.
+type PersistConfig struct {
+	// WindowEpochs is the sliding window length in epochs (max 64,
+	// default 16).
+	WindowEpochs int
+	// MinEpochs is the presence count that makes a flow persistent
+	// (default 3/4 of the window).
+	MinEpochs int
+}
+
+// PersistentFlow is one long-lived flow report.
+type PersistentFlow = detect.PersistentFlow
+
+// PersistenceTracker finds flows that stay active across many measurement
+// epochs — beacons, tunnels, covert channels — using the WSAF's long-term
+// retention. Feed it Meter.Flows() at every epoch boundary.
+type PersistenceTracker struct {
+	t *detect.PersistenceTracker
+}
+
+// NewPersistenceTracker builds a tracker from cfg.
+func NewPersistenceTracker(cfg PersistConfig) (*PersistenceTracker, error) {
+	t, err := detect.NewPersistenceTracker(detect.PersistConfig{
+		WindowEpochs: cfg.WindowEpochs,
+		MinEpochs:    cfg.MinEpochs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &PersistenceTracker{t: t}, nil
+}
+
+// ObserveEpoch records one epoch's flow table (Meter.Flows()).
+func (p *PersistenceTracker) ObserveEpoch(flows []FlowRecord) {
+	entries := make([]wsaf.Entry, len(flows))
+	for i, f := range flows {
+		entries[i] = wsaf.Entry{Key: f.Key, Pkts: f.Pkts, Bytes: f.Bytes}
+	}
+	p.t.ObserveEpoch(entries)
+}
+
+// Persistent returns flows present in at least MinEpochs of the window,
+// most persistent first.
+func (p *PersistenceTracker) Persistent() []PersistentFlow {
+	return p.t.Persistent()
+}
+
+// Presence returns how many of the window's epochs key appeared in.
+func (p *PersistenceTracker) Presence(key FlowKey) int {
+	return p.t.Presence(key)
+}
+
+// TrafficSummary describes the measured traffic mix. The WSAF holds the
+// elephants explicitly; the mice side — the flows FlowRegulator retained —
+// is derived by subtraction using the distinct-flow cardinality estimate,
+// giving the flow-size-distribution headline numbers (how many mice, how
+// small) without per-mouse state.
+type TrafficSummary struct {
+	// TotalPackets and TotalBytes are exact stream totals.
+	TotalPackets uint64
+	TotalBytes   uint64
+	// DistinctFlowsEst estimates all distinct flows seen (±~2%).
+	DistinctFlowsEst float64
+	// ElephantFlows / ElephantPkts / ElephantBytes summarize the WSAF.
+	ElephantFlows int
+	ElephantPkts  float64
+	ElephantBytes float64
+	// MiceFlowsEst / MicePktsEst / MeanMouseSizeEst describe the retained
+	// remainder.
+	MiceFlowsEst     float64
+	MicePktsEst      float64
+	MeanMouseSizeEst float64
+}
+
+// TrafficSummary computes the current traffic mix.
+func (m *Meter) TrafficSummary() TrafficSummary {
+	st := m.Stats()
+	var elephantPkts, elephantBytes float64
+	flows := m.Flows()
+	for _, f := range flows {
+		elephantPkts += f.Pkts
+		elephantBytes += f.Bytes
+	}
+	sum := TrafficSummary{
+		TotalPackets:     st.Packets,
+		TotalBytes:       st.Bytes,
+		DistinctFlowsEst: st.DistinctFlowsEst,
+		ElephantFlows:    len(flows),
+		ElephantPkts:     elephantPkts,
+		ElephantBytes:    elephantBytes,
+	}
+	sum.MiceFlowsEst = sum.DistinctFlowsEst - float64(sum.ElephantFlows)
+	if sum.MiceFlowsEst < 0 {
+		sum.MiceFlowsEst = 0
+	}
+	sum.MicePktsEst = float64(st.Packets) - elephantPkts
+	if sum.MicePktsEst < 0 {
+		sum.MicePktsEst = 0
+	}
+	if sum.MiceFlowsEst > 0 {
+		sum.MeanMouseSizeEst = sum.MicePktsEst / sum.MiceFlowsEst
+	}
+	return sum
+}

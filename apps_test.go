@@ -1,0 +1,193 @@
+package instameasure
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublicSuperSpreaderDetector(t *testing.T) {
+	d, err := NewSuperSpreaderDetector(SpreadConfig{Threshold: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scanner = 0x0A0A0A0A
+	for i := 0; i < 1000; i++ {
+		d.Observe(Packet{
+			Key: V4Key(scanner, uint32(i)+1, 1000, 80, ProtoTCP),
+			Len: 60,
+			TS:  int64(i),
+		})
+	}
+	got := d.SuperSpreaders()
+	if len(got) != 1 || got[0].Addr != scanner {
+		t.Fatalf("spreaders = %+v", got)
+	}
+	if est := d.Estimate(scanner); math.Abs(est-1000)/1000 > 0.15 {
+		t.Errorf("estimate %.0f, want ≈1000", est)
+	}
+	if _, err := NewSuperSpreaderDetector(SpreadConfig{}); err == nil {
+		t.Error("zero threshold must fail")
+	}
+}
+
+func TestPublicDDoSDetector(t *testing.T) {
+	d, err := NewDDoSDetector(SpreadConfig{Threshold: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 0x08080404
+	for i := 0; i < 800; i++ {
+		d.Observe(Packet{
+			Key: V4Key(uint32(i)+1, victim, 1000, 53, ProtoUDP),
+			Len: 500,
+			TS:  int64(i),
+		})
+	}
+	got := d.Victims()
+	if len(got) != 1 || got[0].Addr != victim {
+		t.Fatalf("victims = %+v", got)
+	}
+	if est := d.Estimate(victim); math.Abs(est-800)/800 > 0.15 {
+		t.Errorf("estimate %.0f, want ≈800", est)
+	}
+	if _, err := NewDDoSDetector(SpreadConfig{Threshold: -1}); err == nil {
+		t.Error("negative threshold must fail")
+	}
+}
+
+func TestMeterFlowEntropy(t *testing.T) {
+	m := testMeter(t)
+	if m.FlowEntropy() != 0 || m.NormalizedFlowEntropy() != 0 {
+		t.Error("empty meter entropy must be 0")
+	}
+	tr := testTrace(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	h := m.FlowEntropy()
+	n := m.NormalizedFlowEntropy()
+	if h <= 0 {
+		t.Errorf("entropy = %v, want positive", h)
+	}
+	if n <= 0 || n > 1 {
+		t.Errorf("normalized entropy = %v outside (0,1]", n)
+	}
+}
+
+func TestPublicCollectorExporter(t *testing.T) {
+	var mu sync.Mutex
+	var epochs []int64
+	coll, err := NewCollector("127.0.0.1:0", func(epoch int64, flows []FlowRecord) {
+		mu.Lock()
+		epochs = append(epochs, epoch)
+		mu.Unlock()
+		if len(flows) == 0 {
+			t.Error("batch hook received no flows")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	tr := testTrace(t)
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := DialCollector(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.ExportMeter(m, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, _ := coll.Stats(); b >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	batches, records := coll.Stats()
+	if batches != 1 {
+		t.Fatalf("batches = %d, want 1", batches)
+	}
+	if int(records) != m.Stats().ActiveFlows {
+		t.Errorf("collector records = %d, meter flows = %d", records, m.Stats().ActiveFlows)
+	}
+	if len(coll.Flows()) != m.Stats().ActiveFlows {
+		t.Errorf("collector flows = %d, want %d", len(coll.Flows()), m.Stats().ActiveFlows)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(epochs) != 1 || epochs[0] != 7 {
+		t.Errorf("epochs = %v, want [7]", epochs)
+	}
+}
+
+func TestDialCollectorRefused(t *testing.T) {
+	if _, err := DialCollector("127.0.0.1:1"); err == nil {
+		t.Error("dialing a dead port must fail")
+	}
+}
+
+func TestPublicPersistenceTracker(t *testing.T) {
+	p, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 4, MinEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beacon := V4Key(1, 2, 443, 443, ProtoTCP)
+	transientBase := uint32(100)
+	for epoch := 0; epoch < 4; epoch++ {
+		flows := []FlowRecord{{Key: beacon, Pkts: 10}}
+		flows = append(flows, FlowRecord{
+			Key:  V4Key(transientBase+uint32(epoch), 9, 1, 1, ProtoUDP),
+			Pkts: 500,
+		})
+		p.ObserveEpoch(flows)
+	}
+	got := p.Persistent()
+	if len(got) != 1 || got[0].Key != beacon || got[0].Epochs != 4 {
+		t.Fatalf("persistent = %+v, want the beacon in all 4 epochs", got)
+	}
+	if p.Presence(beacon) != 4 {
+		t.Errorf("presence = %d", p.Presence(beacon))
+	}
+	if _, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 99}); err == nil {
+		t.Error("oversized window must fail")
+	}
+}
+
+func TestTrafficSummary(t *testing.T) {
+	tr := testTrace(t) // 10k flows, Zipf
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	sum := m.TrafficSummary()
+	if sum.TotalPackets != uint64(len(tr.Packets)) {
+		t.Errorf("total packets = %d", sum.TotalPackets)
+	}
+	if sum.ElephantFlows == 0 || sum.ElephantPkts <= 0 {
+		t.Error("no elephants in a Zipf trace")
+	}
+	// Zipf: mice vastly outnumber elephants.
+	if sum.MiceFlowsEst < float64(sum.ElephantFlows)*5 {
+		t.Errorf("mice flows %.0f not ≫ elephant flows %d", sum.MiceFlowsEst, sum.ElephantFlows)
+	}
+	// Mean mouse size must be small (1-10 packet mice dominate).
+	if sum.MeanMouseSizeEst <= 0 || sum.MeanMouseSizeEst > 50 {
+		t.Errorf("mean mouse size %.1f implausible", sum.MeanMouseSizeEst)
+	}
+	// Accounting identity within estimate error.
+	recon := sum.ElephantPkts + sum.MicePktsEst
+	if math.Abs(recon-float64(sum.TotalPackets))/float64(sum.TotalPackets) > 0.05 {
+		t.Errorf("packet accounting off: %v vs %d", recon, sum.TotalPackets)
+	}
+}

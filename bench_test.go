@@ -1,0 +1,266 @@
+package instameasure
+
+// Benchmark harness: one testing.B benchmark per paper figure/table (each
+// regenerates the figure's rows via internal/experiments — run
+// cmd/instabench to see the rows themselves), plus hot-path
+// micro-benchmarks and ablation benchmarks for the design choices
+// DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"instameasure/internal/core"
+	"instameasure/internal/experiments"
+	"instameasure/internal/flowreg"
+	"instameasure/internal/packet"
+	"instameasure/internal/pipeline"
+	"instameasure/internal/rcc"
+	"instameasure/internal/trace"
+	"instameasure/internal/wsaf"
+)
+
+// benchScale keeps figure regeneration fast enough for -bench=. runs.
+var benchScale = experiments.Scale{
+	Flows: 10_000, Packets: 200_000,
+	DiurnalHours: 12, DiurnalPackets: 150_000,
+	Seed: 2019,
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.ByID(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per figure/table of the evaluation section.
+
+func BenchmarkFig1RCCSaturation(b *testing.B)     { benchFigure(b, "fig1") }
+func BenchmarkFig6Distribution(b *testing.B)      { benchFigure(b, "fig6") }
+func BenchmarkFig7Relaxation(b *testing.B)        { benchFigure(b, "fig7") }
+func BenchmarkFig8aRetention(b *testing.B)        { benchFigure(b, "fig8a") }
+func BenchmarkFig8bSatFrequency(b *testing.B)     { benchFigure(b, "fig8b") }
+func BenchmarkFig8cAccuracy(b *testing.B)         { benchFigure(b, "fig8c") }
+func BenchmarkFig9aCores(b *testing.B)            { benchFigure(b, "fig9a") }
+func BenchmarkFig9bLatency(b *testing.B)          { benchFigure(b, "fig9b") }
+func BenchmarkFig10PacketAccuracy(b *testing.B)   { benchFigure(b, "fig10") }
+func BenchmarkFig11ByteAccuracy(b *testing.B)     { benchFigure(b, "fig11") }
+func BenchmarkFig12Monitoring(b *testing.B)       { benchFigure(b, "fig12") }
+func BenchmarkFig13WildAccuracy(b *testing.B)     { benchFigure(b, "fig13") }
+func BenchmarkFig14HeavyHitterRates(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkCSMComparison(b *testing.B)         { benchFigure(b, "csm") }
+func BenchmarkIBLTComparison(b *testing.B)        { benchFigure(b, "iblt") }
+func BenchmarkDelegationLoopback(b *testing.B)    { benchFigure(b, "deleg") }
+func BenchmarkAppsDetection(b *testing.B)         { benchFigure(b, "apps") }
+func BenchmarkAnomalyOnset(b *testing.B)          { benchFigure(b, "onset") }
+func BenchmarkAblationEviction(b *testing.B)      { benchFigure(b, "evict") }
+func BenchmarkAblationProbing(b *testing.B)       { benchFigure(b, "probe") }
+func BenchmarkLayersSweep(b *testing.B)           { benchFigure(b, "layers") }
+
+// Hot-path micro-benchmarks: the per-packet cost of each pipeline stage.
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{
+		Flows: 50_000, TotalPackets: 1_000_000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkEncodePerPacket(b *testing.B) {
+	tr := benchTrace(b)
+	eng := core.MustNew(core.Config{SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 18, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Process(tr.Packets[i%len(tr.Packets)])
+	}
+	b.ReportMetric(float64(1e3)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "Mpps")
+}
+
+func BenchmarkRCCEncode(b *testing.B) {
+	c := rcc.MustNew(rcc.Config{MemoryBytes: 32 << 10, VectorBits: 8, Seed: 1})
+	tr := benchTrace(b)
+	hashes := make([]uint64, len(tr.Packets))
+	for i := range tr.Packets {
+		hashes[i] = tr.Packets[i].Key.Hash64(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(hashes[i%len(hashes)])
+	}
+}
+
+func BenchmarkFlowRegulatorProcess(b *testing.B) {
+	reg := flowreg.MustNew(flowreg.Config{Layer: rcc.Config{
+		MemoryBytes: 32 << 10, VectorBits: 8, Seed: 1,
+	}})
+	tr := benchTrace(b)
+	hashes := make([]uint64, len(tr.Packets))
+	for i := range tr.Packets {
+		hashes[i] = tr.Packets[i].Key.Hash64(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Process(hashes[i%len(hashes)], 500)
+	}
+}
+
+func BenchmarkWSAFAccumulate(b *testing.B) {
+	tab := wsaf.MustNew(wsaf.Config{Entries: 1 << 18})
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &tr.Packets[i%len(tr.Packets)]
+		tab.Accumulate(p.Key, 50, 25_000, p.TS)
+	}
+}
+
+func BenchmarkFlowKeyHash(b *testing.B) {
+	k := packet.V4Key(0xC0A80101, 0x08080808, 443, 51234, packet.ProtoTCP)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.Hash64(uint64(i))
+	}
+}
+
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+
+// BenchmarkAblationLayers compares WSAF pressure of the two-layer
+// FlowRegulator against single-layer RCC on identical traffic — the
+// paper's headline design choice.
+func BenchmarkAblationLayers(b *testing.B) {
+	tr := benchTrace(b)
+	hashes := make([]uint64, len(tr.Packets))
+	for i := range tr.Packets {
+		hashes[i] = tr.Packets[i].Key.Hash64(1)
+	}
+	b.Run("single-layer-rcc", func(b *testing.B) {
+		c := rcc.MustNew(rcc.Config{MemoryBytes: 128 << 10, VectorBits: 8, Seed: 1})
+		for i := 0; i < b.N; i++ {
+			c.Encode(hashes[i%len(hashes)])
+		}
+		if c.Encodes() > 0 {
+			b.ReportMetric(float64(c.Saturations())/float64(c.Encodes())*100, "%ips/pps")
+		}
+	})
+	b.Run("two-layer-flowregulator", func(b *testing.B) {
+		reg := flowreg.MustNew(flowreg.Config{Layer: rcc.Config{
+			MemoryBytes: 32 << 10, VectorBits: 8, Seed: 1,
+		}})
+		for i := 0; i < b.N; i++ {
+			reg.Process(hashes[i%len(hashes)], 500)
+		}
+		b.ReportMetric(reg.RegulationRate()*100, "%ips/pps")
+	})
+}
+
+// BenchmarkAblationDecode compares the coupon-collector decode rule
+// against linear counting.
+func BenchmarkAblationDecode(b *testing.B) {
+	tr := benchTrace(b)
+	for _, m := range []struct {
+		name   string
+		method rcc.DecodeMethod
+	}{
+		{"coupon-collector", rcc.DecodeCouponCollector},
+		{"linear-counting", rcc.DecodeLinearCounting},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := core.MustNew(core.Config{
+					SketchMemoryBytes: 32 << 10,
+					WSAFEntries:       1 << 18,
+					DecodeMethod:      m.method,
+					Seed:              1,
+				})
+				for j := range tr.Packets {
+					eng.Process(tr.Packets[j])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSharding compares the paper's popcount sharding with
+// round robin across 4 workers.
+func BenchmarkAblationSharding(b *testing.B) {
+	tr := benchTrace(b)
+	for _, s := range []struct {
+		name  string
+		shard pipeline.ShardFunc
+	}{
+		{"popcount", pipeline.PopcountShard},
+		{"round-robin", pipeline.RoundRobinShard()},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := pipeline.New(pipeline.Config{
+					Workers: 4,
+					Shard:   s.shard,
+					Engine: core.Config{
+						SketchMemoryBytes: 16 << 10,
+						WSAFEntries:       1 << 16,
+						Seed:              1,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Run(tr.Source()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProbeLimit sweeps the WSAF probe limit, the knob
+// behind the second-chance policy's eviction window.
+func BenchmarkAblationProbeLimit(b *testing.B) {
+	tr := benchTrace(b)
+	for _, limit := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("probe-%d", limit), func(b *testing.B) {
+			tab := wsaf.MustNew(wsaf.Config{Entries: 1 << 16, ProbeLimit: limit})
+			for i := 0; i < b.N; i++ {
+				p := &tr.Packets[i%len(tr.Packets)]
+				tab.Accumulate(p.Key, 50, 25_000, p.TS)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationByteSampling compares saturation-sampled byte counting
+// (one multiplication per passthrough) against exact per-packet byte
+// accumulation in a NetFlow-style table.
+func BenchmarkAblationByteSampling(b *testing.B) {
+	tr := benchTrace(b)
+	b.Run("saturation-sampled", func(b *testing.B) {
+		eng := core.MustNew(core.Config{SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 18, Seed: 1})
+		for i := 0; i < b.N; i++ {
+			eng.Process(tr.Packets[i%len(tr.Packets)])
+		}
+	})
+	b.Run("exact-per-packet", func(b *testing.B) {
+		tab := wsaf.MustNew(wsaf.Config{Entries: 1 << 18})
+		for i := 0; i < b.N; i++ {
+			p := &tr.Packets[i%len(tr.Packets)]
+			tab.Accumulate(p.Key, 1, float64(p.Len), p.TS)
+		}
+	})
+}

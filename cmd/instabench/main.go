@@ -1,0 +1,81 @@
+// Command instabench regenerates every table and figure of the paper's
+// evaluation section as text reports. By default it runs all experiments
+// at the default scale; use -fig to select one and -scale to trade
+// fidelity for runtime.
+//
+// Usage:
+//
+//	instabench                 # all figures, default scale
+//	instabench -fig 9b         # one figure
+//	instabench -scale small    # quick pass
+//	instabench -scale large    # closer to the paper's flow/packet ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"instameasure/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "instabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig = flag.String("fig", "", "figure id to run (1, 6, 7, 8a, 8b, 8c, 9a, 9b, 10, 11, 12, 13, 14, "+
+			"csm, iblt, deleg, evict, probe, shard, apps); empty = all")
+		scale = flag.String("scale", "default", "workload scale: small, default, large")
+		seed  = flag.Uint64("seed", 0, "override workload seed (0 = scale default)")
+	)
+	flag.Parse()
+
+	s, err := pickScale(*scale)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	fmt.Printf("InstaMeasure benchmark harness — scale %q: %d flows / %d packets (CAIDA-like), %.0fh / %d packets (campus-like), seed %d\n\n",
+		*scale, s.Flows, s.Packets, s.DiurnalHours, s.DiurnalPackets, s.Seed)
+
+	start := time.Now()
+	if *fig != "" {
+		rep, err := experiments.ByID(*fig, s)
+		if err != nil {
+			return err
+		}
+		rep.Print(os.Stdout)
+	} else {
+		reports, err := experiments.All(s)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			rep.Print(os.Stdout)
+		}
+	}
+	fmt.Printf("total time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func pickScale(name string) (experiments.Scale, error) {
+	switch name {
+	case "small":
+		return experiments.ScaleSmall, nil
+	case "default":
+		return experiments.ScaleDefault, nil
+	case "large":
+		return experiments.ScaleLarge, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want small, default, large)", name)
+	}
+}

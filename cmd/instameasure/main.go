@@ -1,0 +1,256 @@
+// Command instameasure measures per-flow traffic from a pcap capture file
+// or a generated synthetic workload, and reports flow counts, Top-K lists,
+// and heavy hitters — the measurement device of the paper, as a CLI.
+//
+// Usage:
+//
+//	instameasure -pcap trace.pcap -top 20
+//	instameasure -synth -flows 100000 -packets 2000000 -hh-pkts 10000
+//	instameasure -pcap trace.pcap -workers 4 -sketch-kb 128
+//	cat trace.pcap | instameasure -pcap - -stream -epoch 1000000
+//	instameasure -pcap trace.pcap -snapshot flows.ims -export host:port
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"instameasure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "instameasure:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pcapPath = flag.String("pcap", "", "pcap capture file to measure")
+		synth    = flag.Bool("synth", false, "measure a synthetic Zipf workload instead of a capture")
+		flows    = flag.Int("flows", 100_000, "synthetic workload: number of flows")
+		packets  = flag.Int("packets", 2_000_000, "synthetic workload: number of packets")
+		seed     = flag.Uint64("seed", 1, "measurement and workload seed")
+		sketchKB = flag.Int("sketch-kb", 32, "L1 sketch memory in KB (total FlowRegulator = 4x)")
+		wsafExp  = flag.Int("wsaf-exp", 20, "WSAF size as a power of two (20 = paper default)")
+		workers  = flag.Int("workers", 1, "worker cores (1 = single-core meter)")
+		topK     = flag.Int("top", 10, "print the K largest flows by packets and bytes")
+		hhPkts   = flag.Float64("hh-pkts", 0, "heavy-hitter packet threshold (0 = off)")
+		hhBytes  = flag.Float64("hh-bytes", 0, "heavy-hitter byte threshold (0 = off)")
+		stream   = flag.Bool("stream", false, "decode the pcap incrementally (constant memory; '-' reads stdin)")
+		epoch    = flag.Int("epoch", 0, "print interim stats every N packets (0 = off)")
+		snapshot = flag.String("snapshot", "", "write the final flow table to this snapshot file")
+		exportTo = flag.String("export", "", "export each epoch's flow table to a collector at host:port")
+	)
+	flag.Parse()
+
+	cfg := instameasure.Config{
+		SketchMemoryBytes: *sketchKB << 10,
+		WSAFEntries:       1 << *wsafExp,
+		Seed:              *seed,
+	}
+
+	var src instameasure.PacketSource
+	switch {
+	case *pcapPath != "":
+		var in io.Reader
+		if *pcapPath == "-" {
+			in = os.Stdin
+		} else {
+			f, err := os.Open(*pcapPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if *stream || *pcapPath == "-" {
+			s, err := instameasure.OpenPcapStream(in)
+			if err != nil {
+				return fmt.Errorf("open %s: %w", *pcapPath, err)
+			}
+			fmt.Printf("streaming %s\n", *pcapPath)
+			src = s
+			break
+		}
+		tr, err := instameasure.ReadPcap(in)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", *pcapPath, err)
+		}
+		fmt.Printf("loaded %s: %d packets, %d flows\n", *pcapPath, len(tr.Packets), tr.Flows())
+		src = tr.Source()
+	case *synth:
+		tr, err := instameasure.GenerateZipfTrace(instameasure.ZipfTraceConfig{
+			Flows:        *flows,
+			TotalPackets: *packets,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated synthetic trace: %d packets, %d flows\n", len(tr.Packets), tr.Flows())
+		src = tr.Source()
+	default:
+		return errors.New("need -pcap FILE or -synth (see -h)")
+	}
+
+	if *workers > 1 {
+		return runCluster(cfg, *workers, src, *topK)
+	}
+	return runMeter(cfg, src, meterOpts{
+		topK:     *topK,
+		hhPkts:   *hhPkts,
+		hhBytes:  *hhBytes,
+		epoch:    *epoch,
+		snapshot: *snapshot,
+		exportTo: *exportTo,
+	})
+}
+
+type meterOpts struct {
+	topK     int
+	hhPkts   float64
+	hhBytes  float64
+	epoch    int
+	snapshot string
+	exportTo string
+}
+
+func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meterOpts) error {
+	meter, err := instameasure.New(cfg)
+	if err != nil {
+		return err
+	}
+	if opts.hhPkts > 0 || opts.hhBytes > 0 {
+		err := meter.OnHeavyHitter(opts.hhPkts, opts.hhBytes, func(ev instameasure.HeavyHitterEvent) {
+			kind := "packet"
+			if ev.ByBytes {
+				kind = "byte"
+			}
+			fmt.Printf("HEAVY HITTER (%s) t=%.3fms %s est %.0f pkts / %.2f MB\n",
+				kind, float64(ev.TS)/1e6, ev.Key, ev.Pkts, ev.Bytes/1e6)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var exporter *instameasure.Exporter
+	if opts.exportTo != "" {
+		exporter, err = instameasure.DialCollector(opts.exportTo)
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+	}
+
+	n, err := drain(meter, src, opts, exporter)
+	if err != nil {
+		return err
+	}
+	st := meter.Stats()
+	fmt.Printf("\nprocessed %d packets (%.2f GB)\n", n, float64(st.Bytes)/1e9)
+	fmt.Printf("regulation rate %.3f%% | active flows %d | WSAF load %.2f%%\n",
+		st.RegulationRate*100, st.ActiveFlows, st.WSAFLoadFactor*100)
+	fmt.Printf("memory: %d KB sketch + %d MB WSAF\n\n",
+		st.SketchMemoryBytes>>10, st.WSAFMemoryBytes>>20)
+
+	printTop(os.Stdout, "packets", meter.TopKPackets(opts.topK))
+	printTop(os.Stdout, "bytes", meter.TopKBytes(opts.topK))
+
+	if opts.snapshot != "" {
+		f, err := os.Create(opts.snapshot)
+		if err != nil {
+			return err
+		}
+		if err := meter.ExportSnapshot(f, int64(n)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote flow table snapshot to %s (%d flows)\n",
+			opts.snapshot, st.ActiveFlows)
+	}
+	if exporter != nil {
+		if err := exporter.ExportMeter(meter, -1); err != nil {
+			return err
+		}
+		fmt.Printf("exported final flow table to %s\n", opts.exportTo)
+	}
+	return nil
+}
+
+// drain feeds the source through the meter, printing interim stats and
+// exporting per-epoch deltas when configured.
+func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterOpts, exporter *instameasure.Exporter) (uint64, error) {
+	if opts.epoch <= 0 {
+		return meter.ProcessSource(src)
+	}
+	var n uint64
+	epochID := int64(0)
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		meter.Process(p)
+		n++
+		if n%uint64(opts.epoch) == 0 {
+			epochID++
+			st := meter.Stats()
+			fmt.Printf("epoch %d: %d packets, %d flows, regulation %.3f%%\n",
+				epochID, n, st.ActiveFlows, st.RegulationRate*100)
+			if exporter != nil {
+				if err := exporter.ExportMeter(meter, epochID); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+}
+
+func runCluster(cfg instameasure.Config, workers int, src instameasure.PacketSource, topK int) error {
+	// Split the WSAF budget across workers to keep total memory fixed.
+	cfg.WSAFEntries /= workers
+	if cfg.WSAFEntries < 1024 {
+		cfg.WSAFEntries = 1024
+	}
+	cluster, err := instameasure.NewCluster(instameasure.ClusterConfig{
+		Meter:   cfg,
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := cluster.Run(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprocessed %d packets at %.2f Mpps with %d workers\n",
+		rep.Packets, rep.MPPS, workers)
+	for w, n := range rep.PerWorker {
+		fmt.Printf("  worker %d: %d packets\n", w, n)
+	}
+	fmt.Printf("cluster regulation rate %.3f%%\n\n", rep.RegulationRate*100)
+	printTop(os.Stdout, "packets", cluster.TopKPackets(topK))
+	printTop(os.Stdout, "bytes", cluster.TopKBytes(topK))
+	return nil
+}
+
+func printTop(w io.Writer, metric string, recs []instameasure.FlowRecord) {
+	fmt.Fprintf(w, "top %d flows by %s:\n", len(recs), metric)
+	for i, rec := range recs {
+		fmt.Fprintf(w, "%3d. %-48s %12.0f pkts %10.2f MB\n",
+			i+1, rec.Key, rec.Pkts, rec.Bytes/1e6)
+	}
+	fmt.Fprintln(w)
+}

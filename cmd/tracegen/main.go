@@ -1,0 +1,100 @@
+// Command tracegen generates the synthetic workloads this reproduction
+// substitutes for the paper's CAIDA and campus captures, and writes them
+// as standard pcap files any capture tool can read.
+//
+// Usage:
+//
+//	tracegen -o caida.pcap -flows 100000 -packets 2000000
+//	tracegen -o campus.pcap -kind diurnal -hours 113 -packets 2000000
+//	tracegen -o attack.pcap -kind ddos -rate 100000 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"instameasure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("o", "trace.pcap", "output pcap path")
+		kind     = flag.String("kind", "zipf", "workload kind: zipf, diurnal, ddos")
+		flows    = flag.Int("flows", 100_000, "zipf: number of flows")
+		packets  = flag.Int("packets", 2_000_000, "number of packets")
+		skew     = flag.Float64("skew", 1.0, "zipf: skew exponent")
+		hours    = flag.Float64("hours", 113, "diurnal: simulated hours")
+		rate     = flag.Float64("rate", 100_000, "ddos: attack packets per second")
+		duration = flag.Duration("duration", 2*time.Second, "ddos: attack duration (trace time)")
+		snapLen  = flag.Int("snap", 128, "pcap snap length (0 = full frames)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var (
+		tr  *instameasure.Trace
+		err error
+	)
+	switch *kind {
+	case "zipf":
+		tr, err = instameasure.GenerateZipfTrace(instameasure.ZipfTraceConfig{
+			Flows:        *flows,
+			TotalPackets: *packets,
+			Skew:         *skew,
+			Seed:         *seed,
+		})
+	case "diurnal":
+		tr, err = instameasure.GenerateDiurnalTrace(instameasure.DiurnalTraceConfig{
+			Hours:        *hours,
+			TotalPackets: *packets,
+			Seed:         *seed,
+		})
+	case "ddos":
+		background, bgErr := instameasure.GenerateZipfTrace(instameasure.ZipfTraceConfig{
+			Flows:        *flows / 10,
+			TotalPackets: *packets,
+			Seed:         *seed,
+		})
+		if bgErr != nil {
+			return bgErr
+		}
+		attacker := instameasure.V4Key(0xDEADBEEF, 0x0A000001, 4444, 80, instameasure.ProtoUDP)
+		tr, err = instameasure.InjectFlow(background, attacker, *rate,
+			0, duration.Nanoseconds(), 1200, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q (want zipf, diurnal, ddos)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := instameasure.WritePcap(f, tr, *snapLen); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d packets, %d flows, %.2fs of trace time, %.1f MB on disk\n",
+		*out, len(tr.Packets), tr.Flows(),
+		float64(tr.Duration())/1e9, float64(info.Size())/1e6)
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command wsafdump inspects flow-table snapshot files written by
+// instameasure's -snapshot flag or Meter.ExportSnapshot: header info,
+// summary statistics, and the largest flows.
+//
+// Usage:
+//
+//	wsafdump flows.ims
+//	wsafdump -top 50 -by bytes flows.ims
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"instameasure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsafdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topK = flag.Int("top", 20, "print the K largest flows")
+		by   = flag.String("by", "packets", "rank by 'packets' or 'bytes'")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return errors.New("usage: wsafdump [-top K] [-by packets|bytes] FILE")
+	}
+	if *by != "packets" && *by != "bytes" {
+		return fmt.Errorf("unknown -by %q (want packets or bytes)", *by)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	flows, epoch, err := instameasure.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+
+	var totalPkts, totalBytes float64
+	minTS, maxTS := int64(1<<62), int64(0)
+	for _, rec := range flows {
+		totalPkts += rec.Pkts
+		totalBytes += rec.Bytes
+		if rec.FirstSeen < minTS {
+			minTS = rec.FirstSeen
+		}
+		if rec.LastUpdate > maxTS {
+			maxTS = rec.LastUpdate
+		}
+	}
+
+	fmt.Printf("%s: epoch %d, %d flows\n", flag.Arg(0), epoch, len(flows))
+	if len(flows) == 0 {
+		return nil
+	}
+	fmt.Printf("totals: %.0f packets, %.2f MB\n", totalPkts, totalBytes/1e6)
+	fmt.Printf("window: %.3fs of trace time\n\n", float64(maxTS-minTS)/1e9)
+
+	metric := func(r *instameasure.FlowRecord) float64 { return r.Pkts }
+	if *by == "bytes" {
+		metric = func(r *instameasure.FlowRecord) float64 { return r.Bytes }
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		return metric(&flows[i]) > metric(&flows[j])
+	})
+	if *topK < len(flows) {
+		flows = flows[:*topK]
+	}
+	fmt.Printf("top %d flows by %s:\n", len(flows), *by)
+	for i, rec := range flows {
+		fmt.Printf("%3d. %-48s %12.0f pkts %10.2f MB\n",
+			i+1, rec.Key, rec.Pkts, rec.Bytes/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Heavy-hitter detection: overlay two DDoS-style attack flows on benign
+// background traffic and detect them inline, reporting how long each
+// detection lagged the true threshold crossing — the paper's "Insta"
+// property (worst case under 10 ms).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"instameasure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	background, err := instameasure.GenerateZipfTrace(instameasure.ZipfTraceConfig{
+		Flows:        20_000,
+		TotalPackets: 300_000,
+		RatePPS:      500_000,
+		Seed:         7,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Two attackers: a fast one (100 kpps) and a slow one (20 kpps).
+	fast := instameasure.V4Key(0xDEAD0001, 0x0A000001, 53, 53, instameasure.ProtoUDP)
+	slow := instameasure.V4Key(0xDEAD0002, 0x0A000002, 123, 123, instameasure.ProtoUDP)
+	tr, err := instameasure.InjectFlow(background, fast, 100_000, 50e6, 400e6, 1200, 1)
+	if err != nil {
+		return err
+	}
+	tr, err = instameasure.InjectFlow(tr, slow, 20_000, 50e6, 400e6, 1200, 2)
+	if err != nil {
+		return err
+	}
+
+	meter, err := instameasure.New(instameasure.Config{Seed: 99})
+	if err != nil {
+		return err
+	}
+
+	const threshold = 1000 // packets
+	detections := map[instameasure.FlowKey]int64{}
+	err = meter.OnHeavyHitter(threshold, 0, func(ev instameasure.HeavyHitterEvent) {
+		if _, seen := detections[ev.Key]; !seen {
+			detections[ev.Key] = ev.TS
+			fmt.Printf("ALERT t=%7.2fms  %-45s est %.0f pkts\n",
+				float64(ev.TS)/1e6, ev.Key, ev.Pkts)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	if _, err := meter.ProcessSource(tr.Source()); err != nil {
+		return err
+	}
+
+	fmt.Printf("\ndetection latency vs ground-truth crossing (threshold %d pkts):\n", threshold)
+	for _, attack := range []struct {
+		name string
+		key  instameasure.FlowKey
+		rate float64
+	}{{"fast (100 kpps)", fast, 100e3}, {"slow (20 kpps)", slow, 20e3}} {
+		truthTS, ok := truthCrossing(tr, attack.key, threshold)
+		if !ok {
+			fmt.Printf("%-16s never crossed the threshold\n", attack.name)
+			continue
+		}
+		detTS, ok := detections[attack.key]
+		if !ok {
+			fmt.Printf("%-16s MISSED\n", attack.name)
+			continue
+		}
+		note := ""
+		if detTS < truthTS {
+			note = " (estimate overshoot: alarmed one sketch saturation early)"
+		}
+		fmt.Printf("%-16s crossed at %7.2fms, detected at %7.2fms -> latency %6.3fms%s\n",
+			attack.name, float64(truthTS)/1e6, float64(detTS)/1e6,
+			float64(detTS-truthTS)/1e6, note)
+	}
+	fmt.Println("\nfaster attackers are detected sooner — the paper's Fig. 9(b) relationship")
+	return nil
+}
+
+// truthCrossing finds when the flow's true cumulative count crossed the
+// threshold.
+func truthCrossing(tr *instameasure.Trace, key instameasure.FlowKey, threshold int) (int64, bool) {
+	var n int
+	for _, p := range tr.Packets {
+		if p.Key != key {
+			continue
+		}
+		n++
+		if n >= threshold {
+			return p.TS, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,96 @@
+package instameasure
+
+import (
+	"fmt"
+
+	"instameasure/internal/export"
+)
+
+// Collector receives flow batches exported by remote meters over TCP and
+// merges them into a global table — the delegation architecture the paper
+// contrasts with (and that archival deployments still want).
+type Collector struct {
+	c *export.Collector
+}
+
+// NewCollector listens on addr ("host:port"; use ":0" for an ephemeral
+// port). onBatch, if non-nil, fires after each merged batch with the epoch
+// and the batch's flows.
+func NewCollector(addr string, onBatch func(epoch int64, flows []FlowRecord)) (*Collector, error) {
+	var hook func(export.Batch)
+	if onBatch != nil {
+		hook = func(b export.Batch) {
+			flows := make([]FlowRecord, len(b.Records))
+			for i, rec := range b.Records {
+				flows[i] = FlowRecord{
+					Key:        rec.Key,
+					Pkts:       rec.Pkts,
+					Bytes:      rec.Bytes,
+					FirstSeen:  rec.FirstSeen,
+					LastUpdate: rec.LastUpdate,
+				}
+			}
+			onBatch(b.Epoch, flows)
+		}
+	}
+	c, err := export.NewCollector(addr, hook)
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &Collector{c: c}, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (c *Collector) Addr() string { return c.c.Addr() }
+
+// Flows returns the merged flow table across all exporters and epochs.
+func (c *Collector) Flows() []FlowRecord {
+	m := c.c.Flows()
+	out := make([]FlowRecord, 0, len(m))
+	for key, rec := range m {
+		out = append(out, FlowRecord{
+			Key:        key,
+			Pkts:       rec.Pkts,
+			Bytes:      rec.Bytes,
+			FirstSeen:  rec.FirstSeen,
+			LastUpdate: rec.LastUpdate,
+		})
+	}
+	return out
+}
+
+// Stats returns batches and records merged so far.
+func (c *Collector) Stats() (batches, records uint64) { return c.c.Stats() }
+
+// Close stops the listener and waits for all connections to drain.
+func (c *Collector) Close() error { return c.c.Close() }
+
+// Exporter ships a meter's flow table to a Collector.
+type Exporter struct {
+	e *export.Exporter
+}
+
+// DialCollector connects to a collector.
+func DialCollector(addr string) (*Exporter, error) {
+	e, err := export.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &Exporter{e: e}, nil
+}
+
+// ExportMeter sends the meter's current flow table tagged with epoch.
+func (e *Exporter) ExportMeter(m *Meter, epoch int64) error {
+	snap := m.eng.Snapshot()
+	records := make([]export.Record, len(snap))
+	for i, entry := range snap {
+		records[i] = export.FromEntry(entry)
+	}
+	if err := e.e.Export(export.Batch{Epoch: epoch, Records: records}); err != nil {
+		return fmt.Errorf("instameasure: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the connection down.
+func (e *Exporter) Close() error { return e.e.Close() }

@@ -1,0 +1,3 @@
+module instameasure
+
+go 1.22

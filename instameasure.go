@@ -1,0 +1,408 @@
+// Package instameasure is a per-flow traffic measurement library
+// reproducing "InstaMeasure: Instant Per-flow Detection Using Large
+// In-DRAM Working Set of Active Flows" (ICDCS 2019).
+//
+// The engine pairs a FlowRegulator — a two-layer recyclable sketch that
+// absorbs ~99% of packet arrivals — with a large In-DRAM working set of
+// active flows (WSAF), yielding per-flow packet and byte counts, instant
+// heavy-hitter detection, and Top-K identification at a memory cost of a
+// few hundred kilobytes of sketch plus tens of megabytes of flow table.
+//
+// # Quickstart
+//
+//	meter, err := instameasure.New(instameasure.Config{})
+//	if err != nil { ... }
+//	for _, pkt := range packets {
+//		meter.Process(pkt)
+//	}
+//	for _, rec := range meter.TopKPackets(10) {
+//		fmt.Println(rec.Key, rec.Pkts, rec.Bytes)
+//	}
+//
+// Multi-worker measurement (the paper's multi-core system) is available
+// through NewCluster; synthetic workloads, pcap replay, and the paper's
+// experiment harness live in the trace helpers below and cmd/instabench.
+package instameasure
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"instameasure/internal/core"
+	"instameasure/internal/detect"
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+	"instameasure/internal/pipeline"
+	"instameasure/internal/trace"
+	"instameasure/internal/wsaf"
+)
+
+// Re-exported fundamental types. Aliases keep the internal packages and the
+// public API sharing one set of types.
+type (
+	// FlowKey is the 5-tuple identity of an L4 flow.
+	FlowKey = packet.FlowKey
+	// Packet is one packet observation: flow key, wire length, timestamp.
+	Packet = packet.Packet
+	// PacketSource streams packets in timestamp order; Next returns
+	// io.EOF after the last packet.
+	PacketSource = trace.Source
+	// Trace is a materialized packet trace with exact ground truth.
+	Trace = trace.Trace
+	// FlowTruth is a trace's exact per-flow ground truth record.
+	FlowTruth = trace.FlowTruth
+)
+
+// Protocol numbers for building flow keys.
+const (
+	ProtoICMP = packet.ProtoICMP
+	ProtoTCP  = packet.ProtoTCP
+	ProtoUDP  = packet.ProtoUDP
+)
+
+// V4Key builds an IPv4 flow key from host-order addresses.
+func V4Key(src, dst uint32, srcPort, dstPort uint16, proto uint8) FlowKey {
+	return packet.V4Key(src, dst, srcPort, dstPort, proto)
+}
+
+// Config parameterizes a Meter. The zero value selects the paper's
+// defaults: a 32 KB L1 sketch (128 KB FlowRegulator total), 8-bit virtual
+// vectors, and a 2^20-entry WSAF (33 MB of DRAM).
+type Config struct {
+	// SketchMemoryBytes is the layer-1 sketch memory; FlowRegulator's
+	// total is 4× this with the default vectors.
+	SketchMemoryBytes int
+	// VectorBits is the per-layer virtual vector size (default 8).
+	VectorBits int
+	// Layers is the FlowRegulator chain depth (default 2, the paper's
+	// design); 3 or 4 layers regulate hard enough for TCAM-backed WSAFs.
+	Layers int
+	// WSAFEntries is the flow-table capacity; must be a power of two
+	// (default 2^20).
+	WSAFEntries int
+	// ProbeLimit bounds WSAF hash probing (default 16).
+	ProbeLimit int
+	// WSAFTTLNanos expires idle WSAF entries for inline garbage
+	// collection; 0 disables TTL GC.
+	WSAFTTLNanos int64
+	// Seed makes the meter deterministic; two meters with equal configs
+	// and seeds produce identical estimates for identical input.
+	Seed uint64
+}
+
+func (c Config) engineConfig() core.Config {
+	return core.Config{
+		SketchMemoryBytes: c.SketchMemoryBytes,
+		VectorBits:        c.VectorBits,
+		Layers:            c.Layers,
+		WSAFEntries:       c.WSAFEntries,
+		ProbeLimit:        c.ProbeLimit,
+		WSAFTTL:           c.WSAFTTLNanos,
+		Seed:              c.Seed,
+	}
+}
+
+// FlowRecord is one measured flow.
+type FlowRecord struct {
+	Key        FlowKey
+	Pkts       float64
+	Bytes      float64
+	FirstSeen  int64
+	LastUpdate int64
+}
+
+func toRecord(e wsaf.Entry) FlowRecord {
+	return FlowRecord{
+		Key:        e.Key,
+		Pkts:       e.Pkts,
+		Bytes:      e.Bytes,
+		FirstSeen:  e.FirstSeen,
+		LastUpdate: e.LastUpdate,
+	}
+}
+
+// HeavyHitterEvent reports a flow crossing a detection threshold.
+type HeavyHitterEvent struct {
+	Key FlowKey
+	// TS is the trace timestamp of the packet whose sketch saturation
+	// revealed the crossing.
+	TS int64
+	// Pkts and Bytes are the flow's accumulated estimates at detection.
+	Pkts  float64
+	Bytes float64
+	// ByBytes is true when the byte threshold fired (the packet threshold
+	// otherwise).
+	ByBytes bool
+}
+
+// Stats summarizes a Meter's activity.
+type Stats struct {
+	// Packets and Bytes are the totals offered to the meter.
+	Packets uint64
+	Bytes   uint64
+	// WSAFInsertions counts FlowRegulator passthroughs; RegulationRate is
+	// WSAFInsertions/Packets (the paper's ips/pps, ~1%).
+	WSAFInsertions uint64
+	RegulationRate float64
+	// ActiveFlows is the current WSAF population; WSAFLoadFactor its
+	// occupancy. DistinctFlowsEst estimates total distinct flows seen —
+	// mice included — via a 4 KB cardinality sketch.
+	ActiveFlows      int
+	WSAFLoadFactor   float64
+	DistinctFlowsEst float64
+	// SketchMemoryBytes and WSAFMemoryBytes report memory consumption
+	// (WSAF uses the paper's 33-byte entry accounting).
+	SketchMemoryBytes int
+	WSAFMemoryBytes   int
+}
+
+// Meter is a single-worker measurement engine (one "core" in the paper's
+// architecture). It is not safe for concurrent use; see NewCluster for the
+// multi-worker system.
+type Meter struct {
+	eng      *core.Engine
+	detector *detect.HeavyHitterDetector
+	onHH     func(HeavyHitterEvent)
+}
+
+// New builds a Meter from cfg.
+func New(cfg Config) (*Meter, error) {
+	eng, err := core.New(cfg.engineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &Meter{eng: eng}, nil
+}
+
+// Process records one packet.
+func (m *Meter) Process(p Packet) {
+	m.eng.Process(p)
+}
+
+// ProcessSource drains a PacketSource through the meter, returning the
+// number of packets consumed.
+func (m *Meter) ProcessSource(src PacketSource) (uint64, error) {
+	var n uint64
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("instameasure: source: %w", err)
+		}
+		m.eng.Process(p)
+		n++
+	}
+}
+
+// OnHeavyHitter arms inline heavy-hitter detection: fn fires the first
+// time a flow's estimate crosses thresholdPkts packets or thresholdBytes
+// bytes (either may be 0 to disable that dimension). Must be called before
+// processing begins.
+func (m *Meter) OnHeavyHitter(thresholdPkts, thresholdBytes float64, fn func(HeavyHitterEvent)) error {
+	d, err := detect.NewHeavyHitterDetector(thresholdPkts, thresholdBytes)
+	if err != nil {
+		return fmt.Errorf("instameasure: %w", err)
+	}
+	m.detector = d
+	m.onHH = fn
+	m.eng.OnPass(func(ev core.PassEvent) {
+		_, pktSeen := d.DetectionTS(ev.Key)
+		_, byteSeen := d.ByteDetectionTS(ev.Key)
+		d.Observe(ev)
+		if fn == nil {
+			return
+		}
+		if _, now := d.DetectionTS(ev.Key); now && !pktSeen {
+			fn(HeavyHitterEvent{Key: ev.Key, TS: ev.TS, Pkts: ev.Pkts, Bytes: ev.Bytes})
+		}
+		if _, now := d.ByteDetectionTS(ev.Key); now && !byteSeen {
+			fn(HeavyHitterEvent{Key: ev.Key, TS: ev.TS, Pkts: ev.Pkts, Bytes: ev.Bytes, ByBytes: true})
+		}
+	})
+	return nil
+}
+
+// Estimate returns the meter's current estimate of a flow's packet and
+// byte totals, including the fraction still retained inside the sketch.
+func (m *Meter) Estimate(key FlowKey) (pkts, bytes float64) {
+	return m.eng.Estimate(key)
+}
+
+// Lookup returns the flow's WSAF record, if present.
+func (m *Meter) Lookup(key FlowKey) (FlowRecord, bool) {
+	e, ok := m.eng.Lookup(key)
+	if !ok {
+		return FlowRecord{}, false
+	}
+	return toRecord(e), true
+}
+
+// Flows returns all measured flows currently resident in the WSAF.
+func (m *Meter) Flows() []FlowRecord {
+	snap := m.eng.Snapshot()
+	out := make([]FlowRecord, len(snap))
+	for i, e := range snap {
+		out[i] = toRecord(e)
+	}
+	return out
+}
+
+// TopKPackets returns the k largest flows by packet count, largest first.
+func (m *Meter) TopKPackets(k int) []FlowRecord {
+	return records(m.eng.TopKPackets(k))
+}
+
+// TopKBytes returns the k largest flows by byte volume, largest first.
+func (m *Meter) TopKBytes(k int) []FlowRecord {
+	return records(m.eng.TopKBytes(k))
+}
+
+// Stats returns current activity counters.
+func (m *Meter) Stats() Stats {
+	reg := m.eng.Regulator()
+	table := m.eng.Table()
+	return Stats{
+		Packets:           m.eng.Packets(),
+		Bytes:             m.eng.Bytes(),
+		WSAFInsertions:    reg.Emissions(),
+		RegulationRate:    reg.RegulationRate(),
+		ActiveFlows:       table.Len(),
+		WSAFLoadFactor:    table.LoadFactor(),
+		DistinctFlowsEst:  m.eng.DistinctFlows(),
+		SketchMemoryBytes: m.eng.SketchMemoryBytes(),
+		WSAFMemoryBytes:   table.MemoryBytes(),
+	}
+}
+
+// Reset clears all measurement state for a new window.
+func (m *Meter) Reset() { m.eng.Reset() }
+
+// ExportSnapshot writes the meter's current flow table to w as a compact,
+// checksummed binary snapshot tagged with epoch — the archival path for
+// long-term measurement windows.
+func (m *Meter) ExportSnapshot(w io.Writer, epoch int64) error {
+	snap := m.eng.Snapshot()
+	records := make([]export.Record, len(snap))
+	for i, e := range snap {
+		records[i] = export.FromEntry(e)
+	}
+	if err := export.WriteSnapshot(w, epoch, records); err != nil {
+		return fmt.Errorf("instameasure: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot written by ExportSnapshot.
+func ReadSnapshot(r io.Reader) (records []FlowRecord, epoch int64, err error) {
+	b, err := export.ReadSnapshot(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("instameasure: %w", err)
+	}
+	records = make([]FlowRecord, len(b.Records))
+	for i, rec := range b.Records {
+		records[i] = FlowRecord{
+			Key:        rec.Key,
+			Pkts:       rec.Pkts,
+			Bytes:      rec.Bytes,
+			FirstSeen:  rec.FirstSeen,
+			LastUpdate: rec.LastUpdate,
+		}
+	}
+	return records, b.Epoch, nil
+}
+
+func records(entries []wsaf.Entry) []FlowRecord {
+	out := make([]FlowRecord, len(entries))
+	for i, e := range entries {
+		out[i] = toRecord(e)
+	}
+	return out
+}
+
+// ClusterConfig parameterizes the multi-worker system.
+type ClusterConfig struct {
+	// Meter is the per-worker configuration. WSAFEntries applies per
+	// worker.
+	Meter Config
+	// Workers is the number of worker goroutines (paper: worker cores);
+	// 0 means 1.
+	Workers int
+	// QueueDepth is each worker's FIFO queue capacity (default 4096).
+	QueueDepth int
+}
+
+// ClusterReport summarizes a cluster run.
+type ClusterReport struct {
+	Packets        uint64
+	Bytes          uint64
+	MPPS           float64
+	PerWorker      []uint64
+	RegulationRate float64
+}
+
+// Cluster is the multi-worker measurement system: a manager goroutine
+// shards packets to workers by source-IP popcount; each worker runs an
+// independent Meter engine over exclusive memory.
+type Cluster struct {
+	sys *pipeline.System
+}
+
+// NewCluster builds a Cluster from cfg.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	sys, err := pipeline.New(pipeline.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Engine:     cfg.Meter.engineConfig(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &Cluster{sys: sys}, nil
+}
+
+// Run drains src through the cluster and blocks until every worker has
+// finished.
+func (c *Cluster) Run(src PacketSource) (ClusterReport, error) {
+	rep, err := c.sys.Run(src)
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("instameasure: %w", err)
+	}
+	pkts, emissions := c.sys.TotalRegulation()
+	out := ClusterReport{
+		Packets:   rep.Packets,
+		Bytes:     rep.Bytes,
+		MPPS:      rep.MPPS(),
+		PerWorker: rep.PerWorker,
+	}
+	if pkts > 0 {
+		out.RegulationRate = float64(emissions) / float64(pkts)
+	}
+	return out, nil
+}
+
+// Flows returns measured flows merged across all workers.
+func (c *Cluster) Flows() []FlowRecord {
+	return records(c.sys.MergedSnapshot())
+}
+
+// TopKPackets returns the cluster-wide k largest flows by packets.
+func (c *Cluster) TopKPackets(k int) []FlowRecord {
+	return clusterTopK(c, k, func(r *FlowRecord) float64 { return r.Pkts })
+}
+
+// TopKBytes returns the cluster-wide k largest flows by bytes.
+func (c *Cluster) TopKBytes(k int) []FlowRecord {
+	return clusterTopK(c, k, func(r *FlowRecord) float64 { return r.Bytes })
+}
+
+func clusterTopK(c *Cluster, k int, metric func(*FlowRecord) float64) []FlowRecord {
+	all := c.Flows()
+	sortRecords(all, metric)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,253 @@
+package instameasure
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := GenerateZipfTrace(ZipfTraceConfig{
+		Flows: 10_000, TotalPackets: 300_000, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testMeter(t *testing.T) *Meter {
+	t.Helper()
+	m, err := New(Config{SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{WSAFEntries: 3}); err == nil {
+		t.Error("non-power-of-two WSAF must fail")
+	}
+	if _, err := New(Config{VectorBits: 1}); err == nil {
+		t.Error("invalid vector bits must fail")
+	}
+}
+
+func TestMeterEndToEnd(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	n, err := m.ProcessSource(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(tr.Packets)) {
+		t.Fatalf("processed %d packets, want %d", n, len(tr.Packets))
+	}
+
+	st := m.Stats()
+	if st.Packets != n {
+		t.Errorf("Stats.Packets = %d, want %d", st.Packets, n)
+	}
+	if st.RegulationRate <= 0 || st.RegulationRate > 0.05 {
+		t.Errorf("regulation rate %.4f outside (0, 5%%]", st.RegulationRate)
+	}
+	if st.ActiveFlows == 0 || st.WSAFLoadFactor <= 0 {
+		t.Error("no flows reached the WSAF")
+	}
+	if st.SketchMemoryBytes != 4*(32<<10) {
+		t.Errorf("sketch memory = %d, want 128KB", st.SketchMemoryBytes)
+	}
+
+	// Large flows must estimate accurately.
+	top := tr.TopTruth(50, func(ft *FlowTruth) float64 { return float64(ft.Pkts) })
+	for _, k := range top[:10] {
+		truth := float64(tr.Truth(k).Pkts)
+		pkts, bytes := m.Estimate(k)
+		if relErr := math.Abs(pkts-truth) / truth; relErr > 0.15 {
+			t.Errorf("flow %v: est %.0f vs truth %.0f (err %.3f)", k, pkts, truth, relErr)
+		}
+		if bytes <= 0 {
+			t.Errorf("flow %v: non-positive byte estimate", k)
+		}
+	}
+}
+
+func TestMeterTopKOrdering(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopKPackets(20)
+	for i := 1; i < len(top); i++ {
+		if top[i].Pkts > top[i-1].Pkts {
+			t.Fatal("TopKPackets not sorted descending")
+		}
+	}
+	byBytes := m.TopKBytes(20)
+	for i := 1; i < len(byBytes); i++ {
+		if byBytes[i].Bytes > byBytes[i-1].Bytes {
+			t.Fatal("TopKBytes not sorted descending")
+		}
+	}
+}
+
+func TestMeterLookupAndFlows(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	biggest := tr.TopTruth(1, func(ft *FlowTruth) float64 { return float64(ft.Pkts) })[0]
+	rec, ok := m.Lookup(biggest)
+	if !ok {
+		t.Fatal("biggest flow missing from WSAF")
+	}
+	if rec.Pkts <= 0 || rec.LastUpdate == 0 {
+		t.Errorf("lookup record incomplete: %+v", rec)
+	}
+	if len(m.Flows()) == 0 {
+		t.Error("Flows() empty after processing")
+	}
+}
+
+func TestMeterHeavyHitterCallback(t *testing.T) {
+	attack := V4Key(1, 2, 3, 4, ProtoUDP)
+	tr, err := InjectFlow(nil, attack, 50_000, 0, 1e9, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMeter(t)
+	var events []HeavyHitterEvent
+	if err := m.OnHeavyHitter(1000, 0, func(ev HeavyHitterEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("heavy-hitter events = %d, want exactly 1 (first crossing only)", len(events))
+	}
+	if events[0].Key != attack || events[0].Pkts < 1000 {
+		t.Errorf("event = %+v", events[0])
+	}
+}
+
+func TestMeterHeavyHitterValidation(t *testing.T) {
+	m := testMeter(t)
+	if err := m.OnHeavyHitter(0, 0, nil); err == nil {
+		t.Error("zero thresholds must fail")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	st := m.Stats()
+	if st.Packets != 0 || st.ActiveFlows != 0 {
+		t.Error("Reset must clear state")
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	tr := testTrace(t)
+	cluster, err := NewCluster(ClusterConfig{
+		Workers: 3,
+		Meter:   Config{SketchMemoryBytes: 16 << 10, WSAFEntries: 1 << 14, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cluster.Run(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets != uint64(len(tr.Packets)) {
+		t.Errorf("cluster processed %d, want %d", rep.Packets, len(tr.Packets))
+	}
+	if len(rep.PerWorker) != 3 {
+		t.Errorf("PerWorker len = %d, want 3", len(rep.PerWorker))
+	}
+	if rep.RegulationRate <= 0 || rep.RegulationRate > 0.05 {
+		t.Errorf("cluster regulation rate %.4f", rep.RegulationRate)
+	}
+	top := cluster.TopKPackets(5)
+	if len(top) != 5 {
+		t.Fatalf("cluster TopK len = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Pkts > top[i-1].Pkts {
+			t.Fatal("cluster TopK not sorted")
+		}
+	}
+	if len(cluster.Flows()) == 0 {
+		t.Error("cluster Flows() empty")
+	}
+}
+
+func TestPcapRoundTripThroughPublicAPI(t *testing.T) {
+	tr, err := GenerateZipfTrace(ZipfTraceConfig{Flows: 200, TotalPackets: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows() != tr.Flows() || len(got.Packets) != len(tr.Packets) {
+		t.Errorf("round trip: %d/%d flows, %d/%d packets",
+			got.Flows(), tr.Flows(), len(got.Packets), len(tr.Packets))
+	}
+}
+
+func TestDiurnalTraceGeneration(t *testing.T) {
+	tr, err := GenerateDiurnalTrace(DiurnalTraceConfig{Hours: 6, TotalPackets: 20_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) == 0 || tr.Flows() == 0 {
+		t.Error("empty diurnal trace")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := testTrace(t)
+	run := func() []FlowRecord {
+		m := testMeter(t)
+		if _, err := m.ProcessSource(tr.Source()); err != nil {
+			t.Fatal(err)
+		}
+		return m.TopKPackets(10)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed meters disagree at rank %d", i)
+		}
+	}
+}
+
+func TestDistinctFlowsEstimate(t *testing.T) {
+	tr := testTrace(t) // 10k flows
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	est := m.Stats().DistinctFlowsEst
+	truth := float64(tr.Flows())
+	if relErr := math.Abs(est-truth) / truth; relErr > 0.08 {
+		t.Errorf("distinct flows est %.0f vs %d flows (rel err %.3f)", est, tr.Flows(), relErr)
+	}
+}

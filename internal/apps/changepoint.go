@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEWMAConfig rejects invalid smoothing parameters.
+var ErrEWMAConfig = errors.New("apps: need 0 < Alpha < 1 and Threshold > 0")
+
+// ChangeDetector is an EWMA-based change-point detector over any scalar
+// signal (the anomaly experiments feed it normalized flow-size entropy):
+// it tracks an exponentially weighted mean and deviation, and raises an
+// event when a sample departs from the mean by more than Threshold
+// deviations. Volumetric attacks concentrate traffic and drag entropy
+// down sharply, which this detector catches within a few samples.
+type ChangeDetector struct {
+	alpha     float64
+	threshold float64
+	warmup    int
+
+	n       int
+	mean    float64
+	dev     float64
+	lastDir int
+}
+
+// ChangeConfig parameterizes a ChangeDetector.
+type ChangeConfig struct {
+	// Alpha is the EWMA smoothing factor in (0,1); smaller = smoother.
+	// 0 means 0.1.
+	Alpha float64
+	// Threshold is the alarm level in mean absolute deviations; 0 means 4.
+	Threshold float64
+	// Warmup is the number of samples consumed before alarms may fire;
+	// 0 means 10.
+	Warmup int
+}
+
+// ChangeEvent describes one alarm.
+type ChangeEvent struct {
+	// Sample is the offending value; Mean and Dev the EWMA state it was
+	// compared against.
+	Sample float64
+	Mean   float64
+	Dev    float64
+	// Direction is -1 for a drop (concentration) and +1 for a spike
+	// (dispersion).
+	Direction int
+}
+
+// NewChangeDetector builds a detector from cfg.
+func NewChangeDetector(cfg ChangeConfig) (*ChangeDetector, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 4
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 10
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("%w (alpha=%v threshold=%v)", ErrEWMAConfig, cfg.Alpha, cfg.Threshold)
+	}
+	return &ChangeDetector{
+		alpha:     cfg.Alpha,
+		threshold: cfg.Threshold,
+		warmup:    cfg.Warmup,
+	}, nil
+}
+
+// Observe feeds one sample; it returns an event if the sample is anomalous.
+// Anomalous samples do not update the baseline, so a sustained attack
+// keeps alarming instead of being absorbed into the mean.
+func (d *ChangeDetector) Observe(sample float64) (ChangeEvent, bool) {
+	d.n++
+	if d.n == 1 {
+		d.mean = sample
+		return ChangeEvent{}, false
+	}
+	diff := sample - d.mean
+	absDiff := math.Abs(diff)
+
+	if d.n > d.warmup && d.dev > 0 && absDiff > d.threshold*d.dev {
+		dir := 1
+		if diff < 0 {
+			dir = -1
+		}
+		d.lastDir = dir
+		return ChangeEvent{
+			Sample:    sample,
+			Mean:      d.mean,
+			Dev:       d.dev,
+			Direction: dir,
+		}, true
+	}
+
+	d.mean += d.alpha * diff
+	d.dev = (1-d.alpha)*d.dev + d.alpha*absDiff
+	return ChangeEvent{}, false
+}
+
+// Baseline returns the current EWMA mean and deviation.
+func (d *ChangeDetector) Baseline() (mean, dev float64) { return d.mean, d.dev }
+
+// Samples returns the number of samples observed.
+func (d *ChangeDetector) Samples() int { return d.n }

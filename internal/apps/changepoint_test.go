@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"instameasure/internal/flowhash"
+)
+
+func TestChangeConfigValidation(t *testing.T) {
+	if _, err := NewChangeDetector(ChangeConfig{Alpha: 1.5}); !errors.Is(err, ErrEWMAConfig) {
+		t.Errorf("alpha 1.5 err = %v", err)
+	}
+	if _, err := NewChangeDetector(ChangeConfig{Alpha: -0.1}); !errors.Is(err, ErrEWMAConfig) {
+		t.Errorf("negative alpha err = %v", err)
+	}
+	if _, err := NewChangeDetector(ChangeConfig{Threshold: -1}); !errors.Is(err, ErrEWMAConfig) {
+		t.Errorf("negative threshold err = %v", err)
+	}
+	if _, err := NewChangeDetector(ChangeConfig{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestNoAlarmOnStableSignal(t *testing.T) {
+	d, err := NewChangeDetector(ChangeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := flowhash.NewRand(5)
+	for i := 0; i < 1000; i++ {
+		sample := 0.8 + 0.01*(rng.Float64()-0.5) // small noise around 0.8
+		if _, alarm := d.Observe(sample); alarm {
+			t.Fatalf("false alarm at sample %d", i)
+		}
+	}
+	mean, _ := d.Baseline()
+	if mean < 0.79 || mean > 0.81 {
+		t.Errorf("baseline mean = %v, want ≈0.8", mean)
+	}
+}
+
+func TestDetectsEntropyDrop(t *testing.T) {
+	d, err := NewChangeDetector(ChangeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := flowhash.NewRand(9)
+	for i := 0; i < 200; i++ {
+		d.Observe(0.8 + 0.01*(rng.Float64()-0.5))
+	}
+	// Attack: entropy collapses.
+	ev, alarm := d.Observe(0.3)
+	if !alarm {
+		t.Fatal("entropy drop not detected")
+	}
+	if ev.Direction != -1 {
+		t.Errorf("direction = %d, want -1 (drop)", ev.Direction)
+	}
+	if ev.Sample != 0.3 {
+		t.Errorf("sample = %v", ev.Sample)
+	}
+}
+
+func TestDetectsSpike(t *testing.T) {
+	d, err := NewChangeDetector(ChangeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := flowhash.NewRand(11)
+	for i := 0; i < 200; i++ {
+		d.Observe(0.4 + 0.01*(rng.Float64()-0.5))
+	}
+	ev, alarm := d.Observe(0.95)
+	if !alarm || ev.Direction != 1 {
+		t.Errorf("spike not detected upward: alarm=%v dir=%d", alarm, ev.Direction)
+	}
+}
+
+func TestSustainedAttackKeepsAlarming(t *testing.T) {
+	d, err := NewChangeDetector(ChangeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := flowhash.NewRand(13)
+	for i := 0; i < 200; i++ {
+		d.Observe(0.8 + 0.01*(rng.Float64()-0.5))
+	}
+	// Anomalous samples must not be absorbed into the baseline.
+	var alarms int
+	for i := 0; i < 20; i++ {
+		if _, alarm := d.Observe(0.3); alarm {
+			alarms++
+		}
+	}
+	if alarms != 20 {
+		t.Errorf("sustained attack alarmed %d/20 times", alarms)
+	}
+}
+
+func TestWarmupSuppressesAlarms(t *testing.T) {
+	d, err := NewChangeDetector(ChangeConfig{Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a wild swing inside warmup must stay silent.
+	d.Observe(0.5)
+	d.Observe(0.5)
+	if _, alarm := d.Observe(99); alarm {
+		t.Error("alarm during warmup")
+	}
+}

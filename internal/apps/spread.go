@@ -1,0 +1,258 @@
+// Package apps implements the measurement applications the paper names as
+// consumers of the WSAF and its mice samples (Section II): SuperSpreader
+// detection (one source contacting many distinct destinations), DDoS
+// victim detection (many distinct sources converging on one destination),
+// and traffic entropy estimation.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/hll"
+	"instameasure/internal/packet"
+)
+
+// ErrThreshold rejects non-positive detection thresholds.
+var ErrThreshold = errors.New("apps: threshold must be positive")
+
+// SpreadReport is one flagged endpoint: the address, its estimated number
+// of distinct peers, and when it first crossed the threshold.
+type SpreadReport struct {
+	Addr         uint32
+	DistinctEst  float64
+	FirstFlagged int64
+}
+
+// spreadTracker counts distinct peers per endpoint with one small
+// HyperLogLog per tracked address, capped by evicting the
+// smallest-estimate entry — mirroring the WSAF's mice-first eviction.
+type spreadTracker struct {
+	precision int
+	maxKeys   int
+	threshold float64
+	seed      uint64
+
+	sketches map[uint32]*spreadEntry
+	flagged  map[uint32]int64
+	packets  uint64
+}
+
+// spreadEntry caches the sketch's last estimate so the per-packet hot path
+// and the eviction scan avoid recomputing the O(registers) HLL estimate.
+type spreadEntry struct {
+	sk      *hll.Sketch
+	adds    uint64
+	lastEst float64
+}
+
+// refreshEvery bounds estimate staleness: re-estimate at least every 16
+// additions (and on every addition while the entry is young).
+const refreshEvery = 16
+
+func (e *spreadEntry) add(peerHash uint64) float64 {
+	e.sk.Add(peerHash)
+	e.adds++
+	if e.adds <= refreshEvery || e.adds%refreshEvery == 0 {
+		e.lastEst = e.sk.Estimate()
+	}
+	return e.lastEst
+}
+
+func newSpreadTracker(precision, maxKeys int, threshold float64, seed uint64) (*spreadTracker, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("%w (got %v)", ErrThreshold, threshold)
+	}
+	if precision == 0 {
+		precision = 10
+	}
+	if maxKeys <= 0 {
+		maxKeys = 4096
+	}
+	if _, err := hll.New(precision); err != nil {
+		return nil, err
+	}
+	return &spreadTracker{
+		precision: precision,
+		maxKeys:   maxKeys,
+		threshold: threshold,
+		seed:      seed,
+		sketches:  make(map[uint32]*spreadEntry, maxKeys),
+		flagged:   make(map[uint32]int64),
+	}, nil
+}
+
+func (t *spreadTracker) observe(addr uint32, peerHash uint64, ts int64) {
+	t.packets++
+	e := t.sketches[addr]
+	if e == nil {
+		if len(t.sketches) >= t.maxKeys {
+			t.evictSmallest()
+		}
+		e = &spreadEntry{sk: hll.MustNew(t.precision)}
+		t.sketches[addr] = e
+	}
+	est := e.add(peerHash)
+	if _, seen := t.flagged[addr]; !seen && est >= t.threshold {
+		t.flagged[addr] = ts
+	}
+}
+
+// evictSmallest drops a tracked address with a low cached estimate. It
+// samples a bounded number of entries (Go map iteration order is
+// randomized) rather than scanning the whole table, so eviction stays O(1)
+// amortized under mice churn. Flagged addresses keep their reports even if
+// their sketch is evicted.
+func (t *spreadTracker) evictSmallest() {
+	const sample = 32
+	var victim uint32
+	var anyAddr uint32
+	found := false
+	min := -1.0
+	seen := 0
+	for addr, e := range t.sketches {
+		anyAddr = addr
+		seen++
+		if _, protected := t.flagged[addr]; protected {
+			if seen >= sample && found {
+				break
+			}
+			continue
+		}
+		if min < 0 || e.lastEst < min {
+			min = e.lastEst
+			victim = addr
+			found = true
+		}
+		if seen >= sample {
+			break
+		}
+	}
+	if found {
+		delete(t.sketches, victim)
+		return
+	}
+	// Sampled window was all flagged; drop an arbitrary sketch (reports
+	// persist).
+	delete(t.sketches, anyAddr)
+}
+
+func (t *spreadTracker) estimate(addr uint32) float64 {
+	if e := t.sketches[addr]; e != nil {
+		return e.sk.Estimate()
+	}
+	return 0
+}
+
+func (t *spreadTracker) reports() []SpreadReport {
+	out := make([]SpreadReport, 0, len(t.flagged))
+	for addr, ts := range t.flagged {
+		out = append(out, SpreadReport{
+			Addr:         addr,
+			DistinctEst:  t.estimate(addr),
+			FirstFlagged: ts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistinctEst != out[j].DistinctEst {
+			return out[i].DistinctEst > out[j].DistinctEst
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// SuperSpreaderDetector flags sources that contact at least Threshold
+// distinct destination endpoints — port-scan and worm behaviour.
+type SuperSpreaderDetector struct {
+	t *spreadTracker
+}
+
+// SpreadConfig parameterizes the spread detectors.
+type SpreadConfig struct {
+	// Threshold is the distinct-peer count that triggers a flag.
+	Threshold float64
+	// Precision is the per-endpoint HyperLogLog precision; 0 means 10
+	// (1 KB per tracked endpoint, ~3% error).
+	Precision int
+	// MaxTracked caps concurrently tracked endpoints; 0 means 4096.
+	MaxTracked int
+	// Seed drives peer hashing.
+	Seed uint64
+}
+
+// NewSuperSpreaderDetector builds a detector from cfg.
+func NewSuperSpreaderDetector(cfg SpreadConfig) (*SuperSpreaderDetector, error) {
+	t, err := newSpreadTracker(cfg.Precision, cfg.MaxTracked, cfg.Threshold, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SuperSpreaderDetector{t: t}, nil
+}
+
+// Observe records one packet.
+func (d *SuperSpreaderDetector) Observe(p packet.Packet) {
+	peer := peerHash(p.Key.DstIP, p.Key.DstPort, d.t.seed)
+	d.t.observe(p.Key.SrcIPv4(), peer, p.TS)
+}
+
+// Estimate returns the current distinct-destination estimate for a source.
+func (d *SuperSpreaderDetector) Estimate(src uint32) float64 { return d.t.estimate(src) }
+
+// SuperSpreaders returns all flagged sources, largest spread first.
+func (d *SuperSpreaderDetector) SuperSpreaders() []SpreadReport { return d.t.reports() }
+
+// DDoSDetector flags destinations contacted by at least Threshold distinct
+// sources — volumetric attack victims.
+type DDoSDetector struct {
+	t *spreadTracker
+}
+
+// NewDDoSDetector builds a detector from cfg.
+func NewDDoSDetector(cfg SpreadConfig) (*DDoSDetector, error) {
+	t, err := newSpreadTracker(cfg.Precision, cfg.MaxTracked, cfg.Threshold, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DDoSDetector{t: t}, nil
+}
+
+// Observe records one packet. Distinctness is by source *address* (not
+// address:port), since a botnet's spread is its host count.
+func (d *DDoSDetector) Observe(p packet.Packet) {
+	src := addrHash(p.Key.SrcIP, d.t.seed)
+	d.t.observe(dstIPv4(&p.Key), src, p.TS)
+}
+
+// Estimate returns the current distinct-source estimate for a destination.
+func (d *DDoSDetector) Estimate(dst uint32) float64 { return d.t.estimate(dst) }
+
+// Victims returns all flagged destinations, largest spread first.
+func (d *DDoSDetector) Victims() []SpreadReport { return d.t.reports() }
+
+func addrHash(ip [16]byte, seed uint64) uint64 {
+	return flowhash.Sum64(ip[:], seed)
+}
+
+func peerHash(ip [16]byte, port uint16, seed uint64) uint64 {
+	var buf [18]byte
+	copy(buf[:16], ip[:])
+	buf[16] = byte(port >> 8)
+	buf[17] = byte(port)
+	return flowhash.Sum64(buf[:], seed)
+}
+
+func dstIPv4(k *packet.FlowKey) uint32 {
+	if !k.IsV6 {
+		return uint32(k.DstIP[0])<<24 | uint32(k.DstIP[1])<<16 |
+			uint32(k.DstIP[2])<<8 | uint32(k.DstIP[3])
+	}
+	var x uint32
+	for i := 0; i < 16; i += 4 {
+		x ^= uint32(k.DstIP[i])<<24 | uint32(k.DstIP[i+1])<<16 |
+			uint32(k.DstIP[i+2])<<8 | uint32(k.DstIP[i+3])
+	}
+	return x
+}

@@ -1,0 +1,113 @@
+// Package countmin implements the Count-Min sketch (Cormode &
+// Muthukrishnan), an additional comparator for Top-K and heavy-hitter
+// experiments. Unlike RCC/FlowRegulator it never saturates, but it also
+// never regulates: every packet writes d counters and estimation requires
+// knowing the flow ID externally — there is no passthrough signal to build
+// a WSAF from.
+package countmin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"instameasure/internal/flowhash"
+)
+
+// Config parameterizes a Sketch.
+type Config struct {
+	// MemoryBytes is total counter memory (4 bytes per counter), split
+	// evenly across Depth rows.
+	MemoryBytes int
+	// Depth is the number of hash rows d; 0 means 4.
+	Depth int
+	// Conservative enables conservative update (only the minimum counters
+	// are incremented), trading update cost for accuracy.
+	Conservative bool
+	// Seed drives row hashing.
+	Seed uint64
+}
+
+// ErrTooSmall rejects configurations without at least one counter per row.
+var ErrTooSmall = errors.New("countmin: memory too small for requested depth")
+
+// Sketch is a Count-Min instance. Not safe for concurrent use.
+type Sketch struct {
+	rows         [][]uint32
+	width        uint64
+	conservative bool
+	seed         uint64
+	packets      uint64
+}
+
+// New builds a Sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 4
+	}
+	width := cfg.MemoryBytes / 4 / depth
+	if width < 1 {
+		return nil, fmt.Errorf("%w (bytes=%d depth=%d)", ErrTooSmall, cfg.MemoryBytes, depth)
+	}
+	rows := make([][]uint32, depth)
+	for i := range rows {
+		rows[i] = make([]uint32, width)
+	}
+	return &Sketch{
+		rows:         rows,
+		width:        uint64(width),
+		conservative: cfg.Conservative,
+		seed:         cfg.Seed,
+	}, nil
+}
+
+// Add records count occurrences of the flow with hash h.
+func (s *Sketch) Add(h uint64, count uint32) {
+	s.packets += uint64(count)
+	if !s.conservative {
+		for i := range s.rows {
+			s.rows[i][s.slot(h, i)] += count
+		}
+		return
+	}
+	est := s.Estimate(h) + uint64(count)
+	for i := range s.rows {
+		c := &s.rows[i][s.slot(h, i)]
+		if uint64(*c) < est && est <= math.MaxUint32 {
+			*c = uint32(est)
+		}
+	}
+}
+
+// Estimate returns the minimum row counter for the flow with hash h — an
+// upper bound on its true count.
+func (s *Sketch) Estimate(h uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := range s.rows {
+		if c := uint64(s.rows[i][s.slot(h, i)]); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Packets returns total added count.
+func (s *Sketch) Packets() uint64 { return s.packets }
+
+// MemoryBytes returns counter memory.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * int(s.width) * 4 }
+
+// Reset clears all counters.
+func (s *Sketch) Reset() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	s.packets = 0
+}
+
+func (s *Sketch) slot(h uint64, row int) uint64 {
+	return flowhash.Mix64(h^(s.seed+uint64(row+1)*0xA5A5A5A5A5A5A5A5)) % s.width
+}

@@ -1,0 +1,113 @@
+package countmin
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"instameasure/internal/flowhash"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 4, Depth: 4}); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("err = %v, want ErrTooSmall", err)
+	}
+	if _, err := New(Config{MemoryBytes: 1024}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	// The defining CM property: estimate >= true count, always.
+	f := func(counts []uint8) bool {
+		s, err := New(Config{MemoryBytes: 1 << 10, Depth: 4, Seed: 2})
+		if err != nil {
+			return false
+		}
+		truth := map[uint64]uint64{}
+		for i, c := range counts {
+			h := flowhash.Mix64(uint64(i%17) + 1)
+			s.Add(h, uint32(c))
+			truth[h] += uint64(c)
+		}
+		for h, want := range truth {
+			if s.Estimate(h) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservativeNeverUnderestimatesAndTightens(t *testing.T) {
+	plain, err := New(Config{MemoryBytes: 4 << 10, Depth: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := New(Config{MemoryBytes: 4 << 10, Depth: 4, Conservative: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint64{}
+	rng := flowhash.NewRand(5)
+	for i := 0; i < 50_000; i++ {
+		h := flowhash.Mix64(uint64(rng.Intn(2000)) + 1)
+		plain.Add(h, 1)
+		cons.Add(h, 1)
+		truth[h]++
+	}
+	var plainErr, consErr float64
+	for h, want := range truth {
+		pe, ce := plain.Estimate(h), cons.Estimate(h)
+		if pe < want || ce < want {
+			t.Fatalf("underestimate: plain %d cons %d truth %d", pe, ce, want)
+		}
+		plainErr += float64(pe - want)
+		consErr += float64(ce - want)
+	}
+	if consErr > plainErr {
+		t.Errorf("conservative update error %v not <= plain %v", consErr, plainErr)
+	}
+}
+
+func TestExactWhenUncontended(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 20, Depth: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := flowhash.Mix64(99)
+	s.Add(h, 12345)
+	if got := s.Estimate(h); got != 12345 {
+		t.Errorf("solo estimate = %d, want exactly 12345", got)
+	}
+}
+
+func TestMemoryAndPackets(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1600, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryBytes() != 1600 {
+		t.Errorf("MemoryBytes = %d, want 1600", s.MemoryBytes())
+	}
+	s.Add(1, 3)
+	s.Add(2, 4)
+	if s.Packets() != 7 {
+		t.Errorf("Packets = %d, want 7", s.Packets())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(5, 10)
+	s.Reset()
+	if s.Estimate(5) != 0 || s.Packets() != 0 {
+		t.Error("Reset must clear state")
+	}
+}

@@ -1,0 +1,104 @@
+package csm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"instameasure/internal/flowhash"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 10, CountersPerFlow: 50}); !errors.Is(err, ErrMemory) {
+		t.Errorf("err = %v, want ErrMemory", err)
+	}
+	if _, err := New(Config{MemoryBytes: 4096}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeAccesses() != 50 {
+		t.Errorf("default l = %d, want 50", s.DecodeAccesses())
+	}
+	if s.MemoryBytes() != 4096 {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestSingleFlowExactWithoutNoise(t *testing.T) {
+	// One flow alone in a large pool: estimate = true count exactly
+	// minus a tiny noise correction.
+	s, err := New(Config{MemoryBytes: 1 << 20, CountersPerFlow: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := flowhash.Mix64(42)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Encode(h)
+	}
+	est := s.Estimate(h)
+	if relErr := math.Abs(est-n) / n; relErr > 0.01 {
+		t.Errorf("solo estimate %.1f, rel err %.4f", est, relErr)
+	}
+}
+
+func TestManyFlowsNoiseSubtraction(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 256 << 10, CountersPerFlow: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 flows × 5000 packets.
+	const flows = 100
+	const per = 5_000
+	for p := 0; p < per; p++ {
+		for f := 0; f < flows; f++ {
+			s.Encode(flowhash.Mix64(uint64(f) + 1))
+		}
+	}
+	var sumErr float64
+	for f := 0; f < flows; f++ {
+		est := s.Estimate(flowhash.Mix64(uint64(f) + 1))
+		sumErr += math.Abs(est-per) / per
+	}
+	if mean := sumErr / flows; mean > 0.10 {
+		t.Errorf("mean rel err %.4f > 10%%", mean)
+	}
+}
+
+func TestEstimateClampsAtZero(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 12, CountersPerFlow: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy unrelated traffic, then estimate an unseen flow: noise
+	// subtraction may undershoot but must clamp at 0.
+	for i := 0; i < 100_000; i++ {
+		s.Encode(flowhash.Mix64(uint64(i)))
+	}
+	if est := s.Estimate(flowhash.Mix64(1 << 40)); est < 0 {
+		t.Errorf("estimate %v below zero", est)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 4096, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Encode(7)
+	}
+	if s.Packets() != 100 {
+		t.Fatalf("Packets = %d", s.Packets())
+	}
+	s.Reset()
+	if s.Packets() != 0 || s.Estimate(7) != 0 {
+		t.Error("Reset must clear state")
+	}
+}

@@ -1,0 +1,58 @@
+package iblt
+
+import "instameasure/internal/flowhash"
+
+// bloom is the flow filter: a plain Bloom filter marking flows whose keys
+// are already registered in the IBLT cells.
+type bloom struct {
+	bits   []uint64
+	nBits  uint64
+	hashes int
+	seed   uint64
+}
+
+func newBloom(nBits, hashes int, seed uint64) *bloom {
+	if nBits < 64 {
+		nBits = 64
+	}
+	return &bloom{
+		bits:   make([]uint64, (nBits+63)/64),
+		nBits:  uint64(nBits),
+		hashes: hashes,
+		seed:   seed,
+	}
+}
+
+// testAndAdd reports whether b already contained key, inserting it either
+// way.
+func (b *bloom) testAndAdd(key []byte) bool {
+	h := flowhash.Sum64(key, b.seed^0xB100F11E)
+	present := true
+	for i := 0; i < b.hashes; i++ {
+		h = flowhash.Mix64(h + uint64(i)*0x9E3779B97F4A7C15)
+		pos := h % b.nBits
+		word, bit := pos/64, pos%64
+		if b.bits[word]&(1<<bit) == 0 {
+			present = false
+			b.bits[word] |= 1 << bit
+		}
+	}
+	return present
+}
+
+func (b *bloom) clone() *bloom {
+	cp := &bloom{
+		bits:   make([]uint64, len(b.bits)),
+		nBits:  b.nBits,
+		hashes: b.hashes,
+		seed:   b.seed,
+	}
+	copy(cp.bits, b.bits)
+	return cp
+}
+
+func (b *bloom) reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}

@@ -1,0 +1,297 @@
+// Package iblt implements an Invertible Bloom Lookup Table, the data
+// structure FlowRadar (NSDI 2016) builds its flow table from — the related
+// system whose WSAF view the paper contrasts with InstaMeasure's
+// (Section VI). Flows are inserted into k cells each; decoding "peels"
+// pure cells (cells holding exactly one flow) until the table drains.
+// Below a critical load (~m/1.3 flows for k=3) decoding recovers every
+// flow exactly; above it, decoding collapses — the failure mode the
+// WSAF's eviction policy avoids.
+package iblt
+
+import (
+	"errors"
+	"fmt"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// keyLen is the fixed cell encoding of a flow key: 1 flag byte,
+// 16+16 address bytes, 2+2 port bytes, 1 proto byte.
+const keyLen = 38
+
+// ErrCells rejects tables that are too small.
+var ErrCells = errors.New("iblt: need at least 8 cells")
+
+// cell is one IBLT slot.
+type cell struct {
+	count    int64
+	keyXOR   [keyLen]byte
+	checkXOR uint64
+	pktSum   float64
+	byteSum  float64
+}
+
+func (c *cell) empty() bool {
+	if c.count != 0 || c.checkXOR != 0 {
+		return false
+	}
+	for _, b := range c.keyXOR {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	// Cells is the number of IBLT cells m.
+	Cells int
+	// Hashes is k, the cells per flow; 0 means 3.
+	Hashes int
+	// Seed drives cell selection and key checksums.
+	Seed uint64
+}
+
+// Flow is one decoded flow with its accumulated counters.
+type Flow struct {
+	Key   packet.FlowKey
+	Pkts  float64
+	Bytes float64
+}
+
+// Table is an IBLT flow table with FlowRadar's flow filter: a Bloom
+// filter marks flows already registered, so only a flow's first packet
+// inserts its key while every packet updates the counters. Not safe for
+// concurrent use.
+type Table struct {
+	cells  []cell
+	filter *bloom
+	k      int
+	seed   uint64
+	flows  int
+}
+
+// New builds a Table from cfg.
+func New(cfg Config) (*Table, error) {
+	if cfg.Cells < 8 {
+		return nil, fmt.Errorf("%w (got %d)", ErrCells, cfg.Cells)
+	}
+	k := cfg.Hashes
+	if k == 0 {
+		k = 3
+	}
+	return &Table{
+		cells:  make([]cell, cfg.Cells),
+		filter: newBloom(cfg.Cells*16, 4, cfg.Seed),
+		k:      k,
+		seed:   cfg.Seed,
+	}, nil
+}
+
+// MustNew is New for statically-known-good configs; it panics on error.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Add accumulates (pkts, bytes) for key — one call per packet. The flow
+// filter ensures the key itself is registered only on the flow's first
+// packet; counters update on every packet (FlowRadar's encode path).
+func (t *Table) Add(key packet.FlowKey, pkts, bytes float64) {
+	enc := encodeKey(key)
+	newFlow := !t.filter.testAndAdd(enc[:])
+	var check uint64
+	if newFlow {
+		check = t.checksum(enc)
+		t.flows++
+	}
+	for _, idx := range t.cellsFor(enc) {
+		c := &t.cells[idx]
+		if newFlow {
+			c.count++
+			xorInto(&c.keyXOR, enc)
+			c.checkXOR ^= check
+		}
+		c.pktSum += pkts
+		c.byteSum += bytes
+	}
+}
+
+// RegisteredFlows returns how many distinct flows the filter admitted.
+func (t *Table) RegisteredFlows() int { return t.flows }
+
+// Decode peels the table, returning every recoverable flow and whether
+// the table fully drained. Decoding is destructive; encode into a copy
+// (Clone) to preserve the original.
+func (t *Table) Decode() (flows []Flow, complete bool) {
+	// Pure cell: count==±1 and checksum matches the key it holds.
+	queue := make([]int, 0, len(t.cells))
+	for i := range t.cells {
+		if t.pure(i) {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		idx := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !t.pure(idx) {
+			continue
+		}
+		c := t.cells[idx]
+		key, ok := decodeKey(c.keyXOR)
+		if !ok {
+			continue
+		}
+		sign := float64(1)
+		if c.count < 0 {
+			sign = -1
+		}
+		flows = append(flows, Flow{
+			Key:   key,
+			Pkts:  sign * c.pktSum,
+			Bytes: sign * c.byteSum,
+		})
+
+		enc := c.keyXOR
+		check := t.checksum(enc)
+		for _, j := range t.cellsFor(enc) {
+			cj := &t.cells[j]
+			cj.count -= c.count
+			xorInto(&cj.keyXOR, enc)
+			cj.checkXOR ^= check
+			cj.pktSum -= c.pktSum
+			cj.byteSum -= c.byteSum
+			if t.pure(j) {
+				queue = append(queue, j)
+			}
+		}
+	}
+
+	complete = true
+	for i := range t.cells {
+		if !t.cells[i].empty() {
+			complete = false
+			break
+		}
+	}
+	return flows, complete
+}
+
+// Clone deep-copies the table so Decode can run non-destructively.
+func (t *Table) Clone() *Table {
+	cp := &Table{
+		cells:  make([]cell, len(t.cells)),
+		filter: t.filter.clone(),
+		k:      t.k,
+		seed:   t.seed,
+		flows:  t.flows,
+	}
+	copy(cp.cells, t.cells)
+	return cp
+}
+
+// Cells returns the table size.
+func (t *Table) Cells() int { return len(t.cells) }
+
+// MemoryBytes approximates the cell array's size (count 8 + key 38 +
+// check 8 + sums 16 per cell).
+func (t *Table) MemoryBytes() int { return len(t.cells) * (8 + keyLen + 8 + 16) }
+
+// Reset clears all cells and the flow filter.
+func (t *Table) Reset() {
+	for i := range t.cells {
+		t.cells[i] = cell{}
+	}
+	t.filter.reset()
+	t.flows = 0
+}
+
+func (t *Table) pure(i int) bool {
+	c := &t.cells[i]
+	if c.count != 1 && c.count != -1 {
+		return false
+	}
+	return t.checksum(c.keyXOR) == c.checkXOR
+}
+
+// cellsFor returns the k distinct cell indices for an encoded key.
+func (t *Table) cellsFor(enc [keyLen]byte) []int {
+	out := make([]int, 0, t.k)
+	h := flowhash.Sum64(enc[:], t.seed)
+	for i := 0; i < t.k; i++ {
+		h = flowhash.Mix64(h + uint64(i)*0x9E3779B97F4A7C15)
+		idx := int(h % uint64(len(t.cells)))
+		dup := false
+		for _, prev := range out {
+			if prev == idx {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			idx = (idx + 1) % len(t.cells)
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+func (t *Table) checksum(enc [keyLen]byte) uint64 {
+	return flowhash.Sum64(enc[:], t.seed^0xC4EC4EC4)
+}
+
+func encodeKey(k packet.FlowKey) [keyLen]byte {
+	var out [keyLen]byte
+	if k.IsV6 {
+		out[0] = 1
+	}
+	copy(out[1:17], k.SrcIP[:])
+	copy(out[17:33], k.DstIP[:])
+	out[33] = byte(k.SrcPort >> 8)
+	out[34] = byte(k.SrcPort)
+	out[35] = byte(k.DstPort >> 8)
+	out[36] = byte(k.DstPort)
+	out[37] = k.Proto
+	return out
+}
+
+func decodeKey(enc [keyLen]byte) (packet.FlowKey, bool) {
+	var k packet.FlowKey
+	switch enc[0] {
+	case 0:
+	case 1:
+		k.IsV6 = true
+	default:
+		return k, false
+	}
+	copy(k.SrcIP[:], enc[1:17])
+	copy(k.DstIP[:], enc[17:33])
+	k.SrcPort = uint16(enc[33])<<8 | uint16(enc[34])
+	k.DstPort = uint16(enc[35])<<8 | uint16(enc[36])
+	k.Proto = enc[37]
+	// V4 keys must have zero padding beyond the first 4 address bytes.
+	if !k.IsV6 {
+		for _, b := range enc[5:17] {
+			if b != 0 {
+				return k, false
+			}
+		}
+		for _, b := range enc[21:33] {
+			if b != 0 {
+				return k, false
+			}
+		}
+	}
+	return k, true
+}
+
+func xorInto(dst *[keyLen]byte, src [keyLen]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

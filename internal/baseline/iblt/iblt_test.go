@@ -1,0 +1,178 @@
+package iblt
+
+import (
+	"math"
+	"testing"
+
+	"instameasure/internal/packet"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.V4Key(uint32(i)+1, uint32(i)*3+7, uint16(i%60000)+1, 80, packet.ProtoTCP)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Cells: 4}); err == nil {
+		t.Error("tiny table must fail")
+	}
+	if _, err := New(Config{Cells: 64}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeKey(t *testing.T) {
+	k := key(5)
+	enc := encodeKey(k)
+	got, ok := decodeKey(enc)
+	if !ok || got != k {
+		t.Errorf("v4 key round trip failed: %+v", got)
+	}
+	var v6 packet.FlowKey
+	v6.IsV6 = true
+	for i := range v6.SrcIP {
+		v6.SrcIP[i] = byte(i)
+		v6.DstIP[i] = byte(i * 2)
+	}
+	v6.SrcPort, v6.DstPort, v6.Proto = 1, 2, packet.ProtoUDP
+	got, ok = decodeKey(encodeKey(v6))
+	if !ok || got != v6 {
+		t.Errorf("v6 key round trip failed")
+	}
+	// Garbage (XOR of two different keys) must be rejected.
+	a, b := encodeKey(key(1)), encodeKey(key(2))
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	// Mixed XOR usually corrupts padding or the flag byte; decodeKey must
+	// reject at least when the flag is invalid.
+	a[0] = 7
+	if _, ok := decodeKey(a); ok {
+		t.Error("invalid flag byte accepted")
+	}
+}
+
+func TestDecodeRecoverAllBelowCapacity(t *testing.T) {
+	// 1000 flows in 2048 cells (49% load, k=3) must decode completely.
+	tab := MustNew(Config{Cells: 2048, Seed: 1})
+	want := map[packet.FlowKey]float64{}
+	for i := 0; i < 1000; i++ {
+		k := key(i)
+		pkts := float64(i%50 + 1)
+		for p := 0; p < int(pkts); p++ {
+			tab.Add(k, 1, 100)
+		}
+		want[k] = pkts
+	}
+	flows, complete := tab.Clone().Decode()
+	if !complete {
+		t.Fatal("decode incomplete at 49% load")
+	}
+	if len(flows) != 1000 {
+		t.Fatalf("decoded %d flows, want 1000", len(flows))
+	}
+	for _, f := range flows {
+		wantPkts, ok := want[f.Key]
+		if !ok {
+			t.Fatalf("decoded phantom flow %v", f.Key)
+		}
+		if math.Abs(f.Pkts-wantPkts) > 1e-6 {
+			t.Fatalf("flow %v: pkts %v, want %v", f.Key, f.Pkts, wantPkts)
+		}
+		if math.Abs(f.Bytes-wantPkts*100) > 1e-3 {
+			t.Fatalf("flow %v: bytes %v, want %v", f.Key, f.Bytes, wantPkts*100)
+		}
+	}
+}
+
+func TestDecodeCollapsesAboveCapacity(t *testing.T) {
+	// 4000 flows in 2048 cells is far beyond the ~m/1.3 peeling
+	// threshold: decode must fail to drain — FlowRadar's overload mode.
+	tab := MustNew(Config{Cells: 2048, Seed: 2})
+	for i := 0; i < 4000; i++ {
+		tab.Add(key(i), 1, 100)
+	}
+	flows, complete := tab.Clone().Decode()
+	if complete {
+		t.Error("decode claimed completeness at 2x overload")
+	}
+	if len(flows) >= 4000 {
+		t.Errorf("decoded %d of 4000 flows despite overload", len(flows))
+	}
+}
+
+func TestPerPacketUpdatesDoNotBreakPeeling(t *testing.T) {
+	// The flow filter must keep multi-packet flows registered once.
+	tab := MustNew(Config{Cells: 512, Seed: 3})
+	k := key(9)
+	for p := 0; p < 10_000; p++ {
+		tab.Add(k, 1, 64)
+	}
+	if tab.RegisteredFlows() != 1 {
+		t.Fatalf("registered %d flows, want 1", tab.RegisteredFlows())
+	}
+	flows, complete := tab.Clone().Decode()
+	if !complete || len(flows) != 1 {
+		t.Fatalf("decode = %d flows, complete=%v", len(flows), complete)
+	}
+	if flows[0].Pkts != 10_000 || flows[0].Bytes != 640_000 {
+		t.Errorf("decoded totals %v/%v", flows[0].Pkts, flows[0].Bytes)
+	}
+}
+
+func TestDecodeDestructiveAndCloneIsolates(t *testing.T) {
+	tab := MustNew(Config{Cells: 256, Seed: 4})
+	tab.Add(key(1), 5, 500)
+	clone := tab.Clone()
+	if flows, complete := clone.Decode(); !complete || len(flows) != 1 {
+		t.Fatal("clone decode failed")
+	}
+	// Original still decodable.
+	if flows, complete := tab.Decode(); !complete || len(flows) != 1 {
+		t.Fatal("original was mutated by clone decode")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tab := MustNew(Config{Cells: 256, Seed: 5})
+	tab.Add(key(1), 1, 1)
+	tab.Reset()
+	if tab.RegisteredFlows() != 0 {
+		t.Error("Reset must clear flow count")
+	}
+	flows, complete := tab.Decode()
+	if !complete || len(flows) != 0 {
+		t.Error("Reset table must decode to nothing, completely")
+	}
+	// Filter must also reset: re-adding the same flow registers again.
+	tab.Add(key(1), 1, 1)
+	if tab.RegisteredFlows() != 1 {
+		t.Error("flow filter survived Reset")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tab := MustNew(Config{Cells: 100})
+	if tab.MemoryBytes() != 100*(8+38+8+16) {
+		t.Errorf("MemoryBytes = %d", tab.MemoryBytes())
+	}
+	if tab.Cells() != 100 {
+		t.Errorf("Cells = %d", tab.Cells())
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloom(1024, 4, 7)
+	if b.testAndAdd([]byte("flow-a")) {
+		t.Error("first insert reported present")
+	}
+	if !b.testAndAdd([]byte("flow-a")) {
+		t.Error("second insert reported absent")
+	}
+	if b.testAndAdd([]byte("flow-b")) {
+		t.Error("different key reported present in a near-empty filter")
+	}
+	b.reset()
+	if b.testAndAdd([]byte("flow-a")) {
+		t.Error("reset filter still remembers keys")
+	}
+}

@@ -1,0 +1,122 @@
+// Package netflow implements the NetFlow-style baseline the paper contrasts
+// with: a per-flow table that registers every (optionally sampled) packet,
+// so table insertions run at packet rate — the {ips = pps} constraint
+// FlowRegulator exists to relax. With SampleRate = 1 the table is exact and
+// doubles as the ground-truth reference for integration tests.
+package netflow
+
+import (
+	"fmt"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// Config parameterizes a Table.
+type Config struct {
+	// SampleRate is the 1-in-N packet sampling NetFlow deploys to survive
+	// line rate; 1 (or 0) means unsampled.
+	SampleRate int
+	// MaxEntries caps the table; 0 means unlimited. When full, new flows
+	// are dropped and counted (the TCAM-exhaustion failure mode).
+	MaxEntries int
+	// Seed drives sampling.
+	Seed uint64
+}
+
+// Record is a per-flow accumulator. Counts are scaled by the sampling rate
+// so estimates remain unbiased.
+type Record struct {
+	Pkts    float64
+	Bytes   float64
+	FirstTS int64
+	LastTS  int64
+}
+
+// Table is a NetFlow-style flow table. Not safe for concurrent use.
+type Table struct {
+	cfg   Config
+	flows map[packet.FlowKey]*Record
+	rng   *flowhash.Rand
+
+	packets    uint64
+	sampled    uint64
+	insertions uint64
+	dropped    uint64
+}
+
+// New builds a Table from cfg.
+func New(cfg Config) (*Table, error) {
+	if cfg.SampleRate < 0 {
+		return nil, fmt.Errorf("netflow: SampleRate must be >= 0 (got %d)", cfg.SampleRate)
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 1
+	}
+	return &Table{
+		cfg:   cfg,
+		flows: make(map[packet.FlowKey]*Record),
+		rng:   flowhash.NewRand(cfg.Seed ^ 0x0F10),
+	}, nil
+}
+
+// Process records one packet (subject to sampling).
+func (t *Table) Process(p packet.Packet) {
+	t.packets++
+	if t.cfg.SampleRate > 1 && t.rng.Intn(t.cfg.SampleRate) != 0 {
+		return
+	}
+	t.sampled++
+	scale := float64(t.cfg.SampleRate)
+
+	rec := t.flows[p.Key]
+	if rec == nil {
+		if t.cfg.MaxEntries > 0 && len(t.flows) >= t.cfg.MaxEntries {
+			t.dropped++
+			return
+		}
+		rec = &Record{FirstTS: p.TS}
+		t.flows[p.Key] = rec
+	}
+	t.insertions++
+	rec.Pkts += scale
+	rec.Bytes += scale * float64(p.Len)
+	rec.LastTS = p.TS
+}
+
+// Lookup returns the record for key.
+func (t *Table) Lookup(key packet.FlowKey) (Record, bool) {
+	rec, ok := t.flows[key]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Each iterates all flows; iteration order is unspecified.
+func (t *Table) Each(fn func(packet.FlowKey, Record)) {
+	for k, rec := range t.flows {
+		fn(k, *rec)
+	}
+}
+
+// Len returns the number of tracked flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Packets returns total packets offered.
+func (t *Table) Packets() uint64 { return t.packets }
+
+// Insertions returns table operations performed — with SampleRate 1 this
+// equals Packets, demonstrating the {ips = pps} constraint.
+func (t *Table) Insertions() uint64 { return t.insertions }
+
+// Dropped returns new flows rejected because the table was full.
+func (t *Table) Dropped() uint64 { return t.dropped }
+
+// InsertionRate is Insertions/Packets.
+func (t *Table) InsertionRate() float64 {
+	if t.packets == 0 {
+		return 0
+	}
+	return float64(t.insertions) / float64(t.packets)
+}

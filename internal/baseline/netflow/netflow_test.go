@@ -1,0 +1,164 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.V4Key(uint32(i), uint32(i)+9, 5, 80, packet.ProtoTCP)
+}
+
+func TestUnsampledIsExact(t *testing.T) {
+	tab, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tab.Process(packet.Packet{Key: key(i % 10), Len: 100, TS: int64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		rec, ok := tab.Lookup(key(i))
+		if !ok {
+			t.Fatalf("flow %d missing", i)
+		}
+		if rec.Pkts != 10 || rec.Bytes != 1000 {
+			t.Errorf("flow %d = %v/%v, want 10/1000", i, rec.Pkts, rec.Bytes)
+		}
+	}
+	if tab.Len() != 10 {
+		t.Errorf("Len = %d, want 10", tab.Len())
+	}
+}
+
+func TestInsertionRateEqualsPPSUnsampled(t *testing.T) {
+	// The {ips = pps} constraint: every packet is a table operation.
+	tab, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tab.Process(packet.Packet{Key: key(i % 7), Len: 64})
+	}
+	if tab.InsertionRate() != 1.0 {
+		t.Errorf("unsampled insertion rate = %v, want 1.0", tab.InsertionRate())
+	}
+}
+
+func TestSamplingReducesInsertionsButStaysUnbiased(t *testing.T) {
+	tab, err := New(Config{SampleRate: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	k := key(1)
+	for i := 0; i < n; i++ {
+		tab.Process(packet.Packet{Key: k, Len: 100})
+	}
+	rate := tab.InsertionRate()
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("sampled insertion rate = %.4f, want ≈0.1", rate)
+	}
+	rec, ok := tab.Lookup(k)
+	if !ok {
+		t.Fatal("sampled flow missing")
+	}
+	if relErr := math.Abs(rec.Pkts-n) / n; relErr > 0.05 {
+		t.Errorf("scaled estimate %.0f, rel err %.4f", rec.Pkts, relErr)
+	}
+}
+
+func TestSamplingLosesMice(t *testing.T) {
+	// The paper's criticism: sampling misses small flows entirely.
+	tab, err := New(Config{SampleRate: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 1000; f++ {
+		for p := 0; p < 2; p++ { // two-packet mice
+			tab.Process(packet.Packet{Key: key(f), Len: 64})
+		}
+	}
+	// With 1-in-100 sampling, ~2% of mice get recorded.
+	if frac := float64(tab.Len()) / 1000; frac > 0.1 {
+		t.Errorf("%.1f%% of mice recorded under 1-in-100 sampling, want ≲10%%", frac*100)
+	}
+}
+
+func TestMaxEntriesDrops(t *testing.T) {
+	tab, err := New(Config{MaxEntries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 20; f++ {
+		tab.Process(packet.Packet{Key: key(f), Len: 64})
+	}
+	if tab.Len() != 5 {
+		t.Errorf("Len = %d, want capped at 5", tab.Len())
+	}
+	if tab.Dropped() != 15 {
+		t.Errorf("Dropped = %d, want 15", tab.Dropped())
+	}
+	// Existing flows still update when the table is full.
+	tab.Process(packet.Packet{Key: key(0), Len: 64})
+	rec, _ := tab.Lookup(key(0))
+	if rec.Pkts != 2 {
+		t.Errorf("update on full table failed: %v", rec.Pkts)
+	}
+}
+
+func TestEach(t *testing.T) {
+	tab, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Process(packet.Packet{Key: key(1), Len: 10, TS: 5})
+	tab.Process(packet.Packet{Key: key(2), Len: 20, TS: 6})
+	var n int
+	var bytes float64
+	tab.Each(func(_ packet.FlowKey, r Record) {
+		n++
+		bytes += r.Bytes
+	})
+	if n != 2 || bytes != 30 {
+		t.Errorf("Each visited %d flows totaling %v bytes", n, bytes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{SampleRate: -1}); err == nil {
+		t.Error("negative sample rate must fail")
+	}
+}
+
+func TestAgainstTraceGroundTruth(t *testing.T) {
+	// The unsampled table must agree exactly with trace ground truth —
+	// this cross-checks both implementations.
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{Flows: 500, TotalPackets: 20_000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		tab.Process(tr.Packets[i])
+	}
+	if tab.Len() != tr.Flows() {
+		t.Fatalf("table flows = %d, truth = %d", tab.Len(), tr.Flows())
+	}
+	tr.EachTruth(func(k packet.FlowKey, ft *trace.FlowTruth) {
+		rec, ok := tab.Lookup(k)
+		if !ok {
+			t.Fatalf("flow %v missing", k)
+		}
+		if rec.Pkts != float64(ft.Pkts) || rec.Bytes != float64(ft.Bytes) {
+			t.Fatalf("flow %v: table %v/%v vs truth %d/%d",
+				k, rec.Pkts, rec.Bytes, ft.Pkts, ft.Bytes)
+		}
+	})
+}

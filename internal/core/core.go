@@ -1,0 +1,230 @@
+// Package core assembles the paper's measurement engine: a FlowRegulator
+// front-end feeding an In-DRAM WSAF table, with saturation-based byte
+// counting and a passthrough hook that applications (heavy-hitter
+// detection, Top-K) subscribe to.
+//
+// One Engine corresponds to one worker core in the paper's architecture; it
+// is deliberately not safe for concurrent use. The pipeline package runs
+// several Engines in parallel, one per worker, exactly as the prototype
+// allocated independent FlowRegulator structures per core.
+package core
+
+import (
+	"fmt"
+
+	"instameasure/internal/flowreg"
+	"instameasure/internal/hll"
+	"instameasure/internal/packet"
+	"instameasure/internal/rcc"
+	"instameasure/internal/wsaf"
+)
+
+// Config parameterizes an Engine. The zero value of optional fields selects
+// the paper's defaults.
+type Config struct {
+	// SketchMemoryBytes is the L1 counter's memory; total FlowRegulator
+	// memory is (1 + noise classes) times this (4× for the default
+	// 8-bit vectors — the paper's 32 KB L1 → 128 KB total). 0 means 32 KB.
+	SketchMemoryBytes int
+	// VectorBits is the per-layer virtual vector size; 0 means 8.
+	VectorBits int
+	// Layers is the FlowRegulator chain depth; 0 means 2 (the paper's
+	// design). Deeper chains trade accuracy for TCAM-grade regulation.
+	Layers int
+	// DecodeMethod selects the sketch estimation rule; 0 means
+	// coupon-collector decoding.
+	DecodeMethod rcc.DecodeMethod
+	// WSAFEntries is the WSAF table capacity (power of two); 0 means 2^20,
+	// the paper's fixed setting (33 MB of DRAM at 33 bytes/entry).
+	WSAFEntries int
+	// ProbeLimit bounds WSAF probing; 0 means 16.
+	ProbeLimit int
+	// WSAFTTL is the WSAF inactivity GC window in trace nanoseconds;
+	// 0 disables TTL-based GC.
+	WSAFTTL int64
+	// Seed drives all hashing and sketch randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SketchMemoryBytes == 0 {
+		c.SketchMemoryBytes = 32 << 10
+	}
+	if c.VectorBits == 0 {
+		c.VectorBits = 8
+	}
+	if c.WSAFEntries == 0 {
+		c.WSAFEntries = 1 << 20
+	}
+	return c
+}
+
+// PassEvent describes one FlowRegulator passthrough that reached the WSAF.
+// Pkts and Bytes are the flow's accumulated WSAF totals after the update.
+type PassEvent struct {
+	Key     packet.FlowKey
+	TS      int64
+	Est     flowreg.Emission
+	Pkts    float64
+	Bytes   float64
+	Outcome wsaf.Outcome
+}
+
+// Engine is a single-core InstaMeasure instance.
+type Engine struct {
+	cfg    Config
+	reg    *flowreg.Regulator
+	table  *wsaf.Table
+	card   *hll.Sketch
+	onPass func(PassEvent)
+
+	packets uint64
+	bytes   uint64
+	lastTS  int64
+}
+
+// New builds an Engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	reg, err := flowreg.New(flowreg.Config{
+		Layer: rcc.Config{
+			MemoryBytes: cfg.SketchMemoryBytes,
+			VectorBits:  cfg.VectorBits,
+			Decode:      cfg.DecodeMethod,
+			Seed:        cfg.Seed,
+		},
+		Layers: cfg.Layers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow regulator: %w", err)
+	}
+	table, err := wsaf.New(wsaf.Config{
+		Entries:    cfg.WSAFEntries,
+		ProbeLimit: cfg.ProbeLimit,
+		TTL:        cfg.WSAFTTL,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wsaf table: %w", err)
+	}
+	// Flow-cardinality sketch: the WSAF holds only elephants, so the
+	// total distinct-flow count needs its own estimator (4 KB, ~1.6%).
+	card, err := hll.New(12)
+	if err != nil {
+		return nil, fmt.Errorf("cardinality sketch: %w", err)
+	}
+	return &Engine{cfg: cfg, reg: reg, table: table, card: card}, nil
+}
+
+// MustNew is New for statically-known-good configs; it panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// OnPass registers a callback invoked whenever a flow passes through
+// FlowRegulator into the WSAF — the hook heavy-hitter detection uses for
+// saturation-based decoding. Must be set before processing begins.
+func (e *Engine) OnPass(fn func(PassEvent)) { e.onPass = fn }
+
+// Process encodes one packet. Most packets are absorbed by the
+// FlowRegulator; roughly 1% reach the WSAF.
+func (e *Engine) Process(p packet.Packet) {
+	e.packets++
+	e.bytes += uint64(p.Len)
+	e.lastTS = p.TS
+
+	h := p.Key.Hash64(e.cfg.Seed)
+	e.card.Add(h)
+	em, ok := e.reg.Process(h, int(p.Len))
+	if !ok {
+		return
+	}
+	outcome, _ := e.table.Accumulate(p.Key, em.EstPkts, em.EstBytes, p.TS)
+	if e.onPass != nil {
+		entry, found := e.table.Lookup(p.Key, p.TS)
+		ev := PassEvent{Key: p.Key, TS: p.TS, Est: em, Outcome: outcome}
+		if found {
+			ev.Pkts = entry.Pkts
+			ev.Bytes = entry.Bytes
+		}
+		e.onPass(ev)
+	}
+}
+
+// Estimate returns the engine's current estimate of the flow's packet and
+// byte totals: its WSAF entry (if any) plus the fraction still retained
+// inside the FlowRegulator.
+func (e *Engine) Estimate(key packet.FlowKey) (pkts, bytes float64) {
+	if entry, ok := e.table.Lookup(key, e.lastTS); ok {
+		pkts = entry.Pkts
+		bytes = entry.Bytes
+	}
+	h := key.Hash64(e.cfg.Seed)
+	residual := e.reg.EstimateResidual(h)
+	pkts += residual
+	// Residual bytes are estimated at the flow's mean observed packet
+	// size; without an observed entry, fall back to the engine-wide mean.
+	if bytes > 0 && pkts > residual {
+		bytes += residual * (bytes / (pkts - residual))
+	} else if e.packets > 0 {
+		bytes += residual * float64(e.bytes) / float64(e.packets)
+	}
+	return pkts, bytes
+}
+
+// Lookup returns the WSAF entry for key (no residual correction).
+func (e *Engine) Lookup(key packet.FlowKey) (wsaf.Entry, bool) {
+	return e.table.Lookup(key, e.lastTS)
+}
+
+// Snapshot returns all live WSAF entries.
+func (e *Engine) Snapshot() []wsaf.Entry {
+	return e.table.Snapshot(e.lastTS)
+}
+
+// TopKPackets returns the k largest WSAF flows by packet count.
+func (e *Engine) TopKPackets(k int) []wsaf.Entry {
+	return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Pkts })
+}
+
+// TopKBytes returns the k largest WSAF flows by byte volume.
+func (e *Engine) TopKBytes(k int) []wsaf.Entry {
+	return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Bytes })
+}
+
+// DistinctFlows estimates the number of distinct flows observed since the
+// last Reset — mice included, unlike the WSAF population.
+func (e *Engine) DistinctFlows() float64 { return e.card.Estimate() }
+
+// Packets returns the number of packets processed.
+func (e *Engine) Packets() uint64 { return e.packets }
+
+// Bytes returns the total bytes observed.
+func (e *Engine) Bytes() uint64 { return e.bytes }
+
+// LastTS returns the most recent packet timestamp.
+func (e *Engine) LastTS() int64 { return e.lastTS }
+
+// Regulator exposes the FlowRegulator for regulation-rate metrics.
+func (e *Engine) Regulator() *flowreg.Regulator { return e.reg }
+
+// Table exposes the WSAF table for load/eviction metrics.
+func (e *Engine) Table() *wsaf.Table { return e.table }
+
+// SketchMemoryBytes reports total FlowRegulator memory.
+func (e *Engine) SketchMemoryBytes() int { return e.reg.MemoryBytes() }
+
+// Reset clears sketches, table, and counters for a fresh measurement
+// window.
+func (e *Engine) Reset() {
+	e.reg.Reset()
+	e.table.Reset()
+	e.card.Reset()
+	e.packets = 0
+	e.bytes = 0
+	e.lastTS = 0
+}

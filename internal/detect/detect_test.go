@@ -1,0 +1,203 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+
+	"instameasure/internal/core"
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+	"instameasure/internal/wsaf"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.V4Key(uint32(i), uint32(i)+1, 100, 200, packet.ProtoTCP)
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewHeavyHitterDetector(0, 0); !errors.Is(err, ErrThreshold) {
+		t.Errorf("err = %v, want ErrThreshold", err)
+	}
+	if _, err := NewHeavyHitterDetector(10, 0); err != nil {
+		t.Errorf("packet-only threshold rejected: %v", err)
+	}
+	if _, err := NewHeavyHitterDetector(0, 10); err != nil {
+		t.Errorf("byte-only threshold rejected: %v", err)
+	}
+}
+
+func TestObserveRecordsFirstCrossing(t *testing.T) {
+	d, err := NewHeavyHitterDetector(100, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(1)
+	d.Observe(core.PassEvent{Key: k, TS: 10, Pkts: 50, Bytes: 5000})
+	if _, ok := d.DetectionTS(k); ok {
+		t.Error("detected below threshold")
+	}
+	d.Observe(core.PassEvent{Key: k, TS: 20, Pkts: 120, Bytes: 9000})
+	ts, ok := d.DetectionTS(k)
+	if !ok || ts != 20 {
+		t.Errorf("packet detection = %d/%v, want 20/true", ts, ok)
+	}
+	if _, ok := d.ByteDetectionTS(k); ok {
+		t.Error("byte threshold not yet crossed")
+	}
+	// Later crossings must not overwrite the first detection time.
+	d.Observe(core.PassEvent{Key: k, TS: 30, Pkts: 200, Bytes: 20_000})
+	if ts, _ := d.DetectionTS(k); ts != 20 {
+		t.Errorf("first detection overwritten: %d", ts)
+	}
+	if bts, ok := d.ByteDetectionTS(k); !ok || bts != 30 {
+		t.Errorf("byte detection = %d/%v, want 30/true", bts, ok)
+	}
+}
+
+func TestHittersMapsAreCopies(t *testing.T) {
+	d, _ := NewHeavyHitterDetector(1, 0)
+	d.Observe(core.PassEvent{Key: key(1), TS: 5, Pkts: 10})
+	m := d.PacketHitters()
+	m[key(2)] = 99
+	if len(d.PacketHitters()) != 1 {
+		t.Error("mutating the returned map leaked into the detector")
+	}
+}
+
+func TestTruthCrossings(t *testing.T) {
+	pkts := []packet.Packet{
+		{Key: key(1), Len: 100, TS: 10},
+		{Key: key(1), Len: 100, TS: 20},
+		{Key: key(2), Len: 100, TS: 25},
+		{Key: key(1), Len: 100, TS: 30}, // 3rd packet: crosses pkt threshold 3
+		{Key: key(1), Len: 100, TS: 40},
+	}
+	tr := trace.NewTrace(pkts)
+	crossings, err := TruthCrossings(tr, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 1 {
+		t.Fatalf("crossings = %d, want 1", len(crossings))
+	}
+	if crossings[0].Key != key(1) || crossings[0].TS != 30 {
+		t.Errorf("crossing = %+v, want key1@30", crossings[0])
+	}
+
+	// Byte threshold.
+	byteCross, err := TruthCrossings(tr, 0, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byteCross) != 1 || byteCross[0].TS != 30 {
+		t.Errorf("byte crossing = %+v", byteCross)
+	}
+
+	if _, err := TruthCrossings(tr, 0, 0); !errors.Is(err, ErrThreshold) {
+		t.Errorf("zero thresholds err = %v, want ErrThreshold", err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	truth := []Crossing{
+		{Key: key(1), TS: 100},
+		{Key: key(2), TS: 200},
+		{Key: key(3), TS: 300}, // undetected
+	}
+	detected := map[packet.FlowKey]int64{
+		key(1): 150,
+		key(2): 260,
+	}
+	lat := Latencies(truth, detected)
+	if len(lat) != 2 {
+		t.Fatalf("latency samples = %d, want 2", len(lat))
+	}
+	if lat[0].LatencyNs != 50 || lat[1].LatencyNs != 60 {
+		t.Errorf("latencies = %d/%d, want 50/60", lat[0].LatencyNs, lat[1].LatencyNs)
+	}
+}
+
+func TestDelegationLatencies(t *testing.T) {
+	truth := []Crossing{{Key: key(1), TS: 1500}}
+	lat, err := DelegationLatencies(truth, 1000, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing at 1500 → epoch [1000,2000) ends at 2000, +250 delay.
+	if lat[0].DetectTS != 2250 || lat[0].LatencyNs != 750 {
+		t.Errorf("delegation sample = %+v, want detect 2250 latency 750", lat[0])
+	}
+	if _, err := DelegationLatencies(truth, 0, 0); err == nil {
+		t.Error("zero epoch must fail")
+	}
+}
+
+func TestEndToEndDetectionLatency(t *testing.T) {
+	// Inject a 100 kpps attack flow; saturation-based detection must lag
+	// the ground-truth crossing by a small positive delay.
+	attack := key(7)
+	tr, err := trace.Inject(nil, trace.InjectConfig{
+		Key: attack, RatePPS: 100_000, StartTS: 0, DurationNs: 1e9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := core.New(core.Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threshold = 500
+	d, err := NewHeavyHitterDetector(threshold, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(eng)
+	for i := range tr.Packets {
+		eng.Process(tr.Packets[i])
+	}
+
+	truth, err := TruthCrossings(tr, threshold, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 1 {
+		t.Fatalf("truth crossings = %d, want 1", len(truth))
+	}
+	lat := Latencies(truth, d.PacketHitters())
+	if len(lat) != 1 {
+		t.Fatal("attack flow not detected")
+	}
+	if lat[0].LatencyNs < 0 {
+		t.Errorf("negative latency %d: detected before the true crossing", lat[0].LatencyNs)
+	}
+	// At 100 kpps, FlowRegulator saturates every ~50-100 packets → the
+	// detection gap is well under 10 ms (the paper's bound).
+	if lat[0].LatencyNs > 10e6 {
+		t.Errorf("latency %.2fms exceeds the paper's 10ms bound", float64(lat[0].LatencyNs)/1e6)
+	}
+}
+
+func TestTopKKeys(t *testing.T) {
+	entries := []wsaf.Entry{
+		{Key: key(1), Pkts: 10, Bytes: 900},
+		{Key: key(2), Pkts: 30, Bytes: 100},
+		{Key: key(3), Pkts: 20, Bytes: 500},
+	}
+	top := TopKKeys(entries, 2, func(e *wsaf.Entry) float64 { return e.Pkts })
+	if len(top) != 2 || top[0] != key(2) || top[1] != key(3) {
+		t.Errorf("TopKKeys by packets = %v", top)
+	}
+	byBytes := TopKKeys(entries, 1, func(e *wsaf.Entry) float64 { return e.Bytes })
+	if byBytes[0] != key(1) {
+		t.Errorf("TopKKeys by bytes = %v", byBytes)
+	}
+	all := TopKKeys(entries, 99, func(e *wsaf.Entry) float64 { return e.Pkts })
+	if len(all) != 3 {
+		t.Errorf("TopKKeys(99) len = %d", len(all))
+	}
+	// Input order preserved.
+	if entries[0].Key != key(1) {
+		t.Error("TopKKeys mutated its input")
+	}
+}

@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+
+	"instameasure/internal/wsaf"
+)
+
+func entry(i int, pkts float64) wsaf.Entry {
+	return wsaf.Entry{Key: key(i), Pkts: pkts}
+}
+
+func TestPersistConfigValidation(t *testing.T) {
+	if _, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 100}); !errors.Is(err, ErrPersistConfig) {
+		t.Errorf("window 100 err = %v", err)
+	}
+	if _, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 4, MinEpochs: 5}); !errors.Is(err, ErrPersistConfig) {
+		t.Errorf("min > window err = %v", err)
+	}
+	tr, err := NewPersistenceTracker(PersistConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.window != 16 || tr.min != 12 {
+		t.Errorf("defaults = window %d min %d, want 16/12", tr.window, tr.min)
+	}
+}
+
+func TestPersistentFlowDetected(t *testing.T) {
+	tr, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 8, MinEpochs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 1 appears in every epoch; flow 2 in alternate epochs; flows
+	// 100+i are one-epoch transients.
+	for epoch := 0; epoch < 8; epoch++ {
+		entries := []wsaf.Entry{entry(1, 100)}
+		if epoch%2 == 0 {
+			entries = append(entries, entry(2, 50))
+		}
+		entries = append(entries, entry(100+epoch, 10))
+		tr.ObserveEpoch(entries)
+	}
+	got := tr.Persistent()
+	if len(got) != 1 {
+		t.Fatalf("persistent = %d flows, want 1: %+v", len(got), got)
+	}
+	if got[0].Key != key(1) || got[0].Epochs != 8 {
+		t.Errorf("persistent flow = %+v", got[0])
+	}
+	if got[0].TotalPkts != 800 {
+		t.Errorf("total pkts = %v, want 800", got[0].TotalPkts)
+	}
+	if tr.Presence(key(2)) != 4 {
+		t.Errorf("flow 2 presence = %d, want 4", tr.Presence(key(2)))
+	}
+	if tr.Presence(key(999)) != 0 {
+		t.Errorf("unknown flow presence = %d", tr.Presence(key(999)))
+	}
+}
+
+func TestPresenceSlidesOutOfWindow(t *testing.T) {
+	tr, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 4, MinEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow present in epochs 1-3, then absent.
+	for epoch := 0; epoch < 3; epoch++ {
+		tr.ObserveEpoch([]wsaf.Entry{entry(1, 10)})
+	}
+	if tr.Presence(key(1)) != 3 {
+		t.Fatalf("presence after 3 epochs = %d", tr.Presence(key(1)))
+	}
+	// Three empty epochs: presence ages to 1, then 0; history GCs.
+	tr.ObserveEpoch(nil)
+	tr.ObserveEpoch(nil)
+	if got := tr.Presence(key(1)); got != 2 {
+		t.Errorf("presence after 2 quiet epochs = %d, want 2 (epochs 2,3 still in window)", got)
+	}
+	tr.ObserveEpoch(nil)
+	tr.ObserveEpoch(nil)
+	if got := tr.Presence(key(1)); got != 0 {
+		t.Errorf("presence after sliding out = %d, want 0", got)
+	}
+	if tr.Tracked() != 0 {
+		t.Errorf("tracked = %d after GC, want 0", tr.Tracked())
+	}
+}
+
+func TestPersistentOrdering(t *testing.T) {
+	tr, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 4, MinEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		entries := []wsaf.Entry{entry(1, 10)} // every epoch
+		if epoch >= 1 {
+			entries = append(entries, entry(2, 1000)) // 3 epochs, heavy
+		}
+		if epoch >= 2 {
+			entries = append(entries, entry(3, 5)) // 2 epochs
+		}
+		tr.ObserveEpoch(entries)
+	}
+	got := tr.Persistent()
+	if len(got) != 3 {
+		t.Fatalf("persistent = %d flows", len(got))
+	}
+	if got[0].Key != key(1) || got[1].Key != key(2) || got[2].Key != key(3) {
+		t.Errorf("ordering wrong: %+v", got)
+	}
+}
+
+func TestEpochCounter(t *testing.T) {
+	tr, err := NewPersistenceTracker(PersistConfig{WindowEpochs: 4, MinEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ObserveEpoch(nil)
+	tr.ObserveEpoch(nil)
+	if tr.Epoch() != 2 {
+		t.Errorf("Epoch = %d", tr.Epoch())
+	}
+}

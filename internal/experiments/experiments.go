@@ -1,0 +1,255 @@
+// Package experiments contains one runner per figure/table of the paper's
+// evaluation (Section V). Each runner builds its workload, sweeps the
+// parameter the figure varies, and returns a Report whose rows mirror the
+// series the paper plots. cmd/instabench prints these reports;
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Scale-down: the paper's CAIDA workload is 3.7 B packets / 78 M flows and
+// its campus workload 9.1 B packets over 113 hours. The default Scale here
+// reproduces the same distributions at millions of packets so every figure
+// regenerates in seconds; each report records the scale used so shape
+// comparisons stay honest.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"instameasure/internal/trace"
+)
+
+// Scale sets workload sizes for the experiment runners.
+type Scale struct {
+	// Flows and Packets size the CAIDA-like trace.
+	Flows   int
+	Packets int
+	// DiurnalHours and DiurnalPackets size the campus-like trace.
+	DiurnalHours   float64
+	DiurnalPackets int
+	// Seed drives all generators.
+	Seed uint64
+}
+
+// Predefined scales.
+var (
+	// ScaleSmall finishes each experiment in well under a second; used by
+	// unit tests and -short benchmarks.
+	ScaleSmall = Scale{
+		Flows: 20_000, Packets: 400_000,
+		DiurnalHours: 24, DiurnalPackets: 300_000,
+		Seed: 2019,
+	}
+	// ScaleDefault is the instabench default: big enough for stable
+	// percentages, small enough for an interactive run.
+	ScaleDefault = Scale{
+		Flows: 100_000, Packets: 2_000_000,
+		DiurnalHours: 113, DiurnalPackets: 2_000_000,
+		Seed: 2019,
+	}
+	// ScaleLarge pushes toward the paper's flow/packet ratio for final
+	// reported numbers.
+	ScaleLarge = Scale{
+		Flows: 400_000, Packets: 8_000_000,
+		DiurnalHours: 113, DiurnalPackets: 8_000_000,
+		Seed: 2019,
+	}
+)
+
+// Report is one experiment's regenerated figure/table.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cols ...string) {
+	r.Rows = append(r.Rows, cols)
+}
+
+// AddNote appends a free-form note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(r.Header)
+	printRow(dashes(widths))
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, n := range widths {
+		out[i] = strings.Repeat("-", n)
+	}
+	return out
+}
+
+// caidaTrace builds (and memoizes per Scale value) the CAIDA-like workload.
+func caidaTrace(s Scale) (*trace.Trace, error) {
+	key := fmt.Sprintf("caida-%d-%d-%d", s.Flows, s.Packets, s.Seed)
+	if tr, ok := traceCache[key]; ok {
+		return tr, nil
+	}
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{
+		Flows:        s.Flows,
+		TotalPackets: s.Packets,
+		Seed:         s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("caida-like trace: %w", err)
+	}
+	traceCache[key] = tr
+	return tr, nil
+}
+
+// campusTrace builds (and memoizes) the campus-like diurnal workload.
+func campusTrace(s Scale) (*trace.Trace, error) {
+	key := fmt.Sprintf("campus-%v-%d-%d", s.DiurnalHours, s.DiurnalPackets, s.Seed)
+	if tr, ok := traceCache[key]; ok {
+		return tr, nil
+	}
+	tr, err := trace.GenerateDiurnal(trace.DiurnalConfig{
+		Hours:        s.DiurnalHours,
+		TotalPackets: s.DiurnalPackets,
+		Seed:         s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campus-like trace: %w", err)
+	}
+	traceCache[key] = tr
+	return tr, nil
+}
+
+// traceCache memoizes generated traces across runners within one process —
+// instabench runs all figures in sequence and most share their workload.
+var traceCache = map[string]*trace.Trace{}
+
+func pct(x float64) string  { return fmt.Sprintf("%.3f%%", x*100) }
+func pct2(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+
+// All runs every experiment at the given scale, in figure order.
+func All(s Scale) ([]*Report, error) {
+	runners := []struct {
+		name string
+		fn   func(Scale) (*Report, error)
+	}{
+		{"fig1", Fig1RCCSaturation},
+		{"fig6", Fig6Distributions},
+		{"fig7", Fig7Relaxation},
+		{"fig8a", Fig8aRetention},
+		{"fig8b", Fig8bSaturationFrequency},
+		{"fig8c", Fig8cAccuracy},
+		{"fig9a", Fig9aCoreScaling},
+		{"fig9b", Fig9bDetectionLatency},
+		{"fig10", Fig10PacketAccuracy},
+		{"fig11", Fig11ByteAccuracy},
+		{"fig12", Fig12Monitoring},
+		{"fig13", Fig13WildAccuracy},
+		{"fig14", Fig14HeavyHitterRates},
+		{"csm", CSMComparison},
+		{"iblt", IBLTComparison},
+		{"deleg", DelegationLoopback},
+		{"evict", AblationEviction},
+		{"probe", AblationProbing},
+		{"shard", AblationShardingQuality},
+		{"apps", AppsDetection},
+		{"onset", AnomalyOnset},
+		{"layers", LayersSweep},
+	}
+	out := make([]*Report, 0, len(runners))
+	for _, r := range runners {
+		rep, err := r.fn(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// ByID runs a single experiment by its figure id (e.g. "fig8a", "csm").
+func ByID(id string, s Scale) (*Report, error) {
+	switch strings.ToLower(id) {
+	case "fig1", "1":
+		return Fig1RCCSaturation(s)
+	case "fig6", "6":
+		return Fig6Distributions(s)
+	case "fig7", "7":
+		return Fig7Relaxation(s)
+	case "fig8a", "8a":
+		return Fig8aRetention(s)
+	case "fig8b", "8b":
+		return Fig8bSaturationFrequency(s)
+	case "fig8c", "8c":
+		return Fig8cAccuracy(s)
+	case "fig9a", "9a":
+		return Fig9aCoreScaling(s)
+	case "fig9b", "9b":
+		return Fig9bDetectionLatency(s)
+	case "fig10", "10":
+		return Fig10PacketAccuracy(s)
+	case "fig11", "11":
+		return Fig11ByteAccuracy(s)
+	case "fig12", "12":
+		return Fig12Monitoring(s)
+	case "fig13", "13":
+		return Fig13WildAccuracy(s)
+	case "fig14", "14":
+		return Fig14HeavyHitterRates(s)
+	case "csm":
+		return CSMComparison(s)
+	case "iblt":
+		return IBLTComparison(s)
+	case "deleg":
+		return DelegationLoopback(s)
+	case "evict":
+		return AblationEviction(s)
+	case "probe":
+		return AblationProbing(s)
+	case "shard":
+		return AblationShardingQuality(s)
+	case "apps":
+		return AppsDetection(s)
+	case "onset":
+		return AnomalyOnset(s)
+	case "layers":
+		return LayersSweep(s)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure id %q", id)
+	}
+}

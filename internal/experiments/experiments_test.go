@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps each runner fast; shape assertions use small bands.
+var tinyScale = Scale{
+	Flows: 8_000, Packets: 150_000,
+	DiurnalHours: 12, DiurnalPackets: 120_000,
+	Seed: 2019,
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.Fields(cell)[0]
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v / 100
+}
+
+func parseFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(strings.Fields(cell)[0], "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig1ShapeRCCAboveMargin(t *testing.T) {
+	rep, err := Fig1RCCSaturation(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (8- and 16-bit)", len(rep.Rows))
+	}
+	r8 := parsePct(t, rep.Rows[0][2])
+	r16 := parsePct(t, rep.Rows[1][2])
+	if r8 < 0.05 || r8 > 0.30 {
+		t.Errorf("8-bit RCC rate %.3f outside plausible band", r8)
+	}
+	if r16 >= r8 {
+		t.Errorf("16-bit rate %.3f not below 8-bit rate %.3f", r16, r8)
+	}
+	if rep.Rows[0][3] != "no" {
+		t.Error("8-bit RCC must not fit the DRAM margin — that is the paper's motivation")
+	}
+}
+
+func TestFig6ShapeZipf(t *testing.T) {
+	rep, err := Fig6Distributions(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First bucket of each dataset ([1,10) mice) must hold the majority.
+	for _, row := range rep.Rows {
+		if strings.HasPrefix(row[1], "[1, 10)") {
+			if share := parsePct(t, row[3]); share < 0.5 {
+				t.Errorf("%s mice share %.2f < 50%% — not Zipf-like", row[0], share)
+			}
+		}
+	}
+}
+
+func TestFig7ShapeFlowRegulatorBelowRCC(t *testing.T) {
+	rep, err := Fig7Relaxation(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no timeline rows")
+	}
+	for _, row := range rep.Rows {
+		rcc := parsePct(t, row[3])
+		fr := parsePct(t, row[5])
+		if fr >= rcc {
+			t.Errorf("bucket %s: FR rate %.4f not below RCC rate %.4f", row[0], fr, rcc)
+		}
+		if fr > 0.05 {
+			t.Errorf("bucket %s: FR rate %.4f above 5%%", row[0], fr)
+		}
+	}
+}
+
+func TestFig8aShapeMultiplicativeGrowth(t *testing.T) {
+	rep, err := Fig8aRetention(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevFR float64
+	for i, row := range rep.Rows {
+		fr := parseFloat(t, row[2])
+		if i > 0 && fr <= prevFR {
+			t.Errorf("FR retention not growing at row %d", i)
+		}
+		prevFR = fr
+	}
+	// At 16 bits and beyond, FR must outretain RCC (paper's claim).
+	for _, row := range rep.Rows[1:] {
+		if parseFloat(t, row[2]) <= parseFloat(t, row[1]) {
+			t.Errorf("vv=%s: FR %s not above RCC %s", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestFig8bShapeFrequencyInverse(t *testing.T) {
+	rep, err := Fig8bSaturationFrequency(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows[1:] {
+		if parseFloat(t, row[2]) >= parseFloat(t, row[1]) {
+			t.Errorf("vv=%s: FR frequency not below RCC's", row[0])
+		}
+	}
+}
+
+func TestFig8cShapeBothAccurate(t *testing.T) {
+	rep, err := Fig8cAccuracy(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		rccErr := parsePct(t, row[1])
+		frErr := parsePct(t, row[2])
+		if rccErr > 0.10 || frErr > 0.10 {
+			t.Errorf("vv=%s: errors %.3f/%.3f above 10%%", row[0], rccErr, frErr)
+		}
+	}
+}
+
+func TestFig9aShapeModeledScaling(t *testing.T) {
+	rep, err := Fig9aCoreScaling(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	var prev float64
+	for i, row := range rep.Rows {
+		modeled := parseFloat(t, row[2])
+		if i > 0 && modeled < prev {
+			t.Errorf("modeled Mpps decreased at %s workers", row[0])
+		}
+		prev = modeled
+	}
+	if sp := parseFloat(t, rep.Rows[3][3]); sp < 1.5 {
+		t.Errorf("modeled 4-worker speedup %.2f < 1.5x", sp)
+	}
+}
+
+func TestFig9bShapeLatencyFallsWithRate(t *testing.T) {
+	rep, err := Fig9bDetectionLatency(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for i, row := range rep.Rows {
+		if strings.HasPrefix(row[3], "0/") {
+			t.Fatalf("rate %s kpps: no attack detected", row[0])
+		}
+		lat := parseFloat(t, row[1])
+		if i == 0 {
+			first = lat
+		}
+		last = lat
+		deleg := parseFloat(t, row[2])
+		if lat >= deleg {
+			t.Errorf("rate %s: saturation latency %.3f not below delegation %.3f",
+				row[0], lat, deleg)
+		}
+	}
+	if last >= first {
+		t.Errorf("latency did not fall with rate: %.3f -> %.3f ms", first, last)
+	}
+	if first > 15 {
+		t.Errorf("10 kpps latency %.3f ms far above the paper's ~10 ms", first)
+	}
+}
+
+func TestFig10ShapeErrorsSmall(t *testing.T) {
+	rep, err := Fig10PacketAccuracy(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 memory settings", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, cell := range row[2:] {
+			if cell == "-" {
+				continue
+			}
+			if e := parsePct(t, cell); e > 0.10 {
+				t.Errorf("mem %s: bucket error %.3f above 10%%", row[0], e)
+			}
+		}
+	}
+	// Top-100 recall note must report ≥90%.
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "Top-100 recall") {
+			fields := strings.Fields(n)
+			if r := parsePct(t, fields[len(fields)-1]); r < 0.9 {
+				t.Errorf("top-100 recall %.2f < 90%%", r)
+			}
+		}
+	}
+}
+
+func TestFig11ShapeErrorsSmall(t *testing.T) {
+	rep, err := Fig11ByteAccuracy(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		for _, cell := range row[2:] {
+			if cell == "-" {
+				continue
+			}
+			if e := parsePct(t, cell); e > 0.12 {
+				t.Errorf("mem %s: byte bucket error %.3f above 12%%", row[0], e)
+			}
+		}
+	}
+}
+
+func TestFig12ShapeBoundedSystem(t *testing.T) {
+	rep, err := Fig12Monitoring(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no time windows")
+	}
+	var foundUtil, foundReg bool
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "CPU utilization") {
+			foundUtil = true
+		}
+		if strings.Contains(n, "regulation over the whole window") {
+			foundReg = true
+		}
+	}
+	if !foundUtil || !foundReg {
+		t.Error("missing utilization or regulation notes")
+	}
+}
+
+func TestFig13ShapeErrorShrinksWithSize(t *testing.T) {
+	rep, err := Fig13WildAccuracy(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 pkt + 3 byte buckets)", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[3] == "-" {
+			continue
+		}
+		if e := parsePct(t, row[3]); e > 0.12 {
+			t.Errorf("%s %s: std err %.3f above 12%%", row[0], row[1], e)
+		}
+	}
+}
+
+func TestFig14ShapeLowRates(t *testing.T) {
+	rep, err := Fig14HeavyHitterRates(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		fpr := parsePct(t, row[3])
+		fnr := parsePct(t, row[4])
+		if fpr > 0.01 {
+			t.Errorf("%s %s: FPR %.4f above 1%%", row[0], row[1], fpr)
+		}
+		if fnr > 0.10 {
+			t.Errorf("%s %s: FNR %.4f above 10%%", row[0], row[1], fnr)
+		}
+	}
+}
+
+func TestCSMComparisonShape(t *testing.T) {
+	rep, err := CSMComparison(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	imTop1000 := parsePct(t, rep.Rows[0][3])
+	csmTop1000 := parsePct(t, rep.Rows[1][3])
+	if imTop1000 >= csmTop1000 {
+		t.Errorf("InstaMeasure top-1000 err %.3f not below CSM's %.3f", imTop1000, csmTop1000)
+	}
+}
+
+func TestByIDAndAll(t *testing.T) {
+	if _, err := ByID("nonsense", tinyScale); err == nil {
+		t.Error("unknown id must fail")
+	}
+	rep, err := ByID("8a", tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "Fig.8a" {
+		t.Errorf("ByID(8a) returned %s", rep.ID)
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	rep := &Report{
+		ID:     "T",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+	}
+	rep.AddRow("1", "2")
+	rep.AddNote("hello %d", 5)
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T: test ==", "a", "bb", "hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIBLTComparisonShape(t *testing.T) {
+	rep, err := IBLTComparison(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 load points", len(rep.Rows))
+	}
+	// Below capacity the IBLT must decode completely; at 2x it must not.
+	if rep.Rows[0][2] != "true" {
+		t.Error("IBLT incomplete below capacity")
+	}
+	if rep.Rows[3][2] != "false" {
+		t.Error("IBLT claimed completeness at 2x overload")
+	}
+	// WSAF recall must stay high at every load point.
+	for _, row := range rep.Rows {
+		if r := parsePct(t, row[4]); r < 0.9 {
+			t.Errorf("WSAF top-100 recall %.2f < 90%% at load %s", r, row[0])
+		}
+	}
+}
+
+func TestDelegationLoopbackShape(t *testing.T) {
+	rep, err := DelegationLoopback(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "8" {
+		t.Errorf("epochs = %s, want 8", rep.Rows[0][0])
+	}
+	if rtt := parseFloat(t, rep.Rows[0][2]); rtt <= 0 || rtt > 1000 {
+		t.Errorf("mean RTT %v ms implausible", rtt)
+	}
+}
+
+func TestAblationEvictionShape(t *testing.T) {
+	rep, err := AblationEviction(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	sc := parsePct(t, rep.Rows[0][1])
+	ef := parsePct(t, rep.Rows[1][1])
+	if sc < ef-0.05 {
+		t.Errorf("second-chance recall %.2f well below evict-first %.2f", sc, ef)
+	}
+}
+
+func TestAblationProbingShape(t *testing.T) {
+	rep, err := AblationProbing(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if steps := parseFloat(t, row[1]); steps < 1 || steps > 16 {
+			t.Errorf("%s probe steps/op = %v out of [1,16]", row[0], steps)
+		}
+	}
+}
+
+func TestAblationShardingShape(t *testing.T) {
+	rep, err := AblationShardingQuality(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := parsePct(t, rep.Rows[0][2])
+	rr := parsePct(t, rep.Rows[1][2])
+	if pop > rr {
+		t.Errorf("popcount top-100 error %.3f above round-robin %.3f — affinity should win", pop, rr)
+	}
+}
+
+func TestAppsDetectionShape(t *testing.T) {
+	rep, err := AppsDetection(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][1] != rep.Rows[0][2] {
+		t.Errorf("superspreader flagged %s, expected %s", rep.Rows[0][1], rep.Rows[0][2])
+	}
+	if rep.Rows[1][1] != rep.Rows[1][2] {
+		t.Errorf("ddos flagged %s, expected %s", rep.Rows[1][1], rep.Rows[1][2])
+	}
+}
+
+func TestAnomalyOnsetShape(t *testing.T) {
+	rep, err := AnomalyOnset(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0][1] == "-" {
+		t.Fatal("flood onset never alarmed")
+	}
+	if delay := parseFloat(t, rep.Rows[0][2]); delay < 0 || delay > 10 {
+		t.Errorf("onset delay %v windows outside [0,10]", delay)
+	}
+	if fa := parseFloat(t, rep.Rows[0][3]); fa > 6 {
+		t.Errorf("%v false alarms before onset", fa)
+	}
+}
+
+func TestLayersSweepShape(t *testing.T) {
+	rep, err := LayersSweep(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 depths", len(rep.Rows))
+	}
+	prev := 1.0
+	for _, row := range rep.Rows {
+		rate := parsePct(t, row[2])
+		if rate >= prev {
+			t.Errorf("layers=%s: rate %.5f not below previous %.5f", row[0], rate, prev)
+		}
+		prev = rate
+	}
+	// 3+ layers must fit even the TCAM-grade margin.
+	if rep.Rows[1][4] != "true" || rep.Rows[2][4] != "true" {
+		t.Error("deep chains must fit the TCAM-grade margin")
+	}
+}

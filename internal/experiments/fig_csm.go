@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"instameasure/internal/baseline/csm"
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+)
+
+// CSMComparison reproduces the Section V.C comparison: CSM (randomized
+// counter sharing) given roughly twice InstaMeasure's sketch memory still
+// estimates Top-K flows far less accurately, and its decoding touches l
+// counters per flow — the offline cost InstaMeasure's online decoding
+// avoids. The paper measured 2.4% error for CSM's top-100 and 8.53% for
+// its top-1000; InstaMeasure's corresponding errors were sub-1%.
+func CSMComparison(s Scale) (*Report, error) {
+	tr, err := caidaTrace(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// InstaMeasure with a 128 KB L1 (512 KB total sketch).
+	eng, err := runEngine(tr, 128<<10, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// CSM with 2× InstaMeasure's total sketch memory.
+	sketch, err := csm.New(csm.Config{
+		MemoryBytes:     2 * eng.SketchMemoryBytes(),
+		CountersPerFlow: 50,
+		Seed:            s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range tr.Packets {
+		sketch.Encode(tr.Packets[i].Key.Hash64(s.Seed))
+	}
+
+	rep := &Report{
+		ID:     "Sec.V-C",
+		Title:  "Comparison with CSM (randomized counter sharing)",
+		Header: []string{"system", "memory", "top-100 err", "top-1000 err", "decode cost/flow"},
+	}
+
+	topErr := func(k int, est func(packet.FlowKey) float64) float64 {
+		keys := tr.TopTruth(k, func(ft *trace.FlowTruth) float64 { return float64(ft.Pkts) })
+		var sum float64
+		var n int
+		for _, key := range keys {
+			truth := float64(tr.Truth(key).Pkts)
+			if truth == 0 {
+				continue
+			}
+			sum += math.Abs(est(key)-truth) / truth
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+
+	imEst := func(k packet.FlowKey) float64 {
+		pkts, _ := eng.Estimate(k)
+		return pkts
+	}
+	csmEst := func(k packet.FlowKey) float64 {
+		return sketch.Estimate(k.Hash64(s.Seed))
+	}
+
+	rep.AddRow(
+		"InstaMeasure",
+		fmt.Sprintf("%dKB sketch + WSAF", eng.SketchMemoryBytes()>>10),
+		pct2(topErr(100, imEst)),
+		pct2(topErr(1000, imEst)),
+		"2 accesses (online)",
+	)
+	rep.AddRow(
+		"CSM",
+		fmt.Sprintf("%dKB counters", sketch.MemoryBytes()>>10),
+		pct2(topErr(100, csmEst)),
+		pct2(topErr(1000, csmEst)),
+		fmt.Sprintf("%d accesses (offline)", sketch.DecodeAccesses()),
+	)
+	rep.AddNote("CSM gets 2x InstaMeasure's sketch memory, as in the paper's 60MB-vs-30MB setup")
+	rep.AddNote("paper: CSM 2.4%% (top-100) / 8.53%% (top-1000); full-trace CSM decoding did not terminate")
+	return rep, nil
+}

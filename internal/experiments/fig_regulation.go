@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"instameasure/internal/flowreg"
+	"instameasure/internal/memmodel"
+	"instameasure/internal/rcc"
+	"instameasure/internal/stats"
+)
+
+// Fig1RCCSaturation reproduces Fig. 1: single-layer RCC's saturation
+// (WSAF-insertion) rate on a CAIDA-like trace, for 8- and 16-bit virtual
+// vectors, against the DRAM speed margin. The paper observes 12–19%, far
+// above the 5–10% margin SRAM has over DRAM — the motivation for the
+// two-layer design.
+func Fig1RCCSaturation(s Scale) (*Report, error) {
+	tr, err := caidaTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	model := memmodel.Default()
+	margin := model.SpeedMargin(memmodel.TierSRAM, memmodel.TierDRAM)
+
+	rep := &Report{
+		ID:     "Fig.1",
+		Title:  "RCC saturation rate vs packet arrival rate (motivation)",
+		Header: []string{"sketch", "vv bits", "ips/pps", "fits DRAM margin?"},
+	}
+	avgPPS := float64(len(tr.Packets)) / (float64(tr.Duration()) / 1e9)
+
+	for _, vv := range []int{8, 16} {
+		c, err := rcc.New(rcc.Config{MemoryBytes: 128 << 10, VectorBits: vv, Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		for i := range tr.Packets {
+			c.Encode(tr.Packets[i].Key.Hash64(s.Seed))
+		}
+		rate := float64(c.Saturations()) / float64(c.Encodes())
+		fits := "no"
+		if rate <= margin {
+			fits = "yes"
+		}
+		rep.AddRow(fmt.Sprintf("RCC %d-bit", vv), fmt.Sprintf("%d", vv), pct(rate), fits)
+	}
+	rep.AddNote("trace: %d packets, %d flows, avg %.2f Mpps-shaped timestamps",
+		len(tr.Packets), tr.Flows(), avgPPS/1e6)
+	rep.AddNote("DRAM speed margin (SRAM/DRAM per-op): %s — paper band 5-10%%", pct(margin))
+	rep.AddNote("paper: RCC saturates at 12-19%% of pps; expect the same band here")
+	return rep, nil
+}
+
+// Fig7Relaxation reproduces Fig. 7: a timeline of packet arrival rate
+// against the WSAF insertion rates produced by single-layer RCC (~12%)
+// and FlowRegulator (~1%), both with 128 KB sketches.
+func Fig7Relaxation(s Scale) (*Report, error) {
+	tr, err := caidaTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	model := memmodel.Default()
+	margin := model.SpeedMargin(memmodel.TierSRAM, memmodel.TierDRAM)
+
+	single, err := rcc.New(rcc.Config{MemoryBytes: 128 << 10, VectorBits: 8, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	reg, err := flowreg.New(flowreg.Config{Layer: rcc.Config{
+		MemoryBytes: 32 << 10, VectorBits: 8, Seed: s.Seed,
+	}})
+	if err != nil {
+		return nil, err
+	}
+
+	start := tr.Packets[0].TS
+	width := tr.Duration()/10 + 1
+	ppsSeries := stats.NewTimeSeries(start, width)
+	rccSeries := stats.NewTimeSeries(start, width)
+	frSeries := stats.NewTimeSeries(start, width)
+
+	var prevRCCSat, prevFREm uint64
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		h := p.Key.Hash64(s.Seed)
+		single.Encode(h)
+		reg.Process(h, int(p.Len))
+
+		ppsSeries.Add(p.TS, 1)
+		if sat := single.Saturations(); sat != prevRCCSat {
+			rccSeries.Add(p.TS, float64(sat-prevRCCSat))
+			prevRCCSat = sat
+		}
+		if em := reg.Emissions(); em != prevFREm {
+			frSeries.Add(p.TS, float64(em-prevFREm))
+			prevFREm = em
+		}
+	}
+
+	rep := &Report{
+		ID:     "Fig.7",
+		Title:  "WSAF ips relaxation timeline: pps vs RCC ips vs FlowRegulator ips",
+		Header: []string{"t-bucket", "pps", "RCC ips", "RCC %", "FR ips", "FR %"},
+	}
+	for i := 0; i < ppsSeries.Len(); i++ {
+		pps := ppsSeries.Rate(i)
+		if pps == 0 {
+			continue
+		}
+		rccIPS := rccSeries.Rate(i)
+		frIPS := frSeries.Rate(i)
+		rep.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.0f", pps),
+			fmt.Sprintf("%.0f", rccIPS),
+			pct(rccIPS/pps),
+			fmt.Sprintf("%.0f", frIPS),
+			pct(frIPS/pps),
+		)
+	}
+	rccRate := float64(single.Saturations()) / float64(single.Encodes())
+	frRate := reg.RegulationRate()
+	rep.AddNote("overall: RCC %s (paper ~12%%), FlowRegulator %s (paper ~1.02%%)",
+		pct(rccRate), pct(frRate))
+	rep.AddNote("DRAM margin %s: RCC fits=%v, FlowRegulator fits=%v",
+		pct(margin), rccRate <= margin, frRate <= margin)
+	rep.AddNote("both sketches use 128 KB total (FR: 4 x 32 KB layers)")
+	return rep, nil
+}

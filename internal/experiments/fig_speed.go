@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"instameasure/internal/core"
+	"instameasure/internal/detect"
+	"instameasure/internal/packet"
+	"instameasure/internal/pipeline"
+	"instameasure/internal/stats"
+	"instameasure/internal/trace"
+)
+
+// Fig9aCoreScaling reproduces Fig. 9(a): processing throughput as worker
+// cores scale 1→4 over a pre-loaded trace. The paper ran on an 8-core Atom
+// board (18.9→46.3 Mpps for 1→4 cores); when this host has fewer physical
+// cores than the sweep needs, the missing hardware is simulated: the
+// per-worker encode rate and the manager's dispatch rate are measured
+// individually, and k-core throughput is modeled as
+// min(dispatch rate, k × worker rate) — the same manager-bounded scaling
+// law the paper's curve exhibits. Host-measured pipeline numbers are
+// reported alongside.
+func Fig9aCoreScaling(s Scale) (*Report, error) {
+	tr, err := caidaTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	engCfg := core.Config{
+		SketchMemoryBytes: 32 << 10,
+		WSAFEntries:       1 << 18,
+		Seed:              s.Seed,
+	}
+
+	// Component calibration: one worker's encode rate.
+	eng, err := core.New(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := range tr.Packets {
+		eng.Process(tr.Packets[i])
+	}
+	workerPPS := float64(len(tr.Packets)) / time.Since(start).Seconds()
+
+	// Manager dispatch rate: shard + burst assembly without workers.
+	start = time.Now()
+	var sink int
+	for i := range tr.Packets {
+		sink += pipeline.PopcountShard(&tr.Packets[i], 4)
+	}
+	managerPPS := float64(len(tr.Packets)) / time.Since(start).Seconds()
+	_ = sink
+
+	rep := &Report{
+		ID:     "Fig.9a",
+		Title:  "Processing speed vs number of worker cores",
+		Header: []string{"workers", "host Mpps", "modeled Mpps", "modeled speedup"},
+	}
+	modelPPS := func(k int) float64 {
+		t := float64(k) * workerPPS
+		if t > managerPPS {
+			t = managerPPS
+		}
+		return t
+	}
+	for _, workers := range []int{1, 2, 3, 4} {
+		sys, err := pipeline.New(pipeline.Config{Workers: workers, Engine: engCfg})
+		if err != nil {
+			return nil, err
+		}
+		repRun, err := sys.Run(tr.Source())
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.2f", repRun.MPPS()),
+			fmt.Sprintf("%.2f", modelPPS(workers)/1e6),
+			fmt.Sprintf("%.2fx", modelPPS(workers)/modelPPS(1)),
+		)
+	}
+	rep.AddNote("host has %d core(s); modeled column assumes one core per worker plus a manager core, as on the paper's 8-core board", runtime.NumCPU())
+	rep.AddNote("calibrated: worker %.2f Mpps, manager dispatch %.2f Mpps", workerPPS/1e6, managerPPS/1e6)
+	rep.AddNote("paper (8-core Atom + DPDK): 18.9 / 25.5 / 36.2 / 46.3 Mpps for 1-4 cores — sub-linear, manager-bounded")
+	return rep, nil
+}
+
+// Fig9bDetectionLatency reproduces Fig. 9(b): heavy-hitter detection delay
+// versus attacker transmission rate (10–200 kpps), comparing the paper's
+// saturation-based decoding against the packet-arrival ground truth and
+// the delegation (remote collector) discipline.
+func Fig9bDetectionLatency(s Scale) (*Report, error) {
+	rep := &Report{
+		ID:     "Fig.9b",
+		Title:  "Heavy-hitter detection latency vs attack rate",
+		Header: []string{"rate (kpps)", "saturation-based", "delegation-based", "detected"},
+	}
+
+	const threshold = 500 // packets (0.05% of link capacity in the paper)
+	const attackers = 8   // independent attack flows per rate, averaged
+	rates := []float64{10e3, 30e3, 50e3, 100e3, 130e3, 200e3}
+	for _, rate := range rates {
+		// Run the attacks long enough to cross the threshold several
+		// times over.
+		duration := int64(threshold / rate * 20 * 1e9)
+		if duration < 50e6 {
+			duration = 50e6
+		}
+		var tr *trace.Trace
+		var err error
+		for a := 0; a < attackers; a++ {
+			attack := packet.V4Key(0xAAAA0001+uint32(a), 0x0B0B0B0B, 4444, 80, packet.ProtoUDP)
+			tr, err = trace.Inject(tr, trace.InjectConfig{
+				Key:        attack,
+				RatePPS:    rate,
+				StartTS:    0,
+				DurationNs: duration,
+				Seed:       s.Seed + uint64(a),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		eng, err := core.New(core.Config{
+			SketchMemoryBytes: 32 << 10,
+			WSAFEntries:       1 << 14,
+			Seed:              s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		det, err := detect.NewHeavyHitterDetector(threshold, 0)
+		if err != nil {
+			return nil, err
+		}
+		det.Attach(eng)
+		for i := range tr.Packets {
+			eng.Process(tr.Packets[i])
+		}
+
+		truth, err := detect.TruthCrossings(tr, threshold, 0)
+		if err != nil {
+			return nil, err
+		}
+		satLat := detect.Latencies(truth, det.PacketHitters())
+		delegLat, err := detect.DelegationLatencies(truth, 20e6, 10e6) // 20ms epochs, 10ms RTT
+		if err != nil {
+			return nil, err
+		}
+
+		// Detection jitter is ± one saturation interval (the estimate can
+		// overshoot and alarm one saturation early); the figure reports
+		// the mean magnitude of the detection offset.
+		var satAbs []float64
+		for _, l := range satLat {
+			satAbs = append(satAbs, float64(abs64(l.LatencyNs))/1e6)
+		}
+		var delegMs []float64
+		for _, l := range delegLat {
+			delegMs = append(delegMs, float64(l.LatencyNs)/1e6)
+		}
+		satCell := "-"
+		detected := fmt.Sprintf("%d/%d", len(satLat), attackers)
+		if len(satAbs) > 0 {
+			satCell = fmt.Sprintf("%.3f ms", stats.Mean(satAbs))
+		}
+		rep.AddRow(fmt.Sprintf("%.0f", rate/1e3), satCell,
+			fmt.Sprintf("%.3f ms", stats.Mean(delegMs)), detected)
+	}
+	rep.AddNote("threshold %d packets, %d attack flows per rate; saturation-based = this system, delegation = 20ms epochs + 10ms network", threshold, attackers)
+	rep.AddNote("paper: ~10ms at 10 kpps falling to ~1ms at 130 kpps; heavier attackers are caught faster")
+	return rep, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// queueStats summarizes queue occupancy samples for Fig. 12.
+func queueStats(samples []pipeline.QueueSample) (mean, p99 float64) {
+	var depths []float64
+	for _, s := range samples {
+		for _, d := range s.Depths {
+			depths = append(depths, float64(d))
+		}
+	}
+	return stats.Mean(depths), stats.Percentile(depths, 99)
+}

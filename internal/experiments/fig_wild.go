@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"instameasure/internal/core"
+	"instameasure/internal/detect"
+	"instameasure/internal/packet"
+	"instameasure/internal/pipeline"
+	"instameasure/internal/stats"
+	"instameasure/internal/trace"
+)
+
+// Fig12Monitoring reproduces Fig. 12: the 113-hour campus monitoring run —
+// traffic volume over time, sustained regulation, and worker queue
+// occupancy staying flat (the paper's single Atom core never exceeded 40%
+// CPU and its queue never grew).
+func Fig12Monitoring(s Scale) (*Report, error) {
+	tr, err := campusTrace(s)
+	if err != nil {
+		return nil, err
+	}
+
+	engCfg := core.Config{
+		SketchMemoryBytes: 32 << 10,
+		WSAFEntries:       1 << 20,
+		Seed:              s.Seed,
+	}
+
+	// Calibration pass: measure the single worker's full-speed capacity.
+	calib, err := pipeline.New(pipeline.Config{Workers: 1, Engine: engCfg})
+	if err != nil {
+		return nil, err
+	}
+	calibRep, err := calib.Run(tr.Source())
+	if err != nil {
+		return nil, err
+	}
+	capacityPPS := calibRep.MPPS() * 1e6
+
+	// Monitored pass: offer traffic at 40% of capacity, as the deployment
+	// ran with headroom (the paper's core never exceeded 40% CPU).
+	sys, err := pipeline.New(pipeline.Config{
+		Workers:     1,
+		SampleEvery: 1000,
+		Engine:      engCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runRep, err := sys.Run(trace.NewPacedSource(tr.Source(), 0.4*capacityPPS))
+	if err != nil {
+		return nil, err
+	}
+
+	// Bucket traffic by simulated time (12 buckets across the window).
+	start := tr.Packets[0].TS
+	width := tr.Duration()/12 + 1
+	pktSeries := stats.NewTimeSeries(start, width)
+	byteSeries := stats.NewTimeSeries(start, width)
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		pktSeries.Add(p.TS, 1)
+		byteSeries.Add(p.TS, float64(p.Len))
+	}
+
+	rep := &Report{
+		ID:     "Fig.12",
+		Title:  "Monitoring in the wild: traffic volume and system load over the window",
+		Header: []string{"window", "sim hours", "packets", "GB", "share of peak"},
+	}
+	var peak float64
+	for i := 0; i < pktSeries.Len(); i++ {
+		if v := pktSeries.Sum(i); v > peak {
+			peak = v
+		}
+	}
+	hoursPerBucket := float64(width) / 3.6e12
+	for i := 0; i < pktSeries.Len(); i++ {
+		rep.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.1f-%.1f", float64(i)*hoursPerBucket, float64(i+1)*hoursPerBucket),
+			fmt.Sprintf("%.0f", pktSeries.Sum(i)),
+			fmt.Sprintf("%.3f", byteSeries.Sum(i)/1e9),
+			pct2(pktSeries.Sum(i)/peak),
+		)
+	}
+
+	pkts, emissions := sys.TotalRegulation()
+	meanQ, p99Q := queueStats(runRep.QueueSamples)
+	eng := sys.Engines()[0]
+	util := runRep.Utilization()[0]
+	rep.AddNote("simulated %0.f hours compressed into a %.2fs run; capacity %.2f Mpps, offered 40%% of it",
+		s.DiurnalHours, runRep.WallTime.Seconds(), capacityPPS/1e6)
+	rep.AddNote("worker CPU utilization at 40%% offered load: %s (paper: core stayed under 40%%)", pct2(util))
+	rep.AddNote("regulation over the whole window: %s (%d of %d packets hit the WSAF)",
+		pct(float64(emissions)/float64(pkts)), emissions, pkts)
+	rep.AddNote("worker queue occupancy: mean %.1f pkts, p99 %.0f of %d — bounded, no growth",
+		meanQ, p99Q, 4096)
+	rep.AddNote("WSAF: %d active flows, load factor %s, %d evictions",
+		eng.Table().Len(), pct2(eng.Table().LoadFactor()), eng.Table().Stats().Evictions)
+	rep.AddNote("paper: diurnal pattern with weekend dip; CPU <=40%%, queue flat, single core")
+	return rep, nil
+}
+
+// Fig13WildAccuracy reproduces Fig. 13: estimation accuracy (standard
+// error per size bucket) on the long real-world-like trace, for both
+// packet and byte counting.
+func Fig13WildAccuracy(s Scale) (*Report, error) {
+	tr, err := campusTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := runEngine(tr, 32<<10, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:     "Fig.13",
+		Title:  "Real-world-like estimation accuracy (RMS relative 'standard error')",
+		Header: []string{"metric", "bucket", "flows", "std err"},
+	}
+	addBuckets := func(name string, buckets []float64,
+		truthOf func(*trace.FlowTruth) float64,
+		estOf func(pkts, bytes float64) float64,
+	) {
+		ests := make([][]float64, len(buckets))
+		truths := make([][]float64, len(buckets))
+		tr.EachTruth(func(k packet.FlowKey, ft *trace.FlowTruth) {
+			truth := truthOf(ft)
+			idx := -1
+			for i := len(buckets) - 1; i >= 0; i-- {
+				if truth >= buckets[i] {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return
+			}
+			pkts, bytes := eng.Estimate(k)
+			ests[idx] = append(ests[idx], estOf(pkts, bytes))
+			truths[idx] = append(truths[idx], truth)
+		})
+		for i := range buckets {
+			cell := "-"
+			if len(ests[i]) > 0 {
+				cell = pct2(stats.RMSRelErr(ests[i], truths[i]))
+			}
+			rep.AddRow(name, bucketLabel(buckets[i], unitOf(name)),
+				fmt.Sprintf("%d", len(ests[i])), cell)
+		}
+	}
+	addBuckets("packets", pktBuckets,
+		func(ft *trace.FlowTruth) float64 { return float64(ft.Pkts) },
+		func(pkts, _ float64) float64 { return pkts })
+	addBuckets("bytes", byteBuckets,
+		func(ft *trace.FlowTruth) float64 { return float64(ft.Bytes) },
+		func(_, bytes float64) float64 { return bytes })
+
+	rep.AddNote("paper (113h, 128KB sketch, 33MB WSAF): std err 0.54%%/1.61%%/3.46%% pkts, 0.63%%/1.74%%/3.65%% bytes")
+	rep.AddNote("shape target: sub-4%% everywhere, error shrinking as flows grow")
+	return rep, nil
+}
+
+func unitOf(metric string) string {
+	if metric == "bytes" {
+		return "B"
+	}
+	return "pkt"
+}
+
+// Fig14HeavyHitterRates reproduces Fig. 14: false positive and false
+// negative rates of packet- and byte-based heavy-hitter detection on the
+// campus-like trace.
+func Fig14HeavyHitterRates(s Scale) (*Report, error) {
+	tr, err := campusTrace(s)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:     "Fig.14",
+		Title:  "Heavy-hitter detection false positive / false negative rates",
+		Header: []string{"kind", "threshold", "true HHs", "FPR", "FNR"},
+	}
+
+	totalPkts := float64(len(tr.Packets))
+	var totalBytes float64
+	tr.EachTruth(func(_ packet.FlowKey, ft *trace.FlowTruth) {
+		totalBytes += float64(ft.Bytes)
+	})
+
+	for _, frac := range []float64{0.0005, 0.001} {
+		// At the paper's scale these fractions are millions of packets,
+		// far above the sketch's ~100-packet retention; keep the same
+		// relationship at reduced scale with absolute floors.
+		thrPkts := math.Max(totalPkts*frac, 1000)
+		thrBytes := math.Max(totalBytes*frac, 1e6)
+
+		eng, err := core.New(core.Config{
+			SketchMemoryBytes: 32 << 10,
+			WSAFEntries:       1 << 20,
+			Seed:              s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		det, err := detect.NewHeavyHitterDetector(thrPkts, thrBytes)
+		if err != nil {
+			return nil, err
+		}
+		det.Attach(eng)
+		for i := range tr.Packets {
+			eng.Process(tr.Packets[i])
+		}
+
+		for _, kind := range []string{"packets", "bytes"} {
+			var predicted []packet.FlowKey
+			var truth []packet.FlowKey
+			if kind == "packets" {
+				for k := range det.PacketHitters() {
+					predicted = append(predicted, k)
+				}
+				tr.EachTruth(func(k packet.FlowKey, ft *trace.FlowTruth) {
+					if float64(ft.Pkts) >= thrPkts {
+						truth = append(truth, k)
+					}
+				})
+			} else {
+				for k := range det.ByteHitters() {
+					predicted = append(predicted, k)
+				}
+				tr.EachTruth(func(k packet.FlowKey, ft *trace.FlowTruth) {
+					if float64(ft.Bytes) >= thrBytes {
+						truth = append(truth, k)
+					}
+				})
+			}
+			c := stats.Classify(predicted, truth, tr.Flows())
+			thrLabel := fmt.Sprintf("%.0f pkts", thrPkts)
+			if kind == "bytes" {
+				thrLabel = fmt.Sprintf("%.1f MB", thrBytes/1e6)
+			}
+			rep.AddRow(kind, thrLabel, fmt.Sprintf("%d", len(truth)),
+				pct(c.FPR()), pct(c.FNR()))
+		}
+	}
+	rep.AddNote("thresholds at 0.05%% and 0.1%% of total traffic, as fractions of link volume")
+	rep.AddNote("paper: FNR negligible in both cases; FPR <0.1%% (packets) and <0.2%% (bytes)")
+	return rep, nil
+}

@@ -1,0 +1,226 @@
+// Package export implements the delegation architecture the paper
+// contrasts InstaMeasure against — and that InstaMeasure itself still
+// needs for archival: periodically shipping WSAF flow records to a remote
+// collector. It provides a compact length-prefixed, CRC-protected binary
+// codec for flow records, snapshot files for long-term storage (the
+// paper's "analyze flow behavior for long-term measurement"), and a TCP
+// exporter/collector pair used to measure real delegation latency.
+package export
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"instameasure/internal/packet"
+	"instameasure/internal/wsaf"
+)
+
+// Wire format constants.
+const (
+	batchMagic    = 0x494D4231 // "IMB1"
+	snapshotMagic = 0x494D5331 // "IMS1"
+	version       = 1
+
+	// maxBatchRecords bounds a single batch so a corrupt length field
+	// cannot trigger an enormous allocation.
+	maxBatchRecords = 1 << 24
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("export: bad magic")
+	ErrBadVersion = errors.New("export: unsupported version")
+	ErrChecksum   = errors.New("export: checksum mismatch")
+	ErrOversized  = errors.New("export: batch exceeds record limit")
+)
+
+// Record is one exported flow: the WSAF entry fields that survive
+// delegation.
+type Record struct {
+	Key        packet.FlowKey
+	Pkts       float64
+	Bytes      float64
+	FirstSeen  int64
+	LastUpdate int64
+}
+
+// FromEntry converts a WSAF entry to an export record.
+func FromEntry(e wsaf.Entry) Record {
+	return Record{
+		Key:        e.Key,
+		Pkts:       e.Pkts,
+		Bytes:      e.Bytes,
+		FirstSeen:  e.FirstSeen,
+		LastUpdate: e.LastUpdate,
+	}
+}
+
+// Batch is one delegation unit: the epoch it summarizes and its records.
+type Batch struct {
+	Epoch   int64
+	Records []Record
+}
+
+// appendRecord encodes r onto dst: 1 flag byte, addresses (4+4 or 16+16),
+// ports, proto, then the four fixed counters.
+func appendRecord(dst []byte, r *Record) []byte {
+	flag := byte(0)
+	n := 4
+	if r.Key.IsV6 {
+		flag = 1
+		n = 16
+	}
+	dst = append(dst, flag)
+	dst = append(dst, r.Key.SrcIP[:n]...)
+	dst = append(dst, r.Key.DstIP[:n]...)
+	dst = binary.BigEndian.AppendUint16(dst, r.Key.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, r.Key.DstPort)
+	dst = append(dst, r.Key.Proto)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Pkts))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Bytes))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.FirstSeen))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.LastUpdate))
+	return dst
+}
+
+// decodeRecord decodes one record from b, returning the remainder.
+func decodeRecord(b []byte) (Record, []byte, error) {
+	var r Record
+	if len(b) < 1 {
+		return r, nil, fmt.Errorf("export: record flag: %w", io.ErrUnexpectedEOF)
+	}
+	isV6 := b[0] == 1
+	b = b[1:]
+	n := 4
+	if isV6 {
+		n = 16
+	}
+	need := 2*n + 2 + 2 + 1 + 4*8
+	if len(b) < need {
+		return r, nil, fmt.Errorf("export: record body: %w", io.ErrUnexpectedEOF)
+	}
+	r.Key.IsV6 = isV6
+	copy(r.Key.SrcIP[:n], b[:n])
+	copy(r.Key.DstIP[:n], b[n:2*n])
+	b = b[2*n:]
+	r.Key.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	r.Key.DstPort = binary.BigEndian.Uint16(b[2:4])
+	r.Key.Proto = b[4]
+	b = b[5:]
+	r.Pkts = math.Float64frombits(binary.BigEndian.Uint64(b[0:8]))
+	r.Bytes = math.Float64frombits(binary.BigEndian.Uint64(b[8:16]))
+	r.FirstSeen = int64(binary.BigEndian.Uint64(b[16:24]))
+	r.LastUpdate = int64(binary.BigEndian.Uint64(b[24:32]))
+	return r, b[32:], nil
+}
+
+// WriteBatch frames and writes one batch:
+//
+//	magic(4) version(1) epoch(8) count(4) payloadLen(4) payload crc32(4)
+func WriteBatch(w io.Writer, b Batch) error {
+	if len(b.Records) > maxBatchRecords {
+		return fmt.Errorf("%w (%d records)", ErrOversized, len(b.Records))
+	}
+	payload := make([]byte, 0, len(b.Records)*46)
+	for i := range b.Records {
+		payload = appendRecord(payload, &b.Records[i])
+	}
+
+	hdr := make([]byte, 0, 21)
+	hdr = binary.BigEndian.AppendUint32(hdr, batchMagic)
+	hdr = append(hdr, version)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(b.Epoch))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(b.Records)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("batch header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("batch payload: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("batch checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadBatch reads one framed batch. io.EOF is returned verbatim at a clean
+// stream end.
+func ReadBatch(r io.Reader) (Batch, error) {
+	var hdr [21]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Batch{}, io.EOF
+		}
+		return Batch{}, fmt.Errorf("batch header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != batchMagic {
+		return Batch{}, ErrBadMagic
+	}
+	if hdr[4] != version {
+		return Batch{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	epoch := int64(binary.BigEndian.Uint64(hdr[5:13]))
+	count := binary.BigEndian.Uint32(hdr[13:17])
+	payloadLen := binary.BigEndian.Uint32(hdr[17:21])
+	if count > maxBatchRecords || payloadLen > maxBatchRecords*46 {
+		return Batch{}, ErrOversized
+	}
+
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Batch{}, fmt.Errorf("batch payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return Batch{}, fmt.Errorf("batch checksum: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(crc[:]) {
+		return Batch{}, ErrChecksum
+	}
+
+	b := Batch{Epoch: epoch, Records: make([]Record, 0, count)}
+	rest := payload
+	for i := uint32(0); i < count; i++ {
+		var rec Record
+		var err error
+		rec, rest, err = decodeRecord(rest)
+		if err != nil {
+			return Batch{}, fmt.Errorf("record %d: %w", i, err)
+		}
+		b.Records = append(b.Records, rec)
+	}
+	if len(rest) != 0 {
+		return Batch{}, fmt.Errorf("export: %d trailing payload bytes", len(rest))
+	}
+	return b, nil
+}
+
+// WriteSnapshot persists records as a snapshot file (same record codec,
+// snapshot magic) for long-term archival of a measurement window.
+func WriteSnapshot(w io.Writer, epoch int64, records []Record) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], snapshotMagic)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot magic: %w", err)
+	}
+	return WriteBatch(w, Batch{Epoch: epoch, Records: records})
+}
+
+// ReadSnapshot loads a snapshot file written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Batch, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Batch{}, fmt.Errorf("snapshot magic: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[:]) != snapshotMagic {
+		return Batch{}, ErrBadMagic
+	}
+	return ReadBatch(r)
+}

@@ -1,0 +1,193 @@
+package export
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"instameasure/internal/packet"
+)
+
+func immediateDeadline() time.Time {
+	return time.Now().Add(-time.Second)
+}
+
+// Exporter ships flow batches to a remote collector over TCP — the
+// delegation-based decoding path whose round-trip the paper measures in
+// tens of milliseconds.
+type Exporter struct {
+	conn net.Conn
+}
+
+// Dial connects an exporter to a collector address.
+func Dial(addr string) (*Exporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: dial %s: %w", addr, err)
+	}
+	return &Exporter{conn: conn}, nil
+}
+
+// Export sends one batch.
+func (e *Exporter) Export(b Batch) error {
+	if err := WriteBatch(e.conn, b); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the connection down.
+func (e *Exporter) Close() error {
+	return e.conn.Close()
+}
+
+// Collector accepts exporter connections and merges their batches into a
+// global flow table. Every accepted connection is served by a managed
+// goroutine; Close stops the listener and waits for all of them to exit.
+type Collector struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	flows   map[packet.FlowKey]Record
+	batches uint64
+	records uint64
+	onBatch func(Batch)
+
+	closing chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewCollector starts a collector listening on addr (use "127.0.0.1:0"
+// for an ephemeral test port). onBatch, if non-nil, fires after each batch
+// merge — detection pipelines hang off this hook.
+func NewCollector(addr string, onBatch func(Batch)) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: listen %s: %w", addr, err)
+	}
+	c := &Collector{
+		ln:      ln,
+		flows:   make(map[packet.FlowKey]Record),
+		onBatch: onBatch,
+		closing: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closing:
+				return
+			default:
+			}
+			// Transient accept error: keep serving unless closing.
+			continue
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+
+	// Unblock the read when Close fires.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-c.closing:
+			conn.SetDeadline(immediateDeadline())
+		case <-done:
+		}
+	}()
+
+	for {
+		b, err := ReadBatch(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Protocol error: drop the connection; the exporter
+				// re-dials.
+				return
+			}
+			return
+		}
+		c.merge(b)
+	}
+}
+
+func (c *Collector) merge(b Batch) {
+	c.mu.Lock()
+	for _, rec := range b.Records {
+		cur, ok := c.flows[rec.Key]
+		if !ok {
+			c.flows[rec.Key] = rec
+			continue
+		}
+		cur.Pkts += rec.Pkts
+		cur.Bytes += rec.Bytes
+		if rec.FirstSeen < cur.FirstSeen {
+			cur.FirstSeen = rec.FirstSeen
+		}
+		if rec.LastUpdate > cur.LastUpdate {
+			cur.LastUpdate = rec.LastUpdate
+		}
+		c.flows[rec.Key] = cur
+	}
+	c.batches++
+	c.records += uint64(len(b.Records))
+	onBatch := c.onBatch
+	c.mu.Unlock()
+
+	if onBatch != nil {
+		onBatch(b)
+	}
+}
+
+// Lookup returns the merged record for key.
+func (c *Collector) Lookup(key packet.FlowKey) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.flows[key]
+	return rec, ok
+}
+
+// Flows returns a copy of the merged flow table.
+func (c *Collector) Flows() map[packet.FlowKey]Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[packet.FlowKey]Record, len(c.flows))
+	for k, v := range c.flows {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns batches and records merged so far.
+func (c *Collector) Stats() (batches, records uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches, c.records
+}
+
+// Close stops the listener, interrupts in-flight connections, and waits
+// for every goroutine to exit.
+func (c *Collector) Close() error {
+	close(c.closing)
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}

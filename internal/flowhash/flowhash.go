@@ -1,0 +1,121 @@
+// Package flowhash provides fast, seeded, non-cryptographic hashing for
+// flow keys and packet payloads, plus small mixing utilities shared by the
+// sketch data structures.
+//
+// The hash is an xxHash64-style construction implemented from scratch so the
+// module stays dependency-free. It is deterministic for a given seed, which
+// keeps every experiment in this repository reproducible.
+package flowhash
+
+import "math/bits"
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Sum64 hashes b with the given seed using an xxHash64-style algorithm.
+func Sum64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, le64(b[0:8]))
+			v2 = round(v2, le64(b[8:16]))
+			v3 = round(v3, le64(b[16:24]))
+			v4 = round(v4, le64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, le64(b[0:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(le32(b[0:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+
+	return avalanche(h)
+}
+
+// Sum32 hashes b with the given seed and folds the result to 32 bits. The
+// WSAF table stores this folded value as the flow ID, matching the paper's
+// 32-bit "hash of 5-tuple" entry field.
+func Sum32(b []byte, seed uint64) uint32 {
+	h := Sum64(b, seed)
+	return uint32(h ^ (h >> 32))
+}
+
+// Mix64 applies a strong 64-bit finalizer (splitmix64) to x. It is used to
+// derive independent hash streams from a single flow hash, e.g. the bit
+// positions of a virtual vector.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// PopCount32 returns the number of set bits in x. The multi-core pipeline
+// shards packets by the popcount of the source IP address, as in the paper.
+func PopCount32(x uint32) int {
+	return bits.OnesCount32(x)
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	return acc*prime1 + prime4
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

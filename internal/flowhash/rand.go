@@ -1,0 +1,45 @@
+package flowhash
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator (splitmix64).
+// The sketches use it for per-packet random bit selection; keeping the
+// generator explicit (instead of math/rand global state) makes every run
+// reproducible from its seed.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return Mix64(r.state)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	// Lemire's multiply-shift reduction: unbiased enough for sketch bit
+	// selection and much faster than modulo on the hot path.
+	return int((r.Next() >> 32) * uint64(n) >> 32)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1,
+// via inverse-transform sampling. Used for Poisson inter-arrival times in
+// the trace generators.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}

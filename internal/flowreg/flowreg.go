@@ -1,0 +1,260 @@
+// Package flowreg implements FlowRegulator, the paper's primary
+// contribution: a multi-layer RCC-based sketch that sits in front of the
+// In-DRAM WSAF table and absorbs the vast majority of packet arrivals.
+//
+// Layer 1 is a plain RCC. When a flow's L1 virtual vector saturates at
+// noise level z, the saturation event is itself counted probabilistically:
+// one bit is set in the layer-2 RCC dedicated to noise class z, at the
+// *same* word index and bit positions (hash reuse — one hash and one extra
+// memory access per saturating packet). Only when the final layer
+// saturates does the flow pass through to the WSAF, carrying the estimate
+//
+//	est_pkt  = Decode(z₁) × Decode(z₂) × … × Decode(z_L)
+//	est_byte = est_pkt × len(triggering packet)
+//
+// which multiplies the per-flow retention capacity per layer instead of
+// adding to it (Section III, Algorithm 1). The paper deploys two layers;
+// Section V notes that for WSAF in TCAM "FlowRegulator can be configured
+// to have enough margin by adjusting the vector size or even the number of
+// layers" — Config.Layers implements exactly that knob.
+package flowreg
+
+import (
+	"errors"
+	"fmt"
+
+	"instameasure/internal/rcc"
+)
+
+// MaxLayers bounds the layer chain; beyond four layers the retention
+// capacity exceeds any plausible flow size.
+const MaxLayers = 4
+
+// ErrLayers rejects out-of-range layer counts.
+var ErrLayers = errors.New("flowreg: Layers must be in [2, 4]")
+
+// Config parameterizes a Regulator. Layer holds the per-layer RCC
+// settings; every counter in the chain is created with identical geometry
+// so Locations resolved against L1 are valid everywhere.
+type Config struct {
+	Layer rcc.Config
+	// Layers is the chain depth; 0 means 2 (the paper's deployed design).
+	Layers int
+}
+
+// Emission is a passthrough event: the estimate FlowRegulator releases to
+// the WSAF when a flow saturates every layer.
+type Emission struct {
+	// Unit is Decode(L1 noise): packets represented by one L2 bit.
+	Unit float64
+	// Count is the product of the higher layers' decodes — saturation
+	// events represented by the final layer's vector.
+	Count float64
+	// EstPkts = Unit × Count.
+	EstPkts float64
+	// EstBytes = EstPkts × length of the packet that triggered the final
+	// saturation (the paper's saturation-based byte sampling).
+	EstBytes float64
+}
+
+// Regulator is a multi-layer FlowRegulator. It is not safe for concurrent
+// use; the multi-core pipeline gives each worker its own Regulator.
+type Regulator struct {
+	// layers[0] holds the single L1 counter; layers[k>0] holds one
+	// counter per noise class, selected by the previous layer's
+	// saturation noise.
+	layers   [][]*rcc.Counter
+	noiseMin int
+	depth    int
+
+	packets   uint64
+	l1Sats    uint64
+	emissions uint64
+}
+
+// New builds a Regulator: one L1 counter plus (Layers−1) banks of
+// per-noise-class counters with identical geometry. Total memory is
+// therefore (1 + (Layers−1)·classes) × Layer.MemoryBytes — 4× for the
+// paper's default of two layers and three noise classes.
+func New(cfg Config) (*Regulator, error) {
+	depth := cfg.Layers
+	if depth == 0 {
+		depth = 2
+	}
+	if depth < 2 || depth > MaxLayers {
+		return nil, fmt.Errorf("%w (got %d)", ErrLayers, cfg.Layers)
+	}
+	l1, err := rcc.New(cfg.Layer)
+	if err != nil {
+		return nil, fmt.Errorf("layer 1: %w", err)
+	}
+	resolved := l1.Config()
+	classes := resolved.NoiseMax - resolved.NoiseMin + 1
+
+	layers := make([][]*rcc.Counter, depth)
+	layers[0] = []*rcc.Counter{l1}
+	for k := 1; k < depth; k++ {
+		bank := make([]*rcc.Counter, classes)
+		for i := range bank {
+			layerCfg := resolved
+			layerCfg.Seed = resolved.Seed +
+				uint64(k)*0xA24BAED4963EE407 + uint64(i+1)*0x9E3779B97F4A7C15
+			bank[i], err = rcc.New(layerCfg)
+			if err != nil {
+				return nil, fmt.Errorf("layer %d class %d: %w", k+1, resolved.NoiseMin+i, err)
+			}
+		}
+		layers[k] = bank
+	}
+	return &Regulator{layers: layers, noiseMin: resolved.NoiseMin, depth: depth}, nil
+}
+
+// MustNew is New for statically-known-good configs; it panics on error.
+func MustNew(cfg Config) *Regulator {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Process records one packet of the flow with hash h and wire length
+// pktLen. ok reports whether the packet passed through FlowRegulator; if
+// so, em carries the estimate to accumulate into the WSAF.
+func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
+	r.packets++
+
+	l1 := r.layers[0][0]
+	var loc rcc.Location
+	l1.Locate(h, &loc)
+	z, sat := l1.EncodeLoc(&loc)
+	if !sat {
+		return Emission{}, false
+	}
+	r.l1Sats++
+
+	unit := l1.Decode(z)
+	count := 1.0
+	for k := 1; k < r.depth; k++ {
+		counter := r.layers[k][z-r.noiseMin]
+		z, sat = counter.EncodeLoc(&loc)
+		if !sat {
+			return Emission{}, false
+		}
+		count *= counter.Decode(z)
+	}
+	r.emissions++
+
+	est := unit * count
+	return Emission{
+		Unit:     unit,
+		Count:    count,
+		EstPkts:  est,
+		EstBytes: est * float64(pktLen),
+	}, true
+}
+
+// EstimateResidual estimates the packets of flow h still retained inside
+// the layer chain: the unemitted L1 fill plus, per layer and noise class,
+// the class's fill scaled by the packets one of its bits represents. For
+// layers beyond the second, the per-bit value of a class bank is
+// approximated by the class unit times the mean unit of the layer below
+// (the exact class path is not recorded — an inherent property of the
+// chained design).
+func (r *Regulator) EstimateResidual(h uint64) float64 {
+	l1 := r.layers[0][0]
+	var loc rcc.Location
+	l1.Locate(h, &loc)
+	total := l1.EstimateResidualLoc(&loc)
+	classes := len(r.layers[1])
+
+	// perBit[k][i]: packets represented by one set bit of layers[k][i].
+	prevPerBit := make([]float64, classes)
+	for i := range prevPerBit {
+		prevPerBit[i] = l1.Decode(r.noiseMin + i)
+	}
+	for k := 1; k < r.depth; k++ {
+		curPerBit := make([]float64, classes)
+		var meanPrev float64
+		for _, v := range prevPerBit {
+			meanPrev += v
+		}
+		meanPrev /= float64(classes)
+		for i, counter := range r.layers[k] {
+			perBit := prevPerBit[i]
+			if k > 1 {
+				// Class i of a deep layer aggregates saturations whose
+				// own unit is unknown; use the mean of the layer below.
+				perBit = meanPrev
+			}
+			total += counter.EstimateResidualLoc(&loc) * perBit
+			// One bit of the *next* layer's class i represents
+			// decode(i) saturations of this layer.
+			curPerBit[i] = counter.Decode(r.noiseMin+i) * meanPrev
+		}
+		prevPerBit = curPerBit
+	}
+	return total
+}
+
+// Packets returns the number of packets processed.
+func (r *Regulator) Packets() uint64 { return r.packets }
+
+// L1Saturations returns how many packets saturated layer 1 (the rate a
+// single-layer RCC would have forwarded at).
+func (r *Regulator) L1Saturations() uint64 { return r.l1Sats }
+
+// Emissions returns how many packets passed through every layer to the
+// WSAF.
+func (r *Regulator) Emissions() uint64 { return r.emissions }
+
+// RegulationRate is Emissions/Packets — the paper's output-ips over
+// input-pps metric (~1% for the default configuration on Zipf traffic).
+func (r *Regulator) RegulationRate() float64 {
+	if r.packets == 0 {
+		return 0
+	}
+	return float64(r.emissions) / float64(r.packets)
+}
+
+// RetentionCapacity reports the maximum packets one flow can be retained
+// for before passing through: the product of every layer's per-cycle
+// maximum (Fig. 8a). It grows multiplicatively with vector size and layer
+// count, versus additively for single-layer RCC.
+func (r *Regulator) RetentionCapacity() float64 {
+	per := r.layers[0][0].RetentionCapacity()
+	total := 1.0
+	for k := 0; k < r.depth; k++ {
+		total *= per
+	}
+	return total
+}
+
+// MemoryBytes reports total sketch memory across all layers.
+func (r *Regulator) MemoryBytes() int {
+	var total int
+	for _, bank := range r.layers {
+		for _, c := range bank {
+			total += c.MemoryBytes()
+		}
+	}
+	return total
+}
+
+// Classes returns the number of per-layer noise classes.
+func (r *Regulator) Classes() int { return len(r.layers[1]) }
+
+// Layers returns the chain depth.
+func (r *Regulator) Layers() int { return r.depth }
+
+// Reset clears every layer and all statistics.
+func (r *Regulator) Reset() {
+	for _, bank := range r.layers {
+		for _, c := range bank {
+			c.Reset()
+		}
+	}
+	r.packets = 0
+	r.l1Sats = 0
+	r.emissions = 0
+}

@@ -1,0 +1,149 @@
+package hll
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"instameasure/internal/flowhash"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range []int{0, 3, 17, -1} {
+		if _, err := New(p); !errors.Is(err, ErrPrecision) {
+			t.Errorf("precision %d: err = %v, want ErrPrecision", p, err)
+		}
+	}
+	s, err := New(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryBytes() != 1<<12 || s.Precision() != 12 {
+		t.Errorf("sketch = %d bytes p=%d", s.MemoryBytes(), s.Precision())
+	}
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	s := MustNew(10)
+	if got := s.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %v, want 0", got)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1_000, 10_000, 100_000} {
+		s := MustNew(12) // ~1.6% std error
+		for i := 0; i < n; i++ {
+			s.Add(flowhash.Mix64(uint64(i) + 1))
+		}
+		est := s.Estimate()
+		if relErr := math.Abs(est-float64(n)) / float64(n); relErr > 0.08 {
+			t.Errorf("n=%d: estimate %.0f, rel err %.3f > 5x std error", n, est, relErr)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := MustNew(10)
+	h := flowhash.Mix64(42)
+	for i := 0; i < 10_000; i++ {
+		s.Add(h)
+	}
+	if est := s.Estimate(); est > 3 {
+		t.Errorf("10k duplicates estimate = %.1f, want ~1", est)
+	}
+}
+
+func TestSmallRangeLinearCounting(t *testing.T) {
+	s := MustNew(12)
+	for i := 0; i < 10; i++ {
+		s.Add(flowhash.Mix64(uint64(i) + 7))
+	}
+	est := s.Estimate()
+	if est < 8 || est > 12 {
+		t.Errorf("small-range estimate = %.1f, want ≈10", est)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := MustNew(11), MustNew(11)
+	for i := 0; i < 5_000; i++ {
+		a.Add(flowhash.Mix64(uint64(i) + 1))
+	}
+	for i := 2_500; i < 7_500; i++ {
+		b.Add(flowhash.Mix64(uint64(i) + 1))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := a.Estimate()
+	if relErr := math.Abs(est-7_500) / 7_500; relErr > 0.10 {
+		t.Errorf("merged estimate %.0f, rel err %.3f", est, relErr)
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, b := MustNew(10), MustNew(11)
+	if err := a.Merge(b); err == nil {
+		t.Error("precision mismatch must fail")
+	}
+}
+
+func TestMergeIdempotentProperty(t *testing.T) {
+	// Property: merging a sketch with itself never changes the estimate.
+	f := func(seeds []uint64) bool {
+		s := MustNew(8)
+		for _, seed := range seeds {
+			s.Add(flowhash.Mix64(seed))
+		}
+		before := s.Estimate()
+		clone := MustNew(8)
+		if err := clone.Merge(s); err != nil {
+			return false
+		}
+		if err := s.Merge(clone); err != nil {
+			return false
+		}
+		return s.Estimate() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneProperty(t *testing.T) {
+	// Property: adding elements never decreases the estimate materially
+	// (allowing the raw→linear-counting switchover wiggle).
+	s := MustNew(10)
+	prev := 0.0
+	for i := 0; i < 50_000; i++ {
+		s.Add(flowhash.Mix64(uint64(i) + 3))
+		if i%5_000 == 0 {
+			est := s.Estimate()
+			if est < prev*0.9 {
+				t.Fatalf("estimate dropped from %.0f to %.0f at n=%d", prev, est, i)
+			}
+			prev = est
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(10)
+	for i := 0; i < 1000; i++ {
+		s.Add(flowhash.Mix64(uint64(i)))
+	}
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Error("Reset must zero the estimate")
+	}
+}
+
+func TestStdError(t *testing.T) {
+	s := MustNew(14)
+	want := 1.04 / math.Sqrt(1<<14)
+	if math.Abs(s.StdError()-want) > 1e-12 {
+		t.Errorf("StdError = %v, want %v", s.StdError(), want)
+	}
+}

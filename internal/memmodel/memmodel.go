@@ -1,0 +1,138 @@
+// Package memmodel provides the memory-hierarchy cost model used to replay
+// the paper's motivation arguments (Fig. 1 and Fig. 7) without the actual
+// TCAM/SRAM/DRAM hardware.
+//
+// The question those figures answer is: after the front-end sketch regulates
+// the WSAF insertion rate to `ips`, does that rate fit within DRAM's speed
+// budget, given that the packet stream arrives at `pps` paced by the
+// (SRAM-speed) sketch? SRAM is 10–20× faster per access than DRAM, so the
+// sustainable ratio ips/pps — the *speed margin* — is roughly 5–10%.
+package memmodel
+
+// Tier identifies a memory technology.
+type Tier int
+
+// Memory tiers, fastest to slowest.
+const (
+	TierTCAM Tier = iota + 1
+	TierSRAM
+	TierDRAM
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierTCAM:
+		return "TCAM"
+	case TierSRAM:
+		return "SRAM"
+	case TierDRAM:
+		return "DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// Model holds per-access latencies for each tier and the probe-amplification
+// factor for WSAF operations. The zero value is not valid; use Default or
+// fill every field.
+type Model struct {
+	// TCAMAccessNs is the single-access latency of TCAM.
+	TCAMAccessNs float64
+	// SRAMAccessNs is the single-access latency of SRAM.
+	SRAMAccessNs float64
+	// DRAMAccessNs is the single-access latency of DRAM.
+	DRAMAccessNs float64
+	// WSAFAccessesPerOp is the mean number of memory accesses one WSAF
+	// insert/update performs (probing, entry write). 0 means 1, matching
+	// the paper's margin arithmetic, which compares raw access latencies;
+	// set 2 to additionally charge the probe+write pair.
+	WSAFAccessesPerOp float64
+}
+
+// Default returns the model used throughout the reproduction: SRAM 15×
+// faster than DRAM, inside the paper's 10–20× band, giving the paper's
+// 5–10% speed margin.
+func Default() Model {
+	return Model{
+		TCAMAccessNs:      0.5,
+		SRAMAccessNs:      1.5,
+		DRAMAccessNs:      22.5,
+		WSAFAccessesPerOp: 1,
+	}
+}
+
+// SpeedMargin returns the sustainable ips/pps ratio when the WSAF lives in
+// `wsafTier` and per-packet sketch work runs at `sketchTier` speed: the
+// fraction of the packet budget one WSAF operation consumes, inverted.
+func (m Model) SpeedMargin(sketchTier, wsafTier Tier) float64 {
+	per := m.WSAFAccessesPerOp
+	if per <= 0 {
+		per = 1
+	}
+	return m.accessNs(sketchTier) / (m.accessNs(wsafTier) * per)
+}
+
+// Sustainable returns the highest insertion rate (ips) the WSAF tier can
+// absorb while packets arrive at pps.
+func (m Model) Sustainable(pps float64, sketchTier, wsafTier Tier) float64 {
+	return pps * m.SpeedMargin(sketchTier, wsafTier)
+}
+
+// Fits reports whether a regulated insertion rate ips keeps the WSAF tier
+// within budget at arrival rate pps.
+func (m Model) Fits(pps, ips float64, sketchTier, wsafTier Tier) bool {
+	return ips <= m.Sustainable(pps, sketchTier, wsafTier)
+}
+
+func (m Model) accessNs(t Tier) float64 {
+	switch t {
+	case TierTCAM:
+		return m.TCAMAccessNs
+	case TierSRAM:
+		return m.SRAMAccessNs
+	default:
+		return m.DRAMAccessNs
+	}
+}
+
+// Ledger counts memory accesses by tier so experiments can report simulated
+// time cost alongside throughput.
+type Ledger struct {
+	counts [TierDRAM + 1]uint64
+	model  Model
+}
+
+// NewLedger returns a ledger using model for costing.
+func NewLedger(model Model) *Ledger {
+	return &Ledger{model: model}
+}
+
+// Record adds n accesses to tier t.
+func (l *Ledger) Record(t Tier, n uint64) {
+	if t >= TierTCAM && t <= TierDRAM {
+		l.counts[t] += n
+	}
+}
+
+// Count returns accesses recorded for tier t.
+func (l *Ledger) Count(t Tier) uint64 {
+	if t < TierTCAM || t > TierDRAM {
+		return 0
+	}
+	return l.counts[t]
+}
+
+// CostNs returns total simulated memory time across all tiers.
+func (l *Ledger) CostNs() float64 {
+	return float64(l.counts[TierTCAM])*l.model.TCAMAccessNs +
+		float64(l.counts[TierSRAM])*l.model.SRAMAccessNs +
+		float64(l.counts[TierDRAM])*l.model.DRAMAccessNs
+}
+
+// Reset zeroes all counters.
+func (l *Ledger) Reset() {
+	for i := range l.counts {
+		l.counts[i] = 0
+	}
+}

@@ -1,0 +1,85 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTierString(t *testing.T) {
+	if TierTCAM.String() != "TCAM" || TierSRAM.String() != "SRAM" ||
+		TierDRAM.String() != "DRAM" || Tier(99).String() != "unknown" {
+		t.Error("tier names wrong")
+	}
+}
+
+func TestDefaultModelBand(t *testing.T) {
+	m := Default()
+	ratio := m.DRAMAccessNs / m.SRAMAccessNs
+	if ratio < 10 || ratio > 20 {
+		t.Errorf("DRAM/SRAM ratio %.1f outside the paper's 10–20× band", ratio)
+	}
+	if m.TCAMAccessNs >= m.SRAMAccessNs {
+		t.Error("TCAM must be faster than SRAM")
+	}
+}
+
+func TestSpeedMargin(t *testing.T) {
+	m := Default()
+	margin := m.SpeedMargin(TierSRAM, TierDRAM)
+	// Paper: SRAM's speed margin over DRAM is 5–10%.
+	if margin < 0.05 || margin > 0.10 {
+		t.Errorf("SRAM→DRAM margin %.3f outside [0.05, 0.10]", margin)
+	}
+	// Charging the probe+write pair halves the budget.
+	m.WSAFAccessesPerOp = 2
+	if got := m.SpeedMargin(TierDRAM, TierDRAM); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("2-access same-tier margin = %v, want 0.5", got)
+	}
+}
+
+func TestSpeedMarginZeroOpsDefaults(t *testing.T) {
+	m := Default()
+	m.WSAFAccessesPerOp = 0
+	if m.SpeedMargin(TierDRAM, TierDRAM) != 1.0 {
+		t.Error("zero WSAFAccessesPerOp must default to 1")
+	}
+}
+
+func TestSustainableAndFits(t *testing.T) {
+	m := Default()
+	pps := 1e6
+	budget := m.Sustainable(pps, TierSRAM, TierDRAM)
+
+	// FlowRegulator's ~1% regulation must fit; RCC's ~12% must not.
+	if !m.Fits(pps, 0.0102*pps, TierSRAM, TierDRAM) {
+		t.Errorf("1.02%% of 1Mpps (%v ips) should fit budget %v", 0.0102*pps, budget)
+	}
+	if m.Fits(pps, 0.12*pps, TierSRAM, TierDRAM) {
+		t.Errorf("12%% of 1Mpps should exceed budget %v", budget)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger(Default())
+	l.Record(TierDRAM, 10)
+	l.Record(TierSRAM, 100)
+	l.Record(TierTCAM, 2)
+	l.Record(Tier(99), 5) // ignored
+
+	if l.Count(TierDRAM) != 10 || l.Count(TierSRAM) != 100 || l.Count(TierTCAM) != 2 {
+		t.Errorf("counts wrong: %d/%d/%d",
+			l.Count(TierTCAM), l.Count(TierSRAM), l.Count(TierDRAM))
+	}
+	if l.Count(Tier(99)) != 0 {
+		t.Error("unknown tier count must be 0")
+	}
+	m := Default()
+	want := 10*m.DRAMAccessNs + 100*m.SRAMAccessNs + 2*m.TCAMAccessNs
+	if got := l.CostNs(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CostNs = %v, want %v", got, want)
+	}
+	l.Reset()
+	if l.CostNs() != 0 {
+		t.Error("Reset must zero the ledger")
+	}
+}

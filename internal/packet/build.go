@@ -1,0 +1,132 @@
+package packet
+
+import "fmt"
+
+// BuildEthernet synthesizes a raw Ethernet frame for p, suitable for writing
+// to a pcap file. The frame carries a correct Ethernet/IP/L4 header chain and
+// zero-filled payload padding up to min(p.Len, snapLen) bytes; headers never
+// lie about the 5-tuple, so ParseEthernet(BuildEthernet(p)) round-trips the
+// key exactly.
+func BuildEthernet(p Packet, snapLen int) ([]byte, error) {
+	capLen := int(p.Len)
+	if snapLen > 0 && capLen > snapLen {
+		capLen = snapLen
+	}
+	if p.Key.IsV6 {
+		return buildV6(p, capLen)
+	}
+	return buildV4(p, capLen)
+}
+
+func buildV4(p Packet, capLen int) ([]byte, error) {
+	l4Len, err := l4HeaderLen(p.Key.Proto)
+	if err != nil {
+		return nil, err
+	}
+	minLen := etherHeaderLen + 20 + l4Len
+	if capLen < minLen {
+		capLen = minLen
+	}
+	frame := make([]byte, capLen)
+
+	// Ethernet: locally-administered MACs derived from the addresses.
+	frame[0], frame[5] = 0x02, p.Key.DstIP[3]
+	frame[6], frame[11] = 0x02, p.Key.SrcIP[3]
+	frame[12], frame[13] = byte(etherTypeIPv4>>8), byte(etherTypeIPv4&0xFF)
+
+	ip := frame[etherHeaderLen:]
+	totalLen := int(p.Len) - etherHeaderLen
+	if totalLen < 20+l4Len {
+		totalLen = 20 + l4Len
+	}
+	if totalLen > 0xFFFF {
+		totalLen = 0xFFFF
+	}
+	ip[0] = 0x45
+	ip[2], ip[3] = byte(totalLen>>8), byte(totalLen)
+	ip[8] = 64 // TTL
+	ip[9] = p.Key.Proto
+	copy(ip[12:16], p.Key.SrcIP[:4])
+	copy(ip[16:20], p.Key.DstIP[:4])
+	sum := ipv4Checksum(ip[:20])
+	ip[10], ip[11] = byte(sum>>8), byte(sum)
+
+	writeL4(ip[20:], p.Key)
+	return frame, nil
+}
+
+func buildV6(p Packet, capLen int) ([]byte, error) {
+	l4Len, err := l4HeaderLen(p.Key.Proto)
+	if err != nil {
+		return nil, err
+	}
+	minLen := etherHeaderLen + 40 + l4Len
+	if capLen < minLen {
+		capLen = minLen
+	}
+	frame := make([]byte, capLen)
+
+	frame[0], frame[5] = 0x02, p.Key.DstIP[15]
+	frame[6], frame[11] = 0x02, p.Key.SrcIP[15]
+	frame[12], frame[13] = byte(etherTypeIPv6>>8), byte(etherTypeIPv6&0xFF)
+
+	ip := frame[etherHeaderLen:]
+	payloadLen := int(p.Len) - etherHeaderLen - 40
+	if payloadLen < l4Len {
+		payloadLen = l4Len
+	}
+	if payloadLen > 0xFFFF {
+		payloadLen = 0xFFFF
+	}
+	ip[0] = 0x60
+	ip[4], ip[5] = byte(payloadLen>>8), byte(payloadLen)
+	ip[6] = p.Key.Proto
+	ip[7] = 64 // hop limit
+	copy(ip[8:24], p.Key.SrcIP[:])
+	copy(ip[24:40], p.Key.DstIP[:])
+
+	writeL4(ip[40:], p.Key)
+	return frame, nil
+}
+
+func l4HeaderLen(proto uint8) (int, error) {
+	switch proto {
+	case ProtoTCP:
+		return 20, nil
+	case ProtoUDP:
+		return 8, nil
+	case ProtoICMP, ProtoICMPv6:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("build proto %d: %w", proto, ErrUnsupportedL4)
+	}
+}
+
+func writeL4(b []byte, k FlowKey) {
+	switch k.Proto {
+	case ProtoTCP:
+		b[0], b[1] = byte(k.SrcPort>>8), byte(k.SrcPort)
+		b[2], b[3] = byte(k.DstPort>>8), byte(k.DstPort)
+		b[12] = 5 << 4 // data offset: 20 bytes
+	case ProtoUDP:
+		b[0], b[1] = byte(k.SrcPort>>8), byte(k.SrcPort)
+		b[2], b[3] = byte(k.DstPort>>8), byte(k.DstPort)
+	case ProtoICMP, ProtoICMPv6:
+		b[0] = byte(k.SrcPort)
+		b[1] = byte(k.DstPort)
+	}
+}
+
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // skip the checksum field itself
+			continue
+		}
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,181 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parse errors. ErrNotIP and ErrUnsupportedL4 mark frames the measurement
+// system deliberately skips (non-IP ethertypes, L4 protocols without ports);
+// callers match them with errors.Is and count the frame instead of failing.
+var (
+	ErrTruncated     = errors.New("packet: truncated frame")
+	ErrNotIP         = errors.New("packet: not an IP frame")
+	ErrUnsupportedL4 = errors.New("packet: unsupported L4 protocol")
+)
+
+// Ethernet constants.
+const (
+	etherTypeIPv4  = 0x0800
+	etherTypeIPv6  = 0x86DD
+	etherTypeVLAN  = 0x8100
+	etherHeaderLen = 14
+	vlanTagLen     = 4
+)
+
+// ParseEthernet extracts the 5-tuple flow key from a raw Ethernet frame.
+// wireLen is the original (untruncated) length of the frame on the wire;
+// the returned Packet carries wireLen so byte counting reflects actual
+// traffic volume even when the capture snapped the payload.
+func ParseEthernet(frame []byte, wireLen int, ts int64) (Packet, error) {
+	if len(frame) < etherHeaderLen {
+		return Packet{}, fmt.Errorf("ethernet header: %w", ErrTruncated)
+	}
+	etherType := uint16(frame[12])<<8 | uint16(frame[13])
+	payload := frame[etherHeaderLen:]
+
+	// Unwrap up to two VLAN tags (802.1Q / QinQ).
+	for i := 0; i < 2 && etherType == etherTypeVLAN; i++ {
+		if len(payload) < vlanTagLen {
+			return Packet{}, fmt.Errorf("vlan tag: %w", ErrTruncated)
+		}
+		etherType = uint16(payload[2])<<8 | uint16(payload[3])
+		payload = payload[vlanTagLen:]
+	}
+
+	switch etherType {
+	case etherTypeIPv4:
+		return parseIPv4(payload, wireLen, ts)
+	case etherTypeIPv6:
+		return parseIPv6(payload, wireLen, ts)
+	default:
+		return Packet{}, fmt.Errorf("ethertype 0x%04x: %w", etherType, ErrNotIP)
+	}
+}
+
+// ParseIP parses a raw IP packet (no link-layer header), as produced by
+// DLT_RAW captures.
+func ParseIP(datagram []byte, wireLen int, ts int64) (Packet, error) {
+	if len(datagram) < 1 {
+		return Packet{}, fmt.Errorf("ip version: %w", ErrTruncated)
+	}
+	switch datagram[0] >> 4 {
+	case 4:
+		return parseIPv4(datagram, wireLen, ts)
+	case 6:
+		return parseIPv6(datagram, wireLen, ts)
+	default:
+		return Packet{}, fmt.Errorf("ip version %d: %w", datagram[0]>>4, ErrNotIP)
+	}
+}
+
+func parseIPv4(b []byte, wireLen int, ts int64) (Packet, error) {
+	if len(b) < 20 {
+		return Packet{}, fmt.Errorf("ipv4 header: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 4 {
+		return Packet{}, fmt.Errorf("ipv4 version field: %w", ErrNotIP)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < 20 || len(b) < ihl {
+		return Packet{}, fmt.Errorf("ipv4 options: %w", ErrTruncated)
+	}
+	proto := b[9]
+
+	var k FlowKey
+	copy(k.SrcIP[:4], b[12:16])
+	copy(k.DstIP[:4], b[16:20])
+	k.Proto = proto
+
+	// Fragments past the first carry no L4 header; key them on the 3-tuple.
+	fragOffset := (uint16(b[6])&0x1F)<<8 | uint16(b[7])
+	if fragOffset == 0 {
+		if err := parseL4(&k, proto, b[ihl:]); err != nil {
+			return Packet{}, err
+		}
+	}
+	return Packet{Key: k, Len: clampLen(wireLen), TS: ts}, nil
+}
+
+func parseIPv6(b []byte, wireLen int, ts int64) (Packet, error) {
+	if len(b) < 40 {
+		return Packet{}, fmt.Errorf("ipv6 header: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 6 {
+		return Packet{}, fmt.Errorf("ipv6 version field: %w", ErrNotIP)
+	}
+	var k FlowKey
+	copy(k.SrcIP[:], b[8:24])
+	copy(k.DstIP[:], b[24:40])
+	k.IsV6 = true
+
+	next := b[6]
+	payload := b[40:]
+	// Walk the common extension-header chain.
+	for i := 0; i < 6; i++ {
+		switch next {
+		case 0, 43, 60: // hop-by-hop, routing, destination options
+			if len(payload) < 2 {
+				return Packet{}, fmt.Errorf("ipv6 ext header: %w", ErrTruncated)
+			}
+			hdrLen := (int(payload[1]) + 1) * 8
+			if len(payload) < hdrLen {
+				return Packet{}, fmt.Errorf("ipv6 ext header body: %w", ErrTruncated)
+			}
+			next = payload[0]
+			payload = payload[hdrLen:]
+		case 44: // fragment header
+			if len(payload) < 8 {
+				return Packet{}, fmt.Errorf("ipv6 fragment header: %w", ErrTruncated)
+			}
+			offset := uint16(payload[2])<<5 | uint16(payload[3])>>3
+			nxt := payload[0]
+			payload = payload[8:]
+			if offset != 0 {
+				// Non-first fragment: 3-tuple key only.
+				k.Proto = nxt
+				return Packet{Key: k, Len: clampLen(wireLen), TS: ts}, nil
+			}
+			next = nxt
+		default:
+			k.Proto = next
+			if err := parseL4(&k, next, payload); err != nil {
+				return Packet{}, err
+			}
+			return Packet{Key: k, Len: clampLen(wireLen), TS: ts}, nil
+		}
+	}
+	return Packet{}, fmt.Errorf("ipv6 extension chain too deep: %w", ErrUnsupportedL4)
+}
+
+func parseL4(k *FlowKey, proto uint8, b []byte) error {
+	switch proto {
+	case ProtoTCP, ProtoUDP:
+		if len(b) < 4 {
+			return fmt.Errorf("l4 ports: %w", ErrTruncated)
+		}
+		k.SrcPort = uint16(b[0])<<8 | uint16(b[1])
+		k.DstPort = uint16(b[2])<<8 | uint16(b[3])
+	case ProtoICMP, ProtoICMPv6:
+		if len(b) < 2 {
+			return fmt.Errorf("icmp type: %w", ErrTruncated)
+		}
+		// Use type/code as the "port" pair so distinct ICMP conversations
+		// separate, mirroring how flow tools treat ICMP.
+		k.SrcPort = uint16(b[0])
+		k.DstPort = uint16(b[1])
+	default:
+		return fmt.Errorf("proto %d: %w", proto, ErrUnsupportedL4)
+	}
+	return nil
+}
+
+func clampLen(n int) uint16 {
+	if n < 0 {
+		return 0
+	}
+	if n > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(n)
+}

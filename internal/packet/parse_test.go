@@ -1,0 +1,263 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTripV4(t *testing.T) {
+	protos := []uint8{ProtoTCP, ProtoUDP, ProtoICMP}
+	f := func(src, dst uint32, sp, dp uint16, protoIdx uint8, ln uint16) bool {
+		proto := protos[int(protoIdx)%len(protos)]
+		if proto == ProtoICMP {
+			sp, dp = sp%256, dp%256 // ICMP "ports" are type/code bytes
+		}
+		key := V4Key(src, dst, sp, dp, proto)
+		if ln < 64 {
+			ln = 64
+		}
+		p := Packet{Key: key, Len: ln, TS: 42}
+		frame, err := BuildEthernet(p, 0)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		got, err := ParseEthernet(frame, int(p.Len), p.TS)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		return got.Key == key && got.TS == 42
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildParseRoundTripV6(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		var key FlowKey
+		key.IsV6 = true
+		rng.Read(key.SrcIP[:])
+		rng.Read(key.DstIP[:])
+		key.SrcPort = uint16(rng.Intn(65536))
+		key.DstPort = uint16(rng.Intn(65536))
+		key.Proto = ProtoTCP
+		if i%2 == 0 {
+			key.Proto = ProtoUDP
+		}
+
+		p := Packet{Key: key, Len: 200, TS: 7}
+		frame, err := BuildEthernet(p, 0)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		got, err := ParseEthernet(frame, int(p.Len), p.TS)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.Key != key {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Key, key)
+		}
+	}
+}
+
+func TestParseVLANUnwrap(t *testing.T) {
+	key := V4Key(0x01020304, 0x05060708, 1000, 2000, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice one 802.1Q tag between the MACs and the ethertype.
+	tagged := make([]byte, 0, len(frame)+4)
+	tagged = append(tagged, frame[:12]...)
+	tagged = append(tagged, 0x81, 0x00, 0x00, 0x05) // TPID + VID 5
+	tagged = append(tagged, frame[12:]...)
+
+	got, err := ParseEthernet(tagged, len(tagged), 0)
+	if err != nil {
+		t.Fatalf("parse vlan: %v", err)
+	}
+	if got.Key != key {
+		t.Errorf("vlan unwrap key mismatch: got %+v", got.Key)
+	}
+
+	// Double-tagged (QinQ).
+	qinq := make([]byte, 0, len(frame)+8)
+	qinq = append(qinq, frame[:12]...)
+	qinq = append(qinq, 0x81, 0x00, 0x00, 0x01, 0x81, 0x00, 0x00, 0x02)
+	qinq = append(qinq, frame[12:]...)
+	got, err = ParseEthernet(qinq, len(qinq), 0)
+	if err != nil {
+		t.Fatalf("parse qinq: %v", err)
+	}
+	if got.Key != key {
+		t.Errorf("qinq unwrap key mismatch: got %+v", got.Key)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	key := V4Key(1, 2, 3, 4, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 5, 13, 14, 20, 33, 37} {
+		if _, err := ParseEthernet(frame[:n], 100, 0); !errors.Is(err, ErrTruncated) {
+			t.Errorf("len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestParseNonIP(t *testing.T) {
+	frame := make([]byte, 60)
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	if _, err := ParseEthernet(frame, 60, 0); !errors.Is(err, ErrNotIP) {
+		t.Errorf("err = %v, want ErrNotIP", err)
+	}
+}
+
+func TestParseUnsupportedL4(t *testing.T) {
+	key := V4Key(1, 2, 0, 0, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[14+9] = 47 // rewrite protocol to GRE
+	if _, err := ParseEthernet(frame, 100, 0); !errors.Is(err, ErrUnsupportedL4) {
+		t.Errorf("err = %v, want ErrUnsupportedL4", err)
+	}
+}
+
+func TestParseIPv4Fragment(t *testing.T) {
+	key := V4Key(10, 20, 30, 40, ProtoUDP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set a non-zero fragment offset: the parser must fall back to the
+	// 3-tuple (ports zeroed) rather than misreading payload bytes.
+	frame[14+6] = 0x00
+	frame[14+7] = 0x10
+	got, err := ParseEthernet(frame, 100, 0)
+	if err != nil {
+		t.Fatalf("parse fragment: %v", err)
+	}
+	if got.Key.SrcPort != 0 || got.Key.DstPort != 0 {
+		t.Errorf("fragment must have zero ports, got %d/%d", got.Key.SrcPort, got.Key.DstPort)
+	}
+	if got.Key.Proto != ProtoUDP || got.Key.SrcIPv4() != 10 {
+		t.Errorf("fragment lost 3-tuple: %+v", got.Key)
+	}
+}
+
+func TestParseRawIP(t *testing.T) {
+	key := V4Key(111, 222, 333, 444, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 80}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseIP(frame[14:], 80, 9)
+	if err != nil {
+		t.Fatalf("ParseIP: %v", err)
+	}
+	if got.Key != key {
+		t.Errorf("raw ip key mismatch: %+v", got.Key)
+	}
+	if _, err := ParseIP([]byte{0x30, 0, 0, 0}, 4, 0); !errors.Is(err, ErrNotIP) {
+		t.Errorf("bad version: err = %v, want ErrNotIP", err)
+	}
+	if _, err := ParseIP(nil, 0, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseIPv6ExtensionHeaders(t *testing.T) {
+	var key FlowKey
+	key.IsV6 = true
+	key.SrcIP[15], key.DstIP[15] = 1, 2
+	key.SrcPort, key.DstPort = 5000, 6000
+	key.Proto = ProtoUDP
+
+	frame, err := BuildEthernet(Packet{Key: key, Len: 120}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with a hop-by-hop extension header between IPv6 and UDP.
+	ip := frame[14:]
+	ext := make([]byte, 0, len(frame)+8)
+	ext = append(ext, frame[:14]...)
+	ext = append(ext, ip[:40]...)
+	ext = append(ext, ProtoUDP, 0, 0, 0, 0, 0, 0, 0) // hop-by-hop, len 0 (8 bytes)
+	ext = append(ext, ip[40:]...)
+	ext[14+6] = 0 // next header: hop-by-hop
+
+	got, err := ParseEthernet(ext, len(ext), 0)
+	if err != nil {
+		t.Fatalf("parse ext header: %v", err)
+	}
+	if got.Key != key {
+		t.Errorf("ext header key mismatch:\n got %+v\nwant %+v", got.Key, key)
+	}
+}
+
+func TestParseIPv6NonFirstFragment(t *testing.T) {
+	var key FlowKey
+	key.IsV6 = true
+	key.SrcIP[15], key.DstIP[15] = 3, 4
+	key.SrcPort, key.DstPort = 1111, 2222
+	key.Proto = ProtoTCP
+
+	frame, err := BuildEthernet(Packet{Key: key, Len: 120}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := frame[14:]
+	frag := make([]byte, 0, len(frame)+8)
+	frag = append(frag, frame[:14]...)
+	frag = append(frag, ip[:40]...)
+	// Fragment header: next=TCP, offset != 0.
+	frag = append(frag, ProtoTCP, 0, 0x00, 0x08, 0, 0, 0, 0)
+	frag = append(frag, ip[40:]...)
+	frag[14+6] = 44 // next header: fragment
+
+	got, err := ParseEthernet(frag, len(frag), 0)
+	if err != nil {
+		t.Fatalf("parse v6 fragment: %v", err)
+	}
+	if got.Key.SrcPort != 0 || got.Key.DstPort != 0 {
+		t.Errorf("v6 fragment must zero ports, got %d/%d", got.Key.SrcPort, got.Key.DstPort)
+	}
+	if got.Key.Proto != ProtoTCP {
+		t.Errorf("v6 fragment proto = %d, want TCP", got.Key.Proto)
+	}
+}
+
+func TestClampLen(t *testing.T) {
+	if clampLen(-1) != 0 || clampLen(70000) != 0xFFFF || clampLen(1500) != 1500 {
+		t.Error("clampLen bounds wrong")
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	key := V4Key(0xDEADBEEF, 0xCAFEBABE, 80, 8080, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := frame[14 : 14+20]
+	// Verifying: sum of all 16-bit words including checksum must be 0xFFFF.
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	if sum != 0xFFFF {
+		t.Errorf("ipv4 checksum invalid: folded sum = %#x", sum)
+	}
+}

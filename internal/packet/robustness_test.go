@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics throws random byte soup at both parsers: every
+// outcome must be a value or an error, never a panic — the property a
+// line-rate parser facing hostile traffic needs.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(data []byte, wireLen uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		_, _ = ParseEthernet(data, int(wireLen), 0)
+		_, _ = ParseIP(data, int(wireLen), 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMutatedValidFrames corrupts single bytes of valid frames —
+// near-valid input is the hardest case for bounds handling.
+func TestParseMutatedValidFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := V4Key(0x01020304, 0x05060708, 1234, 80, ProtoTCP)
+	frame, err := BuildEthernet(Packet{Key: base, Len: 120}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		mutated := make([]byte, len(frame))
+		copy(mutated, frame)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		// Random truncation too.
+		n := len(mutated)
+		if rng.Intn(3) == 0 {
+			n = rng.Intn(len(mutated) + 1)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated frame (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = ParseEthernet(mutated[:n], 120, 0)
+		}()
+	}
+}
+
+// TestParseDeepVLANNesting checks that pathological VLAN stacking is
+// rejected, not followed forever.
+func TestParseDeepVLANNesting(t *testing.T) {
+	frame := make([]byte, 200)
+	frame[12], frame[13] = 0x81, 0x00
+	for i := 14; i+4 < len(frame); i += 4 {
+		frame[i+2], frame[i+3] = 0x81, 0x00 // every tag points at another tag
+	}
+	if _, err := ParseEthernet(frame, len(frame), 0); err == nil {
+		t.Error("infinite VLAN nesting must error")
+	}
+}

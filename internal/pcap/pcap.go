@@ -1,0 +1,217 @@
+// Package pcap reads and writes classic libpcap capture files (the format
+// tcpdump -w produces) using only the standard library. The reproduction
+// uses it in place of gopacket: synthetic traces can be written to real
+// pcap files and replayed through the same parsing path a live capture
+// would take.
+//
+// Supported: both byte orders, microsecond and nanosecond timestamp magic,
+// link types Ethernet (DLT_EN10MB) and raw IP (DLT_RAW).
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// LinkType identifies the capture's link layer.
+type LinkType uint32
+
+// Link types understood by the reader.
+const (
+	LinkEthernet LinkType = 1   // DLT_EN10MB
+	LinkRaw      LinkType = 101 // DLT_RAW (bare IP)
+)
+
+// Magic numbers.
+const (
+	magicMicros = 0xA1B2C3D4
+	magicNanos  = 0xA1B23C4D
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic   = errors.New("pcap: unrecognized magic number")
+	ErrSnapLen    = errors.New("pcap: record exceeds snap length")
+	ErrCorruptHdr = errors.New("pcap: corrupt record header")
+)
+
+// Record is one captured frame: timestamp in nanoseconds since the Unix
+// epoch, the original wire length, and the (possibly snapped) frame bytes.
+type Record struct {
+	TS      int64
+	WireLen int
+	Data    []byte
+}
+
+// Reader streams records from a pcap file.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	linkType LinkType
+	snapLen  uint32
+	buf      []byte
+}
+
+// NewReader parses the pcap global header from r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("global header: %w", err)
+	}
+
+	var (
+		order binary.ByteOrder
+		nanos bool
+	)
+	switch le := binary.LittleEndian.Uint32(hdr[0:4]); le {
+	case magicMicros:
+		order = binary.LittleEndian
+	case magicNanos:
+		order, nanos = binary.LittleEndian, true
+	default:
+		switch be := binary.BigEndian.Uint32(hdr[0:4]); be {
+		case magicMicros:
+			order = binary.BigEndian
+		case magicNanos:
+			order, nanos = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, le)
+		}
+	}
+
+	return &Reader{
+		r:        br,
+		order:    order,
+		nanos:    nanos,
+		linkType: LinkType(order.Uint32(hdr[20:24])),
+		snapLen:  order.Uint32(hdr[16:20]),
+	}, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() LinkType { return r.linkType }
+
+// SnapLen returns the capture's snap length.
+func (r *Reader) SnapLen() int { return int(r.snapLen) }
+
+// Next returns the next record. The record's Data slice is reused between
+// calls; copy it if it must outlive the next Next. At end of file it
+// returns io.EOF.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("record header: %w", err)
+	}
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	sub := int64(r.order.Uint32(hdr[4:8]))
+	inclLen := r.order.Uint32(hdr[8:12])
+	origLen := r.order.Uint32(hdr[12:16])
+
+	if r.snapLen > 0 && inclLen > r.snapLen {
+		return Record{}, fmt.Errorf("%w: incl=%d snap=%d", ErrSnapLen, inclLen, r.snapLen)
+	}
+	if inclLen > origLen {
+		return Record{}, fmt.Errorf("%w: incl=%d orig=%d", ErrCorruptHdr, inclLen, origLen)
+	}
+
+	if cap(r.buf) < int(inclLen) {
+		r.buf = make([]byte, inclLen)
+	}
+	r.buf = r.buf[:inclLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return Record{}, fmt.Errorf("record body: %w", err)
+	}
+
+	ts := sec * 1e9
+	if r.nanos {
+		ts += sub
+	} else {
+		ts += sub * 1e3
+	}
+	return Record{TS: ts, WireLen: int(origLen), Data: r.buf}, nil
+}
+
+// Writer streams records to a pcap file in little-endian, nanosecond-
+// timestamp format.
+type Writer struct {
+	w       *bufio.Writer
+	snapLen uint32
+	wrote   bool
+	link    LinkType
+}
+
+// NewWriter returns a Writer that will emit a capture of the given link
+// type and snap length (0 means 65535).
+func NewWriter(w io.Writer, link LinkType, snapLen int) *Writer {
+	if snapLen <= 0 {
+		snapLen = 65535
+	}
+	return &Writer{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		snapLen: uint32(snapLen),
+		link:    link,
+	}
+}
+
+// Write appends one record. ts is nanoseconds since the Unix epoch; wireLen
+// is the original frame length (>= len(data)).
+func (w *Writer) Write(ts int64, wireLen int, data []byte) error {
+	if !w.wrote {
+		if err := w.writeGlobalHeader(); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	if uint32(len(data)) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	if wireLen < len(data) {
+		wireLen = len(data)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts/1e9))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts%1e9))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(wireLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("record body: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered data to the underlying writer. An empty capture
+// still gets a valid global header.
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		if err := w.writeGlobalHeader(); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) writeGlobalHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(w.link))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("global header: %w", err)
+	}
+	return nil
+}

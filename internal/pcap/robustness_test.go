@@ -1,0 +1,102 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestReaderNeverPanicsOnGarbage feeds random bytes to the reader: it must
+// error (or EOF) gracefully on every input.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(256)
+		data := make([]byte, n)
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %d garbage bytes: %v", n, r)
+				}
+			}()
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestReaderCorruptedValidCapture mutates a valid capture byte-by-byte;
+// the reader must never panic and never allocate absurd buffers.
+func TestReaderCorruptedValidCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkEthernet, 256)
+	for i := 0; i < 5; i++ {
+		if err := w.Write(int64(i)*1e6, 64, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		mutated := make([]byte, len(valid))
+		copy(mutated, valid)
+		mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated capture (trial %d): %v", trial, r)
+				}
+			}()
+			r, err := NewReader(bytes.NewReader(mutated))
+			if err != nil {
+				return
+			}
+			for {
+				if _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestReaderHugeClaimedLength crafts a record header claiming a giant
+// payload: with an unbounded snap length the reader must fail with
+// ErrUnexpectedEOF rather than blocking or over-allocating beyond the
+// claimed (bounded-by-uint32) size.
+func TestReaderHugeClaimedLength(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanos)
+	binary.LittleEndian.PutUint32(hdr[16:20], 0) // snap length 0: no cap
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(LinkEthernet))
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 1<<20)
+	binary.LittleEndian.PutUint32(rec[12:16], 1<<20)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3}) // far less than claimed
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}

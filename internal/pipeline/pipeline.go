@@ -1,0 +1,291 @@
+// Package pipeline implements the paper's multi-core measurement system
+// (Section IV.C): a manager core distributes packets to per-worker FIFO
+// queues by the popcount of the source IP address, and each worker core
+// runs an independent FlowRegulator + WSAF engine over its exclusive memory
+// block. Workers never share mutable state, so the design scales with
+// cores exactly as the prototype did.
+//
+// Packets travel in bursts (the DPDK idiom the prototype was built on):
+// the manager accumulates BatchSize packets per worker before handing the
+// batch over, which keeps the per-packet synchronization cost negligible.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"instameasure/internal/core"
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+	"instameasure/internal/wsaf"
+)
+
+// ShardFunc maps a packet to a worker index in [0, workers).
+type ShardFunc func(p *packet.Packet, workers int) int
+
+// PopcountShard is the paper's policy: the number of 1 bits in the source
+// IP address selects the queue.
+func PopcountShard(p *packet.Packet, workers int) int {
+	return flowhash.PopCount32(p.Key.SrcIPv4()) % workers
+}
+
+// RoundRobinShard cycles through workers regardless of flow identity —
+// the ablation baseline. It breaks flow affinity, so per-worker sketches
+// each see a slice of every flow.
+func RoundRobinShard() ShardFunc {
+	var n int
+	return func(_ *packet.Packet, workers int) int {
+		n++
+		return n % workers
+	}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Workers is the number of worker cores; 0 means 1.
+	Workers int
+	// QueueDepth is each worker's FIFO capacity in packets; 0 means 4096.
+	// The depth bounds memory and provides the back-pressure point the
+	// Fig. 12 queue-occupancy probe watches.
+	QueueDepth int
+	// BatchSize is the burst size packets travel in; 0 means 256.
+	BatchSize int
+	// Engine is the per-worker engine configuration. WSAF entries are
+	// per worker; to match the paper's fixed 2^20 total, divide by
+	// Workers before calling New.
+	Engine core.Config
+	// Shard selects the dispatch policy; nil means PopcountShard.
+	Shard ShardFunc
+	// SampleEvery controls queue-occupancy sampling: the manager records
+	// every worker's queue length each SampleEvery packets. 0 disables
+	// sampling.
+	SampleEvery int
+}
+
+// QueueSample is one occupancy observation; depths are in packets
+// (queued batches × batch size plus the manager-side partial batch).
+type QueueSample struct {
+	PacketIndex uint64
+	TS          int64
+	Depths      []int
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Packets      uint64
+	Bytes        uint64
+	WallTime     time.Duration
+	PerWorker    []uint64
+	BusyTime     []time.Duration
+	QueueSamples []QueueSample
+}
+
+// MPPS returns the observed throughput in million packets per second.
+func (r Report) MPPS() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.WallTime.Seconds() / 1e6
+}
+
+// Utilization returns each worker's busy fraction (processing time over
+// wall time) — the per-core CPU-usage proxy for the Fig. 12 experiment.
+func (r Report) Utilization() []float64 {
+	out := make([]float64, len(r.BusyTime))
+	for i, b := range r.BusyTime {
+		if r.WallTime > 0 {
+			out[i] = float64(b) / float64(r.WallTime)
+		}
+	}
+	return out
+}
+
+// System is a multi-core measurement pipeline. Build one per run.
+type System struct {
+	cfg     Config
+	engines []*core.Engine
+	queues  []chan []packet.Packet
+	shard   ShardFunc
+	batch   int
+}
+
+// New builds a System with per-worker engines whose seeds derive from the
+// base engine seed so workers never collide in hash space.
+func New(cfg Config) (*System, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Shard == nil {
+		cfg.Shard = PopcountShard
+	}
+	chanCap := cfg.QueueDepth / cfg.BatchSize
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	s := &System{
+		cfg:     cfg,
+		engines: make([]*core.Engine, cfg.Workers),
+		queues:  make([]chan []packet.Packet, cfg.Workers),
+		shard:   cfg.Shard,
+		batch:   cfg.BatchSize,
+	}
+	for i := range s.engines {
+		engCfg := cfg.Engine
+		engCfg.Seed = cfg.Engine.Seed + uint64(i)*0x9E3779B97F4A7C15
+		eng, err := core.New(engCfg)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d engine: %w", i, err)
+		}
+		s.engines[i] = eng
+		s.queues[i] = make(chan []packet.Packet, chanCap)
+	}
+	return s, nil
+}
+
+// Workers returns the worker count.
+func (s *System) Workers() int { return len(s.engines) }
+
+// Engines exposes the per-worker engines for post-run inspection. Do not
+// call while Run is in flight.
+func (s *System) Engines() []*core.Engine { return s.engines }
+
+// Run drains src through the pipeline: the calling goroutine acts as the
+// manager core, workers run as goroutines, and Run returns once every
+// packet has been processed and all workers have exited.
+func (s *System) Run(src trace.Source) (Report, error) {
+	return s.RunContext(context.Background(), src)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the manager
+// stops reading the source, flushes pending batches, and waits for the
+// workers to drain what was already queued. The report covers the packets
+// dispatched before cancellation and the returned error wraps ctx.Err().
+func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, error) {
+	var wg sync.WaitGroup
+	nw := len(s.engines)
+	perWorker := make([]uint64, nw)
+	busy := make([]time.Duration, nw)
+	for i := 0; i < nw; i++ {
+		i := i
+		eng := s.engines[i]
+		q := s.queues[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n uint64
+			var b time.Duration
+			for batch := range q {
+				start := time.Now()
+				for j := range batch {
+					eng.Process(batch[j])
+				}
+				b += time.Since(start)
+				n += uint64(len(batch))
+			}
+			perWorker[i] = n
+			busy[i] = b
+		}()
+	}
+
+	pending := make([][]packet.Packet, nw)
+	for i := range pending {
+		pending[i] = make([]packet.Packet, 0, s.batch)
+	}
+	flush := func(w int) {
+		if len(pending[w]) == 0 {
+			return
+		}
+		s.queues[w] <- pending[w]
+		pending[w] = make([]packet.Packet, 0, s.batch)
+	}
+
+	var report Report
+	start := time.Now()
+	var err error
+	var cancelled bool
+	// Check ctx every checkEvery packets — cheap enough to leave on.
+	const checkEvery = 1024
+	for {
+		if report.Packets%checkEvery == 0 {
+			select {
+			case <-ctx.Done():
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+		}
+		var p packet.Packet
+		p, err = src.Next()
+		if err != nil {
+			break
+		}
+		report.Packets++
+		report.Bytes += uint64(p.Len)
+		w := s.shard(&p, nw)
+		pending[w] = append(pending[w], p)
+		if len(pending[w]) >= s.batch {
+			flush(w)
+		}
+
+		if s.cfg.SampleEvery > 0 && report.Packets%uint64(s.cfg.SampleEvery) == 0 {
+			depths := make([]int, nw)
+			for j, q := range s.queues {
+				depths[j] = len(q)*s.batch + len(pending[j])
+			}
+			report.QueueSamples = append(report.QueueSamples, QueueSample{
+				PacketIndex: report.Packets,
+				TS:          p.TS,
+				Depths:      depths,
+			})
+		}
+	}
+	for w := 0; w < nw; w++ {
+		flush(w)
+		close(s.queues[w])
+	}
+	wg.Wait()
+	report.WallTime = time.Since(start)
+	report.PerWorker = perWorker
+	report.BusyTime = busy
+
+	if cancelled {
+		return report, fmt.Errorf("pipeline cancelled: %w", ctx.Err())
+	}
+	if !errors.Is(err, io.EOF) {
+		return report, fmt.Errorf("pipeline source: %w", err)
+	}
+	return report, nil
+}
+
+// MergedSnapshot gathers live WSAF entries across every worker. Workers
+// never share flows (sharding is by source IP), so concatenation is exact.
+func (s *System) MergedSnapshot() []wsaf.Entry {
+	var out []wsaf.Entry
+	for _, eng := range s.engines {
+		out = append(out, eng.Snapshot()...)
+	}
+	return out
+}
+
+// TotalRegulation reports packets seen and emissions across all workers —
+// the system-wide regulation rate.
+func (s *System) TotalRegulation() (packets, emissions uint64) {
+	for _, eng := range s.engines {
+		packets += eng.Regulator().Packets()
+		emissions += eng.Regulator().Emissions()
+	}
+	return packets, emissions
+}

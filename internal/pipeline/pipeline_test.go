@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"instameasure/internal/core"
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+)
+
+func testTrace(t *testing.T, flows, pkts int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{Flows: flows, TotalPackets: pkts, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testConfig(workers int) Config {
+	return Config{
+		Workers: workers,
+		Engine:  core.Config{SketchMemoryBytes: 16 << 10, WSAFEntries: 1 << 14, Seed: 5},
+	}
+}
+
+func TestPopcountShardStable(t *testing.T) {
+	p := packet.Packet{Key: packet.V4Key(0xF0F0F0F0, 1, 2, 3, packet.ProtoTCP)}
+	w := PopcountShard(&p, 4)
+	if w != flowhash.PopCount32(0xF0F0F0F0)%4 {
+		t.Errorf("shard = %d, want popcount%%4", w)
+	}
+	for i := 0; i < 10; i++ {
+		if PopcountShard(&p, 4) != w {
+			t.Fatal("popcount shard not stable")
+		}
+	}
+}
+
+func TestRoundRobinShardCycles(t *testing.T) {
+	shard := RoundRobinShard()
+	var p packet.Packet
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		w := shard(&p, 4)
+		if w < 0 || w >= 4 {
+			t.Fatalf("shard %d out of range", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("round robin visited %d of 4 workers", len(seen))
+	}
+}
+
+func TestRunProcessesEverything(t *testing.T) {
+	tr := testTrace(t, 2000, 50_000)
+	for _, workers := range []int{1, 2, 4} {
+		sys, err := New(testConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Packets != uint64(len(tr.Packets)) {
+			t.Errorf("workers=%d: report packets = %d, want %d",
+				workers, rep.Packets, len(tr.Packets))
+		}
+		var workerTotal uint64
+		for _, n := range rep.PerWorker {
+			workerTotal += n
+		}
+		if workerTotal != rep.Packets {
+			t.Errorf("workers=%d: per-worker sum %d != %d", workers, workerTotal, rep.Packets)
+		}
+		if rep.MPPS() <= 0 {
+			t.Errorf("workers=%d: MPPS = %v", workers, rep.MPPS())
+		}
+	}
+}
+
+func TestWorkersSeeDisjointFlows(t *testing.T) {
+	tr := testTrace(t, 3000, 60_000)
+	sys, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[packet.FlowKey]int{}
+	for w, eng := range sys.Engines() {
+		for _, e := range eng.Snapshot() {
+			if prev, dup := seen[e.Key]; dup {
+				t.Fatalf("flow %v on workers %d and %d", e.Key, prev, w)
+			}
+			seen[e.Key] = w
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no flows reached any WSAF")
+	}
+}
+
+func TestMergedSnapshotAccuracy(t *testing.T) {
+	tr := testTrace(t, 5000, 200_000)
+	sys, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	// Every 1000+ packet flow must be present and accurate in the merged
+	// snapshot.
+	merged := map[packet.FlowKey]float64{}
+	for _, e := range sys.MergedSnapshot() {
+		merged[e.Key] = e.Pkts
+	}
+	var missing, checked int
+	tr.EachTruth(func(k packet.FlowKey, ft *trace.FlowTruth) {
+		if ft.Pkts < 1000 {
+			return
+		}
+		checked++
+		got, ok := merged[k]
+		if !ok {
+			missing++
+			return
+		}
+		if relErr := math.Abs(got-float64(ft.Pkts)) / float64(ft.Pkts); relErr > 0.25 {
+			t.Errorf("flow %v: est %.0f vs truth %d (rel err %.3f)", k, got, ft.Pkts, relErr)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no large flows")
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d large flows missing from merged snapshot", missing, checked)
+	}
+}
+
+func TestTotalRegulation(t *testing.T) {
+	tr := testTrace(t, 2000, 100_000)
+	sys, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	pkts, emissions := sys.TotalRegulation()
+	if pkts != uint64(len(tr.Packets)) {
+		t.Errorf("regulator packets = %d, want %d", pkts, len(tr.Packets))
+	}
+	rate := float64(emissions) / float64(pkts)
+	if rate <= 0 || rate > 0.05 {
+		t.Errorf("cluster regulation rate %.4f outside (0, 5%%]", rate)
+	}
+}
+
+func TestQueueSampling(t *testing.T) {
+	tr := testTrace(t, 500, 20_000)
+	cfg := testConfig(2)
+	cfg.SampleEvery = 1000
+	cfg.QueueDepth = 4096
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(rep.Packets) / 1000
+	if len(rep.QueueSamples) != want {
+		t.Errorf("queue samples = %d, want %d", len(rep.QueueSamples), want)
+	}
+	for _, s := range rep.QueueSamples {
+		if len(s.Depths) != 2 {
+			t.Fatalf("sample has %d depths, want 2", len(s.Depths))
+		}
+		for _, d := range s.Depths {
+			if d < 0 || d > cfg.QueueDepth+256 {
+				t.Fatalf("queue depth %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestRoundRobinBreaksAffinityButKeepsTotals(t *testing.T) {
+	tr := testTrace(t, 1000, 50_000)
+	cfg := testConfig(4)
+	cfg.Shard = RoundRobinShard()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets != uint64(len(tr.Packets)) {
+		t.Errorf("packets = %d, want %d", rep.Packets, len(tr.Packets))
+	}
+	// Round robin spreads load almost perfectly evenly.
+	mean := float64(rep.Packets) / 4
+	for w, n := range rep.PerWorker {
+		if math.Abs(float64(n)-mean)/mean > 0.01 {
+			t.Errorf("worker %d processed %d, want ≈%.0f", w, n, mean)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys, err := New(Config{Engine: core.Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Workers() != 1 {
+		t.Errorf("default workers = %d, want 1", sys.Workers())
+	}
+}
+
+func TestSingleWorkerMatchesBareEngine(t *testing.T) {
+	// A 1-worker pipeline must produce byte-identical estimates to a bare
+	// engine with the same seed, because packets arrive in order.
+	tr := testTrace(t, 800, 30_000)
+	sys, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := core.New(core.Config{SketchMemoryBytes: 16 << 10, WSAFEntries: 1 << 14, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		bare.Process(tr.Packets[i])
+	}
+	pipeEntries := sys.Engines()[0].Snapshot()
+	bareEntries := bare.Snapshot()
+	if len(pipeEntries) != len(bareEntries) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(pipeEntries), len(bareEntries))
+	}
+	bareMap := map[packet.FlowKey]float64{}
+	for _, e := range bareEntries {
+		bareMap[e.Key] = e.Pkts
+	}
+	for _, e := range pipeEntries {
+		if bareMap[e.Key] != e.Pkts {
+			t.Fatalf("flow %v: pipeline %v vs bare %v", e.Key, e.Pkts, bareMap[e.Key])
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	tr := testTrace(t, 2000, 100_000)
+	sys, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel via a source wrapper after 10k packets, mid-run.
+	src := &cancellingSource{inner: tr.Source(), after: 10_000, cancel: cancel}
+	rep, err := sys.RunContext(ctx, src)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Packets < 10_000 || rep.Packets >= uint64(len(tr.Packets)) {
+		t.Errorf("dispatched %d packets; want partial progress past 10k", rep.Packets)
+	}
+	// All dispatched packets must have been drained by the workers.
+	var processed uint64
+	for _, n := range rep.PerWorker {
+		processed += n
+	}
+	if processed != rep.Packets {
+		t.Errorf("workers processed %d of %d dispatched", processed, rep.Packets)
+	}
+}
+
+type cancellingSource struct {
+	inner  trace.Source
+	after  int
+	n      int
+	cancel func()
+}
+
+func (s *cancellingSource) Next() (packet.Packet, error) {
+	s.n++
+	if s.n == s.after {
+		s.cancel()
+	}
+	return s.inner.Next()
+}

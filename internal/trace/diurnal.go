@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// DiurnalConfig shapes a campus-gateway-like trace: a long measurement
+// window with sinusoidal day/night load, a weekend dip, and continuous flow
+// churn — the traffic of the paper's 113-hour real-world experiment, with
+// the wall-clock axis compressible so the experiment runs in seconds.
+type DiurnalConfig struct {
+	// Hours is the simulated monitoring duration (the paper ran 113).
+	Hours float64
+	// TotalPackets is the approximate packet count to generate across the
+	// window (the simulated rate follows from Hours and TotalPackets).
+	TotalPackets int
+	// FlowsPerHour is the rate of new-flow arrivals at peak load.
+	FlowsPerHour float64
+	// Skew is the Zipf exponent of flow sizes; 0 means 1.0.
+	Skew float64
+	// DayNightRatio is peak rate over trough rate; 0 means 3.
+	DayNightRatio float64
+	// WeekendDip scales load on simulated weekend days; 0 means 0.6.
+	WeekendDip float64
+	// UDPFraction follows the paper's campus mix when 0 (6.4% UDP,
+	// remainder TCP).
+	UDPFraction float64
+	// StartTS is the first timestamp (ns); StartHourOfWeek positions the
+	// window inside the week (0 = Monday 00:00) so the weekend dip lands
+	// deterministically.
+	StartTS         int64
+	StartHourOfWeek float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GenerateDiurnal produces a campus-like trace per cfg.
+func GenerateDiurnal(cfg DiurnalConfig) (*Trace, error) {
+	if cfg.Hours <= 0 {
+		return nil, fmt.Errorf("trace: Hours must be positive (got %v)", cfg.Hours)
+	}
+	if cfg.TotalPackets <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrNoPackets, cfg.TotalPackets)
+	}
+	skew := cfg.Skew
+	if skew == 0 {
+		skew = 1.0
+	}
+	ratio := cfg.DayNightRatio
+	if ratio == 0 {
+		ratio = 3
+	}
+	dip := cfg.WeekendDip
+	if dip == 0 {
+		dip = 0.6
+	}
+	udpFrac := cfg.UDPFraction
+	if udpFrac == 0 {
+		udpFrac = 0.064
+	}
+	flowsPerHour := cfg.FlowsPerHour
+	if flowsPerHour == 0 {
+		flowsPerHour = float64(cfg.TotalPackets) / cfg.Hours / 30
+	}
+
+	rng := flowhash.NewRand(cfg.Seed ^ 0xD1A4)
+	durationNs := cfg.Hours * 3600 * 1e9
+
+	// First pass: place flow arrivals by thinning a Poisson process
+	// against the diurnal intensity, and draw Zipf sizes.
+	nFlows := int(flowsPerHour * cfg.Hours)
+	if nFlows < 1 {
+		nFlows = 1
+	}
+	sizes := zipfSizes(nFlows, cfg.TotalPackets, skew)
+
+	// Shuffle sizes so rank does not correlate with arrival time.
+	for i := len(sizes) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		sizes[i], sizes[j] = sizes[j], sizes[i]
+	}
+
+	var total int
+	for _, s := range sizes {
+		total += s
+	}
+
+	pkts := make([]packet.Packet, 0, total)
+	for _, size := range sizes {
+		// Rejection-sample the flow start against the load curve so more
+		// flows begin during daytime peaks.
+		var startOff float64
+		for {
+			startOff = rng.Float64() * durationNs
+			hour := cfg.StartHourOfWeek + startOff/3.6e12
+			if rng.Float64() < loadFactor(hour, ratio, dip) {
+				break
+			}
+		}
+
+		key := randomKey(rng, udpFrac, 0.002)
+		base := flowPacketSize(rng)
+
+		// Flow lifetime scales with size: mice last seconds, elephants
+		// can span hours (long-term flows are what the In-DRAM WSAF's
+		// week-scale retention exists for).
+		lifetime := math.Min(float64(size)*50e6*(0.5+rng.Float64()), durationNs-startOff)
+		if lifetime < 1 {
+			lifetime = 1
+		}
+		gap := lifetime / float64(size)
+
+		ts := float64(cfg.StartTS) + startOff
+		for p := 0; p < size; p++ {
+			pkts = append(pkts, packet.Packet{
+				Key: key,
+				Len: jitterSize(rng, base),
+				TS:  int64(ts),
+			})
+			ts += gap * (0.5 + rng.Float64())
+		}
+	}
+
+	sortByTS(pkts)
+	return NewTrace(pkts), nil
+}
+
+// loadFactor returns the relative load in (0,1] at an hour-of-week offset:
+// a sinusoid peaking mid-afternoon, scaled down on the weekend.
+func loadFactor(hourOfWeek, ratio, weekendDip float64) float64 {
+	hourOfDay := math.Mod(hourOfWeek, 24)
+	day := int(math.Mod(hourOfWeek/24, 7))
+
+	// Peak at 15:00, trough at 03:00.
+	phase := (hourOfDay - 15) / 24 * 2 * math.Pi
+	lo := 1 / ratio
+	f := lo + (1-lo)*(1+math.Cos(phase))/2
+
+	if day >= 5 { // Saturday, Sunday
+		f *= weekendDip
+	}
+	return f
+}

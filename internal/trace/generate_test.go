@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"instameasure/internal/packet"
+)
+
+func TestZipfSizesNormalization(t *testing.T) {
+	sizes := zipfSizes(1000, 100_000, 1.0)
+	if len(sizes) != 1000 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	var total int
+	for i, s := range sizes {
+		if s < 1 {
+			t.Fatalf("size[%d] = %d < 1", i, s)
+		}
+		if i > 0 && s > sizes[i-1] {
+			t.Fatalf("sizes not non-increasing at %d", i)
+		}
+		total += s
+	}
+	if math.Abs(float64(total)-100_000)/100_000 > 0.15 {
+		t.Errorf("total = %d, want ≈100000", total)
+	}
+	// Zipf shape: rank-1 flow ≈ 2× rank-2 flow at skew 1.
+	ratio := float64(sizes[0]) / float64(sizes[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("rank1/rank2 = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestGenerateZipfValidation(t *testing.T) {
+	if _, err := GenerateZipf(ZipfConfig{Flows: 0, TotalPackets: 10}); err == nil {
+		t.Error("zero flows must fail")
+	}
+	if _, err := GenerateZipf(ZipfConfig{Flows: 10, TotalPackets: 0}); err == nil {
+		t.Error("zero packets must fail")
+	}
+}
+
+func TestGenerateZipfProperties(t *testing.T) {
+	cfg := ZipfConfig{Flows: 5000, TotalPackets: 100_000, Seed: 7}
+	tr, err := GenerateZipf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Flows(); got < 4800 || got > 5000 {
+		// A few random keys may collide; nearly all flows must exist.
+		t.Errorf("flows = %d, want ≈5000", got)
+	}
+	if n := len(tr.Packets); math.Abs(float64(n)-100_000)/100_000 > 0.15 {
+		t.Errorf("packets = %d, want ≈100000", n)
+	}
+	// Time-ordered.
+	for i := 1; i < len(tr.Packets); i++ {
+		if tr.Packets[i].TS < tr.Packets[i-1].TS {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+	// Duration consistent with the default 1 Mpps rate (±50%).
+	wantDur := float64(len(tr.Packets)) / 1e6 * 1e9
+	if d := float64(tr.Duration()); d < wantDur*0.5 || d > wantDur*2 {
+		t.Errorf("duration %.0fns, want ≈%.0fns", d, wantDur)
+	}
+	// Packet lengths in valid Ethernet range.
+	for _, p := range tr.Packets[:1000] {
+		if p.Len < 60 || p.Len > 1514 {
+			t.Fatalf("packet len %d out of range", p.Len)
+		}
+	}
+}
+
+func TestGenerateZipfDeterministic(t *testing.T) {
+	cfg := ZipfConfig{Flows: 100, TotalPackets: 5000, Seed: 42}
+	a, err := GenerateZipf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateZipf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("same-seed traces differ in size")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("same-seed traces diverge at packet %d", i)
+		}
+	}
+	c, err := GenerateZipf(ZipfConfig{Flows: 100, TotalPackets: 5000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Packets) == len(a.Packets)
+	if same {
+		identical := true
+		for i := range a.Packets {
+			if a.Packets[i] != c.Packets[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateZipfProtocolMix(t *testing.T) {
+	tr, err := GenerateZipf(ZipfConfig{
+		Flows: 2000, TotalPackets: 20_000, Seed: 9,
+		UDPFraction: 0.3, ICMPFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint8]int{}
+	tr.EachTruth(func(k packet.FlowKey, _ *FlowTruth) {
+		counts[k.Proto]++
+	})
+	total := counts[packet.ProtoTCP] + counts[packet.ProtoUDP] + counts[packet.ProtoICMP]
+	if total == 0 {
+		t.Fatal("no flows")
+	}
+	udp := float64(counts[packet.ProtoUDP]) / float64(total)
+	icmp := float64(counts[packet.ProtoICMP]) / float64(total)
+	if math.Abs(udp-0.3) > 0.05 {
+		t.Errorf("udp fraction = %.3f, want ≈0.3", udp)
+	}
+	if math.Abs(icmp-0.1) > 0.03 {
+		t.Errorf("icmp fraction = %.3f, want ≈0.1", icmp)
+	}
+}
+
+func TestGenerateDiurnalValidation(t *testing.T) {
+	if _, err := GenerateDiurnal(DiurnalConfig{Hours: 0, TotalPackets: 10}); err == nil {
+		t.Error("zero hours must fail")
+	}
+	if _, err := GenerateDiurnal(DiurnalConfig{Hours: 1, TotalPackets: 0}); err == nil {
+		t.Error("zero packets must fail")
+	}
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	tr, err := GenerateDiurnal(DiurnalConfig{
+		Hours: 48, TotalPackets: 200_000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) == 0 {
+		t.Fatal("empty trace")
+	}
+	dur := tr.Duration()
+	wantDur := int64(48 * 3600 * 1e9)
+	if dur < wantDur/2 || dur > wantDur {
+		t.Errorf("duration = %.1fh, want ≤48h and ≥24h", float64(dur)/3.6e12)
+	}
+	// Diurnal variation: hourly packet rates must differ substantially
+	// between the busiest and quietest hours.
+	hourly := make([]int, 49)
+	for _, p := range tr.Packets {
+		h := int(p.TS / int64(3600*1e9))
+		if h >= 0 && h < len(hourly) {
+			hourly[h]++
+		}
+	}
+	min, max := 1<<62, 0
+	for h := 0; h < 48; h++ {
+		if hourly[h] == 0 {
+			continue
+		}
+		if hourly[h] < min {
+			min = hourly[h]
+		}
+		if hourly[h] > max {
+			max = hourly[h]
+		}
+	}
+	if max < min*3/2 {
+		t.Errorf("hourly load flat: min=%d max=%d, want ≥1.5× swing", min, max)
+	}
+}
+
+func TestLoadFactorCurve(t *testing.T) {
+	// Peak hour (15:00 weekday) must exceed trough (03:00) by ~ratio.
+	peak := loadFactor(15, 3, 0.6)
+	trough := loadFactor(3, 3, 0.6)
+	if peak <= trough {
+		t.Errorf("peak %.3f <= trough %.3f", peak, trough)
+	}
+	if math.Abs(peak-1) > 1e-9 {
+		t.Errorf("peak load = %v, want 1", peak)
+	}
+	if math.Abs(peak/trough-3) > 0.01 {
+		t.Errorf("peak/trough = %.2f, want 3", peak/trough)
+	}
+	// Weekend dip: same hour on Saturday (day 5) is scaled.
+	weekday := loadFactor(15, 3, 0.6)
+	saturday := loadFactor(5*24+15, 3, 0.6)
+	if math.Abs(saturday-weekday*0.6) > 1e-9 {
+		t.Errorf("saturday load = %v, want %v", saturday, weekday*0.6)
+	}
+}
+
+func TestInject(t *testing.T) {
+	key := packet.V4Key(1, 2, 3, 4, packet.ProtoUDP)
+	tr, err := Inject(nil, InjectConfig{
+		Key: key, RatePPS: 10_000, StartTS: 1e9, DurationNs: 1e9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tr.Truth(key)
+	if ft == nil {
+		t.Fatal("injected flow missing")
+	}
+	if math.Abs(float64(ft.Pkts)-10_000)/10_000 > 0.1 {
+		t.Errorf("injected packets = %d, want ≈10000", ft.Pkts)
+	}
+	if ft.FirstTS < 1e9 || ft.LastTS > 2e9+1e6 {
+		t.Errorf("injected flow outside window: %d..%d", ft.FirstTS, ft.LastTS)
+	}
+	// Default packet length.
+	if tr.Packets[0].Len != 1000 {
+		t.Errorf("default packet len = %d, want 1000", tr.Packets[0].Len)
+	}
+}
+
+func TestInjectOntoBackground(t *testing.T) {
+	bg, err := GenerateZipf(ZipfConfig{Flows: 100, TotalPackets: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := packet.V4Key(9, 9, 9, 9, packet.ProtoUDP)
+	merged, err := Inject(bg, InjectConfig{
+		Key: key, RatePPS: 1000, StartTS: 0, DurationNs: 1e9, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Truth(key) == nil {
+		t.Error("injected flow missing from merged trace")
+	}
+	if merged.Flows() != bg.Flows()+1 {
+		t.Errorf("merged flows = %d, want %d", merged.Flows(), bg.Flows()+1)
+	}
+	for i := 1; i < len(merged.Packets); i++ {
+		if merged.Packets[i].TS < merged.Packets[i-1].TS {
+			t.Fatal("merged trace not time-ordered")
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	key := packet.V4Key(1, 2, 3, 4, packet.ProtoUDP)
+	if _, err := Inject(nil, InjectConfig{Key: key, RatePPS: 0, DurationNs: 1}); err == nil {
+		t.Error("zero rate must fail")
+	}
+	if _, err := Inject(nil, InjectConfig{Key: key, RatePPS: 1, DurationNs: 0}); err == nil {
+		t.Error("zero duration must fail")
+	}
+}

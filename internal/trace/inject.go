@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// InjectConfig describes a constant-rate flow to overlay on a background
+// trace — the traffic-generator attack flows of the detection-latency
+// experiment (Fig. 9b).
+type InjectConfig struct {
+	// Key identifies the injected flow.
+	Key packet.FlowKey
+	// RatePPS is the flow's packet rate.
+	RatePPS float64
+	// StartTS and DurationNs bound the flow in trace time.
+	StartTS    int64
+	DurationNs int64
+	// PacketLen is the fixed wire length; 0 means 1000 bytes.
+	PacketLen int
+	// Seed jitters inter-arrival times.
+	Seed uint64
+}
+
+// Inject builds the injected flow and merges it with background, returning
+// the combined trace. background may be nil to produce the flow alone.
+func Inject(background *Trace, cfg InjectConfig) (*Trace, error) {
+	if cfg.RatePPS <= 0 {
+		return nil, fmt.Errorf("trace: inject RatePPS must be positive (got %v)", cfg.RatePPS)
+	}
+	if cfg.DurationNs <= 0 {
+		return nil, fmt.Errorf("trace: inject DurationNs must be positive (got %d)", cfg.DurationNs)
+	}
+	pktLen := cfg.PacketLen
+	if pktLen == 0 {
+		pktLen = 1000
+	}
+
+	rng := flowhash.NewRand(cfg.Seed ^ 0x1417)
+	gap := 1e9 / cfg.RatePPS
+	n := int(float64(cfg.DurationNs) / gap)
+	if n < 1 {
+		n = 1
+	}
+
+	pkts := make([]packet.Packet, 0, n)
+	ts := float64(cfg.StartTS)
+	end := cfg.StartTS + cfg.DurationNs
+	for int64(ts) < end {
+		pkts = append(pkts, packet.Packet{
+			Key: cfg.Key,
+			Len: uint16(pktLen),
+			TS:  int64(ts),
+		})
+		ts += gap * (0.8 + 0.4*rng.Float64())
+	}
+
+	injected := NewTrace(pkts)
+	if background == nil {
+		return injected, nil
+	}
+	return Merge(background, injected), nil
+}

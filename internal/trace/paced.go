@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"time"
+
+	"instameasure/internal/packet"
+)
+
+// pacedSource throttles an underlying source to a wall-clock packet rate,
+// emulating a link that offers traffic slower than the system can consume
+// — how the 113-hour deployment actually ran. Pacing is checked in chunks
+// so the per-packet overhead stays negligible.
+type pacedSource struct {
+	src      Source
+	perChunk time.Duration
+	chunk    int
+	count    int
+	start    time.Time
+	sleep    func(time.Duration)
+	now      func() time.Time
+}
+
+// NewPacedSource wraps src, limiting delivery to ratePPS packets per
+// second of wall-clock time.
+func NewPacedSource(src Source, ratePPS float64) Source {
+	const chunk = 1024
+	return &pacedSource{
+		src:      src,
+		chunk:    chunk,
+		perChunk: time.Duration(float64(chunk) / ratePPS * 1e9),
+		sleep:    time.Sleep,
+		now:      time.Now,
+	}
+}
+
+func (p *pacedSource) Next() (packet.Packet, error) {
+	if p.count == 0 {
+		p.start = p.now()
+	}
+	if p.count > 0 && p.count%p.chunk == 0 {
+		expected := p.start.Add(time.Duration(p.count/p.chunk) * p.perChunk)
+		if d := expected.Sub(p.now()); d > 0 {
+			p.sleep(d)
+		}
+	}
+	p.count++
+	return p.src.Next()
+}

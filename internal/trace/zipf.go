@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// ZipfConfig shapes a CAIDA-like trace: a fixed flow population whose sizes
+// follow a Zipf law (size of the rank-i flow ∝ 1/i^Skew), interleaved in
+// time so elephants and mice overlap the way they do on a backbone link.
+type ZipfConfig struct {
+	// Flows is the number of distinct flows to generate.
+	Flows int
+	// TotalPackets is the approximate number of packets across all flows
+	// (exact totals depend on integer rounding of Zipf sizes).
+	TotalPackets int
+	// Skew is the Zipf exponent; 0 means 1.0 (the paper cites Zipf-like
+	// Internet traffic).
+	Skew float64
+	// RatePPS is the mean packet arrival rate shaping timestamps; 0 means
+	// 1e6 (the CAIDA trace averages ~1 Mpps).
+	RatePPS float64
+	// StartTS is the first packet's timestamp in nanoseconds.
+	StartTS int64
+	// UDPFraction and ICMPFraction set the protocol mix; the remainder is
+	// TCP. Defaults are 0.1 and 0.01 when both are zero.
+	UDPFraction  float64
+	ICMPFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validation errors.
+var (
+	ErrNoFlows   = errors.New("trace: Flows must be positive")
+	ErrNoPackets = errors.New("trace: TotalPackets must be positive")
+)
+
+// GenerateZipf produces a CAIDA-like trace per cfg.
+func GenerateZipf(cfg ZipfConfig) (*Trace, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrNoFlows, cfg.Flows)
+	}
+	if cfg.TotalPackets <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrNoPackets, cfg.TotalPackets)
+	}
+	skew := cfg.Skew
+	if skew == 0 {
+		skew = 1.0
+	}
+	rate := cfg.RatePPS
+	if rate == 0 {
+		rate = 1e6
+	}
+	udpFrac, icmpFrac := cfg.UDPFraction, cfg.ICMPFraction
+	if udpFrac == 0 && icmpFrac == 0 {
+		udpFrac, icmpFrac = 0.1, 0.01
+	}
+
+	sizes := zipfSizes(cfg.Flows, cfg.TotalPackets, skew)
+	var total int
+	for _, s := range sizes {
+		total += s
+	}
+
+	rng := flowhash.NewRand(cfg.Seed ^ 0x5EED)
+	durationNs := float64(total) / rate * 1e9
+
+	pkts := make([]packet.Packet, 0, total)
+	for i, size := range sizes {
+		key := randomKey(rng, udpFrac, icmpFrac)
+		base := flowPacketSize(rng)
+
+		// The flow occupies a window proportional to its share of the
+		// trace, starting at a random offset, so elephants span most of
+		// the capture and mice are short bursts — matching how flows
+		// interleave on a real link.
+		window := durationNs * float64(size) / float64(total) * float64(cfg.Flows) / 4
+		if window > durationNs {
+			window = durationNs
+		}
+		if window < 1 {
+			window = 1
+		}
+		start := cfg.StartTS + int64(rng.Float64()*(durationNs-window+1))
+		gap := window / float64(size)
+
+		ts := float64(start)
+		for p := 0; p < size; p++ {
+			pkts = append(pkts, packet.Packet{
+				Key: key,
+				Len: jitterSize(rng, base),
+				TS:  int64(ts),
+			})
+			ts += gap * (0.5 + rng.Float64()) // jittered inter-arrival
+		}
+		_ = i
+	}
+
+	sortByTS(pkts)
+	return NewTrace(pkts), nil
+}
+
+// zipfSizes returns per-rank flow sizes following size_i = C/i^skew with C
+// normalized so the total approximates totalPackets; every flow gets at
+// least one packet.
+func zipfSizes(flows, totalPackets int, skew float64) []int {
+	var harmonic float64
+	for i := 1; i <= flows; i++ {
+		harmonic += 1 / math.Pow(float64(i), skew)
+	}
+	c := float64(totalPackets) / harmonic
+	sizes := make([]int, flows)
+	for i := range sizes {
+		s := int(math.Round(c / math.Pow(float64(i+1), skew)))
+		if s < 1 {
+			s = 1
+		}
+		sizes[i] = s
+	}
+	return sizes
+}
+
+func randomKey(rng *flowhash.Rand, udpFrac, icmpFrac float64) packet.FlowKey {
+	src := uint32(rng.Next())
+	dst := uint32(rng.Next())
+	r := rng.Float64()
+	switch {
+	case r < icmpFrac:
+		return packet.V4Key(src, dst, uint16(8), 0, packet.ProtoICMP)
+	case r < icmpFrac+udpFrac:
+		return packet.V4Key(src, dst,
+			uint16(1024+rng.Intn(64000)), uint16(1+rng.Intn(1023)), packet.ProtoUDP)
+	default:
+		return packet.V4Key(src, dst,
+			uint16(1024+rng.Intn(64000)), uint16(1+rng.Intn(1023)), packet.ProtoTCP)
+	}
+}
+
+// flowPacketSize samples a per-flow base packet size from the bimodal
+// Internet mix: roughly half the packets are near-minimum (ACK-sized) and
+// the rest near the MTU.
+func flowPacketSize(rng *flowhash.Rand) int {
+	if rng.Float64() < 0.45 {
+		return 64 + rng.Intn(128)
+	}
+	return 900 + rng.Intn(600)
+}
+
+// jitterSize varies the per-packet size ±25% around the flow's base size,
+// clamped to [60, 1514].
+func jitterSize(rng *flowhash.Rand, base int) uint16 {
+	v := base + rng.Intn(base/2+1) - base/4
+	if v < 60 {
+		v = 60
+	}
+	if v > 1514 {
+		v = 1514
+	}
+	return uint16(v)
+}

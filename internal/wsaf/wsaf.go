@@ -1,0 +1,385 @@
+// Package wsaf implements the In-DRAM Working Set of Active Flows: an
+// open-addressing hash table holding one entry per active flow (32-bit flow
+// ID, packet counter, byte counter, timestamps, and the full 5-tuple —
+// the paper's 33-byte entry).
+//
+// Collision handling follows Section III.B: quadratic probing with
+// h(k,i) = hash(k) + (i+i²)/2 mod m over a power-of-two table (triangular
+// offsets visit every slot), a fixed probe limit, and a probe-limit-based
+// second-chance (clock) replacement policy that evicts expired or least
+// significant mice entries inline — garbage collection happens during
+// probing rather than on a separate core.
+package wsaf
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"instameasure/internal/packet"
+)
+
+// Probing selects the probe sequence.
+type Probing int
+
+// Probing policies.
+const (
+	// ProbeQuadratic is the paper's h(k,i) = hash(k) + (i+i²)/2 mod m;
+	// over a power-of-two table the triangular offsets visit every slot.
+	ProbeQuadratic Probing = iota + 1
+	// ProbeLinear is h(k,i) = hash(k) + i mod m — the ablation baseline;
+	// it suffers primary clustering at high load.
+	ProbeLinear
+)
+
+// Eviction selects the replacement policy when every probed slot is live.
+type Eviction int
+
+// Eviction policies.
+const (
+	// EvictSecondChance is the paper's clock policy: recently updated
+	// entries survive one pass; among unreferenced entries the first is
+	// evicted, falling back to the smallest flow.
+	EvictSecondChance Eviction = iota + 1
+	// EvictFirst always evicts the first probed slot — the naive
+	// FIFO-flavored ablation baseline that happily discards elephants.
+	EvictFirst
+)
+
+// Config parameterizes a Table.
+type Config struct {
+	// Entries is the table capacity; must be a power of two (the paper
+	// fixes 2^20 for all experiments).
+	Entries int
+	// ProbeLimit bounds the probe sequence per operation. 0 means 16.
+	ProbeLimit int
+	// TTL is the inactivity window, in trace nanoseconds, after which an
+	// entry is garbage-collectable during probing. 0 disables TTL GC.
+	TTL int64
+	// Probing selects the probe sequence; 0 means ProbeQuadratic.
+	Probing Probing
+	// Eviction selects the replacement policy; 0 means EvictSecondChance.
+	Eviction Eviction
+	// Seed feeds flow-key hashing.
+	Seed uint64
+}
+
+// Validation errors.
+var (
+	ErrEntriesPow2 = errors.New("wsaf: Entries must be a positive power of two")
+)
+
+// EntryBytes is the paper's accounting size of one WSAF entry: 32-bit flow
+// ID + 32-bit packet counter + 32-bit byte counter + 64-bit timestamp +
+// 104-bit 5-tuple = 33 bytes.
+const EntryBytes = 33
+
+// Outcome classifies what Accumulate did.
+type Outcome int
+
+// Accumulate outcomes.
+const (
+	// Updated: the flow already had an entry; counters were increased.
+	Updated Outcome = iota + 1
+	// Inserted: a new entry was placed in an empty slot.
+	Inserted
+	// Reclaimed: a new entry replaced an expired one (inline GC).
+	Reclaimed
+	// Evicted: a new entry replaced a live entry chosen by the
+	// second-chance policy.
+	Evicted
+	// Dropped: every probed slot held a live, recently-referenced entry
+	// and even eviction could not place the flow (only possible when the
+	// clock pass is disabled); the update was lost.
+	Dropped
+)
+
+// Entry is one WSAF record. Pkts and Bytes are float64 because
+// FlowRegulator emits fractional estimates.
+type Entry struct {
+	FlowID     uint32
+	Key        packet.FlowKey
+	Pkts       float64
+	Bytes      float64
+	FirstSeen  int64
+	LastUpdate int64
+
+	used   bool
+	chance bool
+}
+
+// Stats aggregates table activity counters.
+type Stats struct {
+	Updates    uint64
+	Inserts    uint64
+	Reclaims   uint64
+	Evictions  uint64
+	Drops      uint64
+	ProbeSteps uint64
+}
+
+// Table is a WSAF instance. It is not safe for concurrent use; the pipeline
+// shards one Table per worker.
+type Table struct {
+	entries    []Entry
+	mask       uint64
+	probeLimit int
+	ttl        int64
+	probing    Probing
+	eviction   Eviction
+	seed       uint64
+
+	size     int
+	stats    Stats
+	probeBuf []int // reused across Accumulate calls to avoid per-packet allocation
+}
+
+// New builds a Table from cfg.
+func New(cfg Config) (*Table, error) {
+	if cfg.Entries <= 0 || bits.OnesCount(uint(cfg.Entries)) != 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrEntriesPow2, cfg.Entries)
+	}
+	probeLimit := cfg.ProbeLimit
+	if probeLimit <= 0 {
+		probeLimit = 16
+	}
+	if probeLimit > cfg.Entries {
+		probeLimit = cfg.Entries
+	}
+	probing := cfg.Probing
+	if probing == 0 {
+		probing = ProbeQuadratic
+	}
+	eviction := cfg.Eviction
+	if eviction == 0 {
+		eviction = EvictSecondChance
+	}
+	return &Table{
+		entries:    make([]Entry, cfg.Entries),
+		mask:       uint64(cfg.Entries - 1),
+		probeLimit: probeLimit,
+		ttl:        cfg.TTL,
+		probing:    probing,
+		eviction:   eviction,
+		seed:       cfg.Seed,
+		probeBuf:   make([]int, 0, probeLimit),
+	}, nil
+}
+
+// MustNew is New for statically-known-good configs; it panics on error.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Accumulate adds (pkts, bytes) to key's entry, inserting it if absent.
+// now is the trace timestamp driving TTL garbage collection and the
+// second-chance policy. It returns the outcome and, for Evicted, the entry
+// that was displaced.
+func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
+	h := key.Hash64(t.seed)
+	id := uint32(h ^ (h >> 32))
+
+	freeSlot := -1
+	probed := t.probeBuf[:0]
+
+	for i := 0; i < t.probeLimit; i++ {
+		slot := t.slot(h, i)
+		t.stats.ProbeSteps++
+		e := &t.entries[slot]
+		switch {
+		case !e.used:
+			if freeSlot < 0 {
+				freeSlot = slot
+			}
+			// An empty slot ends the probe chain: the key cannot be
+			// stored past the first hole it would have filled.
+			i = t.probeLimit
+		case e.FlowID == id && e.Key == key:
+			e.Pkts += pkts
+			e.Bytes += bytes
+			e.LastUpdate = now
+			e.chance = true
+			t.stats.Updates++
+			return Updated, nil
+		case t.expired(e, now):
+			if freeSlot < 0 {
+				freeSlot = slot
+			}
+			probed = append(probed, slot)
+		default:
+			probed = append(probed, slot)
+		}
+	}
+
+	if freeSlot >= 0 {
+		victim := &t.entries[freeSlot]
+		outcome := Inserted
+		if victim.used {
+			outcome = Reclaimed
+			t.stats.Reclaims++
+			t.size--
+		} else {
+			t.stats.Inserts++
+		}
+		t.place(victim, id, key, pkts, bytes, now)
+		return outcome, nil
+	}
+
+	victimSlot := -1
+	switch t.eviction {
+	case EvictFirst:
+		if len(probed) > 0 {
+			victimSlot = probed[0]
+		}
+	default:
+		// Second-chance clock pass over the probed window: entries
+		// holding a chance bit get it cleared and survive; the first
+		// entry without one is the eviction candidate. If every entry
+		// had its chance (all now cleared), evict the smallest flow —
+		// mice first, per the paper.
+		for _, slot := range probed {
+			e := &t.entries[slot]
+			if e.chance {
+				e.chance = false
+				continue
+			}
+			victimSlot = slot
+			break
+		}
+		if victimSlot < 0 {
+			minPkts := -1.0
+			for _, slot := range probed {
+				if e := &t.entries[slot]; minPkts < 0 || e.Pkts < minPkts {
+					minPkts = e.Pkts
+					victimSlot = slot
+				}
+			}
+		}
+	}
+	if victimSlot < 0 {
+		t.stats.Drops++
+		return Dropped, nil
+	}
+
+	victim := t.entries[victimSlot]
+	t.size--
+	t.place(&t.entries[victimSlot], id, key, pkts, bytes, now)
+	t.stats.Evictions++
+	return Evicted, &victim
+}
+
+// Lookup returns the entry for key, if present and not expired at now.
+func (t *Table) Lookup(key packet.FlowKey, now int64) (Entry, bool) {
+	h := key.Hash64(t.seed)
+	id := uint32(h ^ (h >> 32))
+	for i := 0; i < t.probeLimit; i++ {
+		slot := t.slot(h, i)
+		e := &t.entries[slot]
+		if !e.used {
+			return Entry{}, false
+		}
+		if e.FlowID == id && e.Key == key {
+			if t.expired(e, now) {
+				return Entry{}, false
+			}
+			return *e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Snapshot copies out all live entries (expired ones excluded when a TTL is
+// configured and now > 0).
+func (t *Table) Snapshot(now int64) []Entry {
+	out := make([]Entry, 0, t.size)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.used {
+			continue
+		}
+		if now > 0 && t.expired(e, now) {
+			continue
+		}
+		out = append(out, *e)
+	}
+	return out
+}
+
+// TopK returns the k largest live entries by the given metric function
+// (e.g. packets or bytes), largest first.
+func (t *Table) TopK(k int, now int64, metric func(*Entry) float64) []Entry {
+	snap := t.Snapshot(now)
+	sort.Slice(snap, func(i, j int) bool {
+		return metric(&snap[i]) > metric(&snap[j])
+	})
+	if k < len(snap) {
+		snap = snap[:k]
+	}
+	return snap
+}
+
+// Len returns the number of occupied slots (including expired-but-not-yet-
+// reclaimed entries).
+func (t *Table) Len() int { return t.size }
+
+// Capacity returns the table size in entries.
+func (t *Table) Capacity() int { return len(t.entries) }
+
+// LoadFactor is Len/Capacity.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.size) / float64(len(t.entries))
+}
+
+// MemoryBytes reports DRAM consumption using the paper's 33-byte entries.
+func (t *Table) MemoryBytes() int { return len(t.entries) * EntryBytes }
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Reset clears all entries and statistics.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+	}
+	t.size = 0
+	t.stats = Stats{}
+}
+
+func (t *Table) place(e *Entry, id uint32, key packet.FlowKey, pkts, bytes float64, now int64) {
+	*e = Entry{
+		FlowID:     id,
+		Key:        key,
+		Pkts:       pkts,
+		Bytes:      bytes,
+		FirstSeen:  now,
+		LastUpdate: now,
+		used:       true,
+		chance:     true,
+	}
+	t.size++
+}
+
+func (t *Table) expired(e *Entry, now int64) bool {
+	return t.ttl > 0 && now-e.LastUpdate > t.ttl
+}
+
+// slot returns the i-th probe position for hash h under the configured
+// probing policy.
+func (t *Table) slot(h uint64, i int) int {
+	if t.probing == ProbeLinear {
+		return int((h + uint64(i)) & t.mask)
+	}
+	return int((h + triangular(i)) & t.mask)
+}
+
+// triangular returns i(i+1)/2, the paper's 0.5i+0.5i² probe offset; over a
+// power-of-two table the sequence visits all slots.
+func triangular(i int) uint64 {
+	u := uint64(i)
+	return u * (u + 1) / 2
+}

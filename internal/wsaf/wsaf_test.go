@@ -1,0 +1,427 @@
+package wsaf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"instameasure/internal/packet"
+)
+
+func key(i int) packet.FlowKey {
+	return packet.V4Key(uint32(i), uint32(i)*7+1, uint16(i%60000)+1, 80, packet.ProtoTCP)
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100, 1<<20 + 1} {
+		if _, err := New(Config{Entries: n}); !errors.Is(err, ErrEntriesPow2) {
+			t.Errorf("Entries=%d: err = %v, want ErrEntriesPow2", n, err)
+		}
+	}
+	if _, err := New(Config{Entries: 1024}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestProbeLimitClamped(t *testing.T) {
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 100})
+	if tab.probeLimit != 4 {
+		t.Errorf("probe limit %d, want clamped to 4", tab.probeLimit)
+	}
+}
+
+func TestAccumulateInsertAndLookup(t *testing.T) {
+	tab := MustNew(Config{Entries: 256})
+	k := key(1)
+	outcome, _ := tab.Accumulate(k, 10, 5000, 100)
+	if outcome != Inserted {
+		t.Fatalf("first accumulate outcome = %v, want Inserted", outcome)
+	}
+	e, ok := tab.Lookup(k, 100)
+	if !ok {
+		t.Fatal("lookup after insert failed")
+	}
+	if e.Pkts != 10 || e.Bytes != 5000 || e.FirstSeen != 100 || e.LastUpdate != 100 {
+		t.Errorf("entry = %+v", e)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestAccumulateUpdate(t *testing.T) {
+	tab := MustNew(Config{Entries: 256})
+	k := key(2)
+	tab.Accumulate(k, 10, 1000, 100)
+	outcome, _ := tab.Accumulate(k, 5, 500, 200)
+	if outcome != Updated {
+		t.Fatalf("second accumulate outcome = %v, want Updated", outcome)
+	}
+	e, _ := tab.Lookup(k, 200)
+	if e.Pkts != 15 || e.Bytes != 1500 {
+		t.Errorf("accumulated entry = %+v, want 15/1500", e)
+	}
+	if e.FirstSeen != 100 || e.LastUpdate != 200 {
+		t.Errorf("timestamps = %d/%d, want 100/200", e.FirstSeen, e.LastUpdate)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after update", tab.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tab := MustNew(Config{Entries: 64})
+	if _, ok := tab.Lookup(key(9), 0); ok {
+		t.Error("lookup of absent key succeeded")
+	}
+}
+
+func TestManyFlowsAllFindable(t *testing.T) {
+	tab := MustNew(Config{Entries: 4096, ProbeLimit: 32})
+	const n = 2000 // ~49% load
+	for i := 0; i < n; i++ {
+		tab.Accumulate(key(i), float64(i+1), float64(i+1)*100, int64(i))
+	}
+	missing := 0
+	for i := 0; i < n; i++ {
+		e, ok := tab.Lookup(key(i), int64(n))
+		if !ok {
+			missing++
+			continue
+		}
+		if e.Pkts != float64(i+1) {
+			t.Errorf("flow %d: Pkts = %v, want %d", i, e.Pkts, i+1)
+		}
+	}
+	// A handful may have been evicted by clock pressure; nearly all
+	// must survive at 50% load.
+	if missing > n/100 {
+		t.Errorf("%d of %d flows missing at 49%% load", missing, n)
+	}
+}
+
+func TestTTLGarbageCollection(t *testing.T) {
+	tab := MustNew(Config{Entries: 64, TTL: 1000})
+	k := key(3)
+	tab.Accumulate(k, 1, 100, 0)
+	if _, ok := tab.Lookup(k, 500); !ok {
+		t.Fatal("entry must be live before TTL")
+	}
+	if _, ok := tab.Lookup(k, 2000); ok {
+		t.Error("entry must expire after TTL")
+	}
+	// Snapshot must skip expired entries when now is provided.
+	if got := len(tab.Snapshot(2000)); got != 0 {
+		t.Errorf("snapshot has %d entries after expiry, want 0", got)
+	}
+	if got := len(tab.Snapshot(0)); got != 1 {
+		t.Errorf("snapshot(0) has %d entries, want 1 (TTL filter off)", got)
+	}
+}
+
+func TestExpiredSlotReclaimed(t *testing.T) {
+	tab := MustNew(Config{Entries: 64, TTL: 1000})
+	a := key(4)
+	tab.Accumulate(a, 1, 1, 0)
+	// Find a key probing into the same first slot so reclaim is observable.
+	target := int((a.Hash64(0)) & tab.mask)
+	var b packet.FlowKey
+	for i := 100; ; i++ {
+		b = key(i)
+		if int(b.Hash64(0)&tab.mask) == target {
+			break
+		}
+	}
+	outcome, _ := tab.Accumulate(b, 2, 2, 5000) // a is long expired
+	if outcome != Reclaimed {
+		t.Fatalf("outcome = %v, want Reclaimed", outcome)
+	}
+	if _, ok := tab.Lookup(b, 5000); !ok {
+		t.Error("reclaiming flow must be findable")
+	}
+	if tab.Stats().Reclaims != 1 {
+		t.Errorf("Reclaims = %d, want 1", tab.Stats().Reclaims)
+	}
+}
+
+func TestSecondChanceEviction(t *testing.T) {
+	// A 4-entry table with probe limit 4: every slot is in every probe
+	// window, so a 5th flow forces the clock hand to evict.
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), float64(10*(i+1)), 1, int64(i))
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("setup: Len = %d, want 4", tab.Len())
+	}
+	outcome, victim := tab.Accumulate(key(99), 1000, 1, 100)
+	if outcome != Evicted {
+		t.Fatalf("outcome = %v, want Evicted", outcome)
+	}
+	if victim == nil {
+		t.Fatal("eviction must report the victim")
+	}
+	if _, ok := tab.Lookup(key(99), 100); !ok {
+		t.Error("newly inserted flow missing after eviction")
+	}
+	if tab.Len() != 4 {
+		t.Errorf("Len = %d after eviction, want 4", tab.Len())
+	}
+	if tab.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", tab.Stats().Evictions)
+	}
+}
+
+func TestSecondChanceProtectsRecentlyUpdated(t *testing.T) {
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), 10, 1, int64(i))
+	}
+	// First eviction clears every chance bit and evicts one entry; the
+	// survivors have chance=false. Re-touch flow 0 to re-arm its bit.
+	tab.Accumulate(key(90), 100, 1, 50)
+	tab.Accumulate(key(0), 1, 1, 60)
+	// Next eviction must spare flow 0 (chance set) and take an unarmed
+	// entry instead.
+	tab.Accumulate(key(91), 100, 1, 70)
+	if _, ok := tab.Lookup(key(0), 70); !ok {
+		t.Error("recently updated flow was evicted despite its second chance")
+	}
+}
+
+func TestMicePreferredForEviction(t *testing.T) {
+	// With all chance bits armed, the clock pass clears them and the
+	// fallback evicts the minimum-packet entry.
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	sizes := []float64{500, 3, 400, 200}
+	for i, s := range sizes {
+		tab.Accumulate(key(i), s, 1, int64(i))
+	}
+	_, victim := tab.Accumulate(key(50), 1000, 1, 10)
+	if victim == nil {
+		t.Fatal("expected an eviction")
+	}
+	if victim.Pkts != 3 {
+		t.Errorf("evicted Pkts = %v, want the mouse (3)", victim.Pkts)
+	}
+}
+
+func TestTriangularProbingCoversAllSlots(t *testing.T) {
+	// Property underpinning the paper's h(k,i)=h+0.5i+0.5i² choice: over
+	// a power-of-two table, the first m triangular offsets hit every slot.
+	for _, m := range []int{4, 16, 64, 256, 1024} {
+		seen := make(map[uint64]bool, m)
+		for i := 0; i < m; i++ {
+			seen[triangular(i)%uint64(m)] = true
+		}
+		if len(seen) != m {
+			t.Errorf("m=%d: triangular probing reached %d slots", m, len(seen))
+		}
+	}
+}
+
+func TestSnapshotCopies(t *testing.T) {
+	tab := MustNew(Config{Entries: 64})
+	tab.Accumulate(key(1), 5, 50, 1)
+	snap := tab.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	snap[0].Pkts = 999
+	e, _ := tab.Lookup(key(1), 1)
+	if e.Pkts != 5 {
+		t.Error("mutating a snapshot leaked into the table")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tab := MustNew(Config{Entries: 256})
+	for i := 0; i < 20; i++ {
+		tab.Accumulate(key(i), float64(i), float64(100-i), int64(i))
+	}
+	topPkts := tab.TopK(3, 0, func(e *Entry) float64 { return e.Pkts })
+	if len(topPkts) != 3 || topPkts[0].Pkts != 19 || topPkts[1].Pkts != 18 {
+		t.Errorf("TopK by packets wrong: %v", topPkts)
+	}
+	topBytes := tab.TopK(2, 0, func(e *Entry) float64 { return e.Bytes })
+	if len(topBytes) != 2 || topBytes[0].Bytes != 100 {
+		t.Errorf("TopK by bytes wrong: %v", topBytes)
+	}
+	all := tab.TopK(100, 0, func(e *Entry) float64 { return e.Pkts })
+	if len(all) != 20 {
+		t.Errorf("TopK(100) returned %d entries, want all 20", len(all))
+	}
+}
+
+func TestLoadFactorAndMemory(t *testing.T) {
+	tab := MustNew(Config{Entries: 128})
+	if tab.LoadFactor() != 0 {
+		t.Error("fresh load factor must be 0")
+	}
+	for i := 0; i < 64; i++ {
+		tab.Accumulate(key(i), 1, 1, 0)
+	}
+	if lf := tab.LoadFactor(); lf < 0.45 || lf > 0.5 {
+		t.Errorf("load factor = %v, want ~0.5", lf)
+	}
+	if tab.MemoryBytes() != 128*EntryBytes {
+		t.Errorf("MemoryBytes = %d, want %d", tab.MemoryBytes(), 128*EntryBytes)
+	}
+	if tab.Capacity() != 128 {
+		t.Errorf("Capacity = %d, want 128", tab.Capacity())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tab := MustNew(Config{Entries: 64})
+	tab.Accumulate(key(1), 1, 1, 0)
+	tab.Reset()
+	if tab.Len() != 0 || tab.Stats() != (Stats{}) {
+		t.Error("Reset must clear entries and stats")
+	}
+	if _, ok := tab.Lookup(key(1), 0); ok {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestAccumulatePropertyTotalsPreserved(t *testing.T) {
+	// Property: with no eviction pressure, the sum over the table equals
+	// the sum of accumulated values.
+	f := func(updates []uint8) bool {
+		tab := MustNew(Config{Entries: 1024, ProbeLimit: 64})
+		var want float64
+		for i, u := range updates {
+			v := float64(u) + 1
+			tab.Accumulate(key(i%50), v, v, int64(i))
+			want += v
+		}
+		var got float64
+		for _, e := range tab.Snapshot(0) {
+			got += e.Pkts
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHighLoadBehavior(t *testing.T) {
+	// Push 3× capacity through a small table: the table must stay at
+	// most full, keep answering lookups, and prefer keeping big flows.
+	tab := MustNew(Config{Entries: 256, ProbeLimit: 16})
+	big := key(7)
+	for i := 0; i < 3*256; i++ {
+		tab.Accumulate(key(1000+i), 1, 1, int64(i))
+		tab.Accumulate(big, 50, 50, int64(i)) // keep the elephant hot
+	}
+	if tab.Len() > 256 {
+		t.Errorf("Len %d exceeds capacity", tab.Len())
+	}
+	if _, ok := tab.Lookup(big, 99999); !ok {
+		t.Error("hot elephant flow was evicted under mice pressure")
+	}
+	st := tab.Stats()
+	if st.Evictions == 0 && st.Drops == 0 {
+		t.Error("expected eviction activity at 3× capacity")
+	}
+}
+
+func TestLinearProbingWorks(t *testing.T) {
+	tab := MustNew(Config{Entries: 1024, Probing: ProbeLinear, ProbeLimit: 32})
+	const n = 500
+	for i := 0; i < n; i++ {
+		tab.Accumulate(key(i), float64(i+1), 1, int64(i))
+	}
+	missing := 0
+	for i := 0; i < n; i++ {
+		if _, ok := tab.Lookup(key(i), int64(n)); !ok {
+			missing++
+		}
+	}
+	if missing > n/50 {
+		t.Errorf("%d of %d flows missing under linear probing at 49%% load", missing, n)
+	}
+}
+
+func TestEvictFirstDiscardsRegardlessOfSize(t *testing.T) {
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4, Eviction: EvictFirst})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), 1000, 1, int64(i)) // all elephants
+	}
+	outcome, victim := tab.Accumulate(key(50), 1, 1, 10)
+	if outcome != Evicted || victim == nil {
+		t.Fatalf("outcome = %v, want Evicted", outcome)
+	}
+	// EvictFirst takes the first probed slot even though it held an
+	// elephant — the failure mode second-chance avoids.
+	if victim.Pkts != 1000 {
+		t.Errorf("victim Pkts = %v, want 1000", victim.Pkts)
+	}
+}
+
+func TestQuadraticBeatsLinearClusteringAtHighLoad(t *testing.T) {
+	// At ~87% load with sequential-ish hashes, quadratic probing should
+	// place at least as many distinct flows as linear within the same
+	// probe limit. (Statistical property; uses a generous margin.)
+	run := func(p Probing) int {
+		tab := MustNew(Config{Entries: 512, ProbeLimit: 8, Probing: p})
+		for i := 0; i < 448; i++ {
+			tab.Accumulate(key(i), 1, 1, int64(i))
+		}
+		found := 0
+		for i := 0; i < 448; i++ {
+			if _, ok := tab.Lookup(key(i), 448); ok {
+				found++
+			}
+		}
+		return found
+	}
+	q, l := run(ProbeQuadratic), run(ProbeLinear)
+	if q < l-20 {
+		t.Errorf("quadratic retained %d flows, linear %d — clustering inverted", q, l)
+	}
+}
+
+// TestModelEquivalence is a model-based property test: with a roomy table
+// (no eviction pressure), the WSAF must behave exactly like a reference
+// map for any accumulate/lookup interleaving.
+func TestModelEquivalence(t *testing.T) {
+	type op struct {
+		Flow  uint8
+		Pkts  uint8
+		Bytes uint8
+		TS    uint8
+	}
+	f := func(ops []op) bool {
+		tab := MustNew(Config{Entries: 4096, ProbeLimit: 64})
+		model := map[packet.FlowKey][2]float64{}
+		for _, o := range ops {
+			k := key(int(o.Flow))
+			pk, by := float64(o.Pkts)+1, float64(o.Bytes)+1
+			tab.Accumulate(k, pk, by, int64(o.TS))
+			cur := model[k]
+			model[k] = [2]float64{cur[0] + pk, cur[1] + by}
+		}
+		if tab.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			e, ok := tab.Lookup(k, 0)
+			if !ok || e.Pkts != want[0] || e.Bytes != want[1] {
+				return false
+			}
+		}
+		// Snapshot must agree with the model too.
+		for _, e := range tab.Snapshot(0) {
+			want, ok := model[e.Key]
+			if !ok || e.Pkts != want[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package instameasure_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds every cmd/ binary and exercises the
+// tracegen → instameasure → wsafdump toolchain end to end, plus one
+// instabench figure.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping tool builds in -short mode")
+	}
+	bin := t.TempDir()
+	work := t.TempDir()
+
+	build := func(name string) string {
+		t.Helper()
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	runTool := func(path string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(path, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(path), args, err, out)
+		}
+		return string(out)
+	}
+
+	tracegen := build("tracegen")
+	instameasure := build("instameasure")
+	wsafdump := build("wsafdump")
+	instabench := build("instabench")
+
+	pcapPath := filepath.Join(work, "t.pcap")
+	out := runTool(tracegen, "-o", pcapPath, "-flows", "2000", "-packets", "40000", "-seed", "3")
+	if !strings.Contains(out, "2000 flows") {
+		t.Errorf("tracegen output unexpected: %s", out)
+	}
+
+	snapPath := filepath.Join(work, "flows.ims")
+	out = runTool(instameasure, "-pcap", pcapPath, "-top", "3", "-snapshot", snapPath)
+	for _, want := range []string{"top 3 flows by packets", "regulation rate", "wrote flow table snapshot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instameasure output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Streaming mode over stdin.
+	f, err := os.Open(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(instameasure, "-pcap", "-", "-top", "2", "-epoch", "20000")
+	cmd.Stdin = f
+	streamOut, err := cmd.CombinedOutput()
+	f.Close()
+	if err != nil {
+		t.Fatalf("streaming instameasure: %v\n%s", err, streamOut)
+	}
+	if !strings.Contains(string(streamOut), "epoch 1:") {
+		t.Errorf("streaming mode printed no epochs:\n%s", streamOut)
+	}
+
+	out = runTool(wsafdump, "-top", "2", snapPath)
+	if !strings.Contains(out, "top 2 flows by packets") {
+		t.Errorf("wsafdump output unexpected:\n%s", out)
+	}
+
+	out = runTool(instabench, "-scale", "small", "-fig", "8a")
+	if !strings.Contains(out, "Fig.8a") {
+		t.Errorf("instabench output unexpected:\n%s", out)
+	}
+
+	// Error paths: unknown figure, missing file.
+	if msg, err := exec.Command(instabench, "-fig", "nope").CombinedOutput(); err == nil {
+		t.Errorf("instabench -fig nope succeeded:\n%s", msg)
+	}
+	if msg, err := exec.Command(wsafdump, filepath.Join(work, "missing.ims")).CombinedOutput(); err == nil {
+		t.Errorf("wsafdump on missing file succeeded:\n%s", msg)
+	}
+}

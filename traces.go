@@ -1,0 +1,124 @@
+package instameasure
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"instameasure/internal/pcap"
+	"instameasure/internal/trace"
+)
+
+// ZipfTraceConfig shapes a backbone-like synthetic workload (see
+// internal/trace for the full knob set surfaced here).
+type ZipfTraceConfig struct {
+	// Flows is the number of distinct flows.
+	Flows int
+	// TotalPackets is the approximate packet count.
+	TotalPackets int
+	// Skew is the Zipf exponent (default 1.0).
+	Skew float64
+	// RatePPS shapes timestamps (default 1e6, the CAIDA trace's mean).
+	RatePPS float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GenerateZipfTrace produces a CAIDA-like trace: Zipf flow sizes,
+// bimodal packet sizes, interleaved arrivals.
+func GenerateZipfTrace(cfg ZipfTraceConfig) (*Trace, error) {
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{
+		Flows:        cfg.Flows,
+		TotalPackets: cfg.TotalPackets,
+		Skew:         cfg.Skew,
+		RatePPS:      cfg.RatePPS,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, nil
+}
+
+// DiurnalTraceConfig shapes a long-running campus-gateway-like workload
+// with day/night load variation.
+type DiurnalTraceConfig struct {
+	// Hours is the simulated monitoring duration.
+	Hours float64
+	// TotalPackets is the approximate packet count.
+	TotalPackets int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GenerateDiurnalTrace produces a campus-like trace with sinusoidal
+// day/night load and a weekend dip.
+func GenerateDiurnalTrace(cfg DiurnalTraceConfig) (*Trace, error) {
+	tr, err := trace.GenerateDiurnal(trace.DiurnalConfig{
+		Hours:        cfg.Hours,
+		TotalPackets: cfg.TotalPackets,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, nil
+}
+
+// InjectFlow overlays a constant-rate flow (e.g. a DDoS source) on a
+// background trace; background may be nil.
+func InjectFlow(background *Trace, key FlowKey, ratePPS float64, startTS, durationNs int64, pktLen int, seed uint64) (*Trace, error) {
+	tr, err := trace.Inject(background, trace.InjectConfig{
+		Key:        key,
+		RatePPS:    ratePPS,
+		StartTS:    startTS,
+		DurationNs: durationNs,
+		PacketLen:  pktLen,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, nil
+}
+
+// NewTraceFromPackets builds a trace from packets in arbitrary order,
+// sorting by timestamp and computing exact ground truth.
+func NewTraceFromPackets(pkts []Packet) *Trace {
+	return trace.FromPackets(pkts)
+}
+
+// OpenPcapStream returns a PacketSource that decodes a classic-libpcap
+// stream incrementally — constant memory regardless of capture size, for
+// live pipes and very large files. Non-IP frames are skipped.
+func OpenPcapStream(r io.Reader) (PacketSource, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return trace.NewPcapSource(pr), nil
+}
+
+// ReadPcap materializes a classic-libpcap capture stream into a Trace.
+func ReadPcap(r io.Reader) (*Trace, error) {
+	tr, err := trace.ReadPcap(r)
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, nil
+}
+
+// WritePcap writes a trace to w as an Ethernet pcap capture (snapLen 0
+// means full frames).
+func WritePcap(w io.Writer, tr *Trace, snapLen int) error {
+	if err := tr.WritePcap(w, snapLen); err != nil {
+		return fmt.Errorf("instameasure: %w", err)
+	}
+	return nil
+}
+
+func sortRecords(recs []FlowRecord, metric func(*FlowRecord) float64) {
+	sort.Slice(recs, func(i, j int) bool {
+		return metric(&recs[i]) > metric(&recs[j])
+	})
+}
