@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test tier1 vet-race bench bench-guard clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# tier1 is the repo's baseline gate: everything must build and pass.
+tier1: build
+	$(GO) test ./...
+
+test: tier1
+
+# vet-race is the observability gate: static checks plus the telemetry
+# and pipeline packages under the race detector (lock-free counters and
+# the drop-when-full manager are the racy surfaces).
+vet-race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry/... ./internal/pipeline/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# bench-guard asserts the always-on hot-path instrumentation stays within
+# ~3% of the uninstrumented per-packet loop. Benchmark-based, so it is
+# opt-in rather than part of tier1.
+bench-guard:
+	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestProcessTelemetryOverhead -v ./internal/core/
+
+clean:
+	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"instameasure/internal/experiments"
+	"instameasure/internal/telemetry"
 )
 
 func main() {
@@ -31,10 +32,23 @@ func run() error {
 	var (
 		fig = flag.String("fig", "", "figure id to run (1, 6, 7, 8a, 8b, 8c, 9a, 9b, 10, 11, 12, 13, 14, "+
 			"csm, iblt, deleg, evict, probe, shard, apps); empty = all")
-		scale = flag.String("scale", "default", "workload scale: small, default, large")
-		seed  = flag.Uint64("seed", 0, "override workload seed (0 = scale default)")
+		scale   = flag.String("scale", "default", "workload scale: small, default, large")
+		seed    = flag.Uint64("seed", 0, "override workload seed (0 = scale default)")
+		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on host:port while benchmarking")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		// Runtime gauges plus pprof: profile a long experiment run live.
+		reg := telemetry.NewRegistry("instameasure", 1)
+		telemetry.RegisterRuntimeMetrics(reg)
+		srv, err := telemetry.NewServer(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 
 	s, err := pickScale(*scale)
 	if err != nil {

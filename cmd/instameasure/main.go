@@ -45,6 +45,7 @@ func run() error {
 		epoch    = flag.Int("epoch", 0, "print interim stats every N packets (0 = off)")
 		snapshot = flag.String("snapshot", "", "write the final flow table to this snapshot file")
 		exportTo = flag.String("export", "", "export each epoch's flow table to a collector at host:port")
+		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on host:port")
 	)
 	flag.Parse()
 
@@ -99,7 +100,7 @@ func run() error {
 	}
 
 	if *workers > 1 {
-		return runCluster(cfg, *workers, src, *topK)
+		return runCluster(cfg, *workers, src, *topK, *metrics)
 	}
 	return runMeter(cfg, src, meterOpts{
 		topK:     *topK,
@@ -108,6 +109,7 @@ func run() error {
 		epoch:    *epoch,
 		snapshot: *snapshot,
 		exportTo: *exportTo,
+		metrics:  *metrics,
 	})
 }
 
@@ -118,6 +120,20 @@ type meterOpts struct {
 	epoch    int
 	snapshot string
 	exportTo string
+	metrics  string
+}
+
+// serveMetrics starts the observability endpoint when addr is non-empty.
+func serveMetrics(t *instameasure.Telemetry, addr string) (*instameasure.TelemetryServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := t.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("metrics at %s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.URL())
+	return srv, nil
 }
 
 func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meterOpts) error {
@@ -139,6 +155,14 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 		}
 	}
 
+	srv, err := serveMetrics(meter.Telemetry(), opts.metrics)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
 	var exporter *instameasure.Exporter
 	if opts.exportTo != "" {
 		exporter, err = instameasure.DialCollector(opts.exportTo)
@@ -146,6 +170,7 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 			return err
 		}
 		defer exporter.Close()
+		exporter.Instrument(meter.Telemetry())
 	}
 
 	n, err := drain(meter, src, opts, exporter)
@@ -156,6 +181,8 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 	fmt.Printf("\nprocessed %d packets (%.2f GB)\n", n, float64(st.Bytes)/1e9)
 	fmt.Printf("regulation rate %.3f%% | active flows %d | WSAF load %.2f%%\n",
 		st.RegulationRate*100, st.ActiveFlows, st.WSAFLoadFactor*100)
+	fmt.Printf("WSAF churn: %d evictions, %d expirations, %d drops\n",
+		st.WSAFEvictions, st.WSAFExpirations, st.WSAFDrops)
 	fmt.Printf("memory: %d KB sketch + %d MB WSAF\n\n",
 		st.SketchMemoryBytes>>10, st.WSAFMemoryBytes>>20)
 
@@ -207,8 +234,20 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 		if n%uint64(opts.epoch) == 0 {
 			epochID++
 			st := meter.Stats()
-			fmt.Printf("epoch %d: %d packets, %d flows, regulation %.3f%%\n",
-				epochID, n, st.ActiveFlows, st.RegulationRate*100)
+			// Interim ratios read back from the live telemetry registry —
+			// the same series a Prometheus scrape of -metrics would see.
+			tm := meter.Telemetry()
+			pkts := tm.Value("instameasure_packets_total")
+			regulation := 0.0
+			if pkts > 0 {
+				regulation = tm.Value("instameasure_wsaf_delegations_total") / pkts
+			}
+			occupancy := 0.0
+			if capacity := tm.Value("instameasure_wsaf_capacity_entries"); capacity > 0 {
+				occupancy = tm.Value("instameasure_wsaf_occupancy") / capacity
+			}
+			fmt.Printf("epoch %d: %d packets, %d flows, regulation %.3f%%, WSAF occupancy %.2f%%\n",
+				epochID, n, st.ActiveFlows, regulation*100, occupancy*100)
 			if exporter != nil {
 				if err := exporter.ExportMeter(meter, epochID); err != nil {
 					return n, err
@@ -218,7 +257,7 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 	}
 }
 
-func runCluster(cfg instameasure.Config, workers int, src instameasure.PacketSource, topK int) error {
+func runCluster(cfg instameasure.Config, workers int, src instameasure.PacketSource, topK int, metrics string) error {
 	// Split the WSAF budget across workers to keep total memory fixed.
 	cfg.WSAFEntries /= workers
 	if cfg.WSAFEntries < 1024 {
@@ -230,6 +269,13 @@ func runCluster(cfg instameasure.Config, workers int, src instameasure.PacketSou
 	})
 	if err != nil {
 		return err
+	}
+	srv, err := serveMetrics(cluster.Telemetry(), metrics)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 	rep, err := cluster.Run(src)
 	if err != nil {

@@ -44,10 +44,11 @@ func run() error {
 	}
 	defer f.Close()
 
-	flows, epoch, err := instameasure.ReadSnapshot(f)
+	info, err := instameasure.ReadSnapshotDetail(f)
 	if err != nil {
 		return err
 	}
+	flows, epoch := info.Records, info.Epoch
 
 	var totalPkts, totalBytes float64
 	minTS, maxTS := int64(1<<62), int64(0)
@@ -63,6 +64,11 @@ func run() error {
 	}
 
 	fmt.Printf("%s: epoch %d, %d flows\n", flag.Arg(0), epoch, len(flows))
+	if info.HasStats {
+		st := info.Stats
+		fmt.Printf("WSAF activity: %d updates, %d inserts, %d expirations, %d evictions, %d drops\n",
+			st.Updates, st.Inserts, st.Expirations, st.Evictions, st.Drops)
+	}
 	if len(flows) == 0 {
 		return nil
 	}

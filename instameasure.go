@@ -145,6 +145,14 @@ type Stats struct {
 	// WSAFInsertions/Packets (the paper's ips/pps, ~1%).
 	WSAFInsertions uint64
 	RegulationRate float64
+	// WSAFEvictions counts live flows displaced by the second-chance
+	// policy; WSAFExpirations counts TTL-expired entries reclaimed inline
+	// during probing. The two leave-the-table paths are distinct: an
+	// eviction loses live state, an expiration is garbage collection.
+	// WSAFDrops counts updates lost with eviction disabled.
+	WSAFEvictions   uint64
+	WSAFExpirations uint64
+	WSAFDrops       uint64
 	// ActiveFlows is the current WSAF population; WSAFLoadFactor its
 	// occupancy. DistinctFlowsEst estimates total distinct flows seen —
 	// mice included — via a 4 KB cardinality sketch.
@@ -264,11 +272,15 @@ func (m *Meter) TopKBytes(k int) []FlowRecord {
 func (m *Meter) Stats() Stats {
 	reg := m.eng.Regulator()
 	table := m.eng.Table()
+	ts := table.Stats()
 	return Stats{
 		Packets:           m.eng.Packets(),
 		Bytes:             m.eng.Bytes(),
 		WSAFInsertions:    reg.Emissions(),
 		RegulationRate:    reg.RegulationRate(),
+		WSAFEvictions:     ts.Evictions,
+		WSAFExpirations:   ts.Reclaims,
+		WSAFDrops:         ts.Drops,
 		ActiveFlows:       table.Len(),
 		WSAFLoadFactor:    table.LoadFactor(),
 		DistinctFlowsEst:  m.eng.DistinctFlows(),
@@ -282,28 +294,80 @@ func (m *Meter) Reset() { m.eng.Reset() }
 
 // ExportSnapshot writes the meter's current flow table to w as a compact,
 // checksummed binary snapshot tagged with epoch — the archival path for
-// long-term measurement windows.
+// long-term measurement windows. The snapshot carries a stats trailer
+// recording the table's update/insert/expiration/eviction activity;
+// pre-trailer readers simply stop at the flow records.
 func (m *Meter) ExportSnapshot(w io.Writer, epoch int64) error {
 	snap := m.eng.Snapshot()
 	records := make([]export.Record, len(snap))
 	for i, e := range snap {
 		records[i] = export.FromEntry(e)
 	}
-	if err := export.WriteSnapshot(w, epoch, records); err != nil {
+	ts := m.eng.Table().Stats()
+	stats := export.TableStats{
+		Updates:     ts.Updates,
+		Inserts:     ts.Inserts,
+		Expirations: ts.Reclaims,
+		Evictions:   ts.Evictions,
+		Drops:       ts.Drops,
+	}
+	if err := export.WriteSnapshotStats(w, epoch, records, stats); err != nil {
 		return fmt.Errorf("instameasure: %w", err)
 	}
 	return nil
 }
 
+// WSAFActivity summarizes how a snapshot's table churned, splitting the
+// two ways an entry leaves the WSAF: second-chance evictions of live
+// flows versus inline TTL expirations.
+type WSAFActivity struct {
+	Updates     uint64
+	Inserts     uint64
+	Expirations uint64
+	Evictions   uint64
+	Drops       uint64
+}
+
+// SnapshotInfo is a fully decoded snapshot file.
+type SnapshotInfo struct {
+	Records []FlowRecord
+	Epoch   int64
+	// Stats is the WSAF activity trailer; HasStats reports whether the
+	// file carried one (snapshots written before the trailer do not).
+	Stats    WSAFActivity
+	HasStats bool
+}
+
 // ReadSnapshot loads a snapshot written by ExportSnapshot.
 func ReadSnapshot(r io.Reader) (records []FlowRecord, epoch int64, err error) {
-	b, err := export.ReadSnapshot(r)
+	info, err := ReadSnapshotDetail(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("instameasure: %w", err)
+		return nil, 0, err
 	}
-	records = make([]FlowRecord, len(b.Records))
+	return info.Records, info.Epoch, nil
+}
+
+// ReadSnapshotDetail loads a snapshot including its stats trailer, when
+// present.
+func ReadSnapshotDetail(r io.Reader) (SnapshotInfo, error) {
+	b, stats, hasStats, err := export.ReadSnapshotStats(r)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("instameasure: %w", err)
+	}
+	info := SnapshotInfo{
+		Records:  make([]FlowRecord, len(b.Records)),
+		Epoch:    b.Epoch,
+		HasStats: hasStats,
+		Stats: WSAFActivity{
+			Updates:     stats.Updates,
+			Inserts:     stats.Inserts,
+			Expirations: stats.Expirations,
+			Evictions:   stats.Evictions,
+			Drops:       stats.Drops,
+		},
+	}
 	for i, rec := range b.Records {
-		records[i] = FlowRecord{
+		info.Records[i] = FlowRecord{
 			Key:        rec.Key,
 			Pkts:       rec.Pkts,
 			Bytes:      rec.Bytes,
@@ -311,7 +375,7 @@ func ReadSnapshot(r io.Reader) (records []FlowRecord, epoch int64, err error) {
 			LastUpdate: rec.LastUpdate,
 		}
 	}
-	return records, b.Epoch, nil
+	return info, nil
 }
 
 func records(entries []wsaf.Entry) []FlowRecord {

@@ -11,11 +11,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"instameasure/internal/flowreg"
 	"instameasure/internal/hll"
 	"instameasure/internal/packet"
 	"instameasure/internal/rcc"
+	"instameasure/internal/telemetry"
 	"instameasure/internal/wsaf"
 )
 
@@ -44,6 +46,13 @@ type Config struct {
 	WSAFTTL int64
 	// Seed drives all hashing and sketch randomness.
 	Seed uint64
+	// Telemetry, if non-nil, is the metrics registry the engine's hot-path
+	// instrumentation publishes into; the multi-core pipeline passes one
+	// shared registry to every worker. nil creates a private registry.
+	Telemetry *telemetry.Registry
+	// Worker selects the registry shard this engine writes (its worker
+	// index); engines sharing a registry must use distinct shards.
+	Worker int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,17 +79,45 @@ type PassEvent struct {
 	Outcome wsaf.Outcome
 }
 
+// latencySampleEvery is the per-packet latency sampling period: one in
+// every 1024 Process calls is timed (two clock reads amortized to ~0.1 ns
+// per packet).
+const latencySampleEvery = 1024
+
+// publishEvery is the packet/byte counter publication period. Go's
+// atomic store is an XCHG on amd64 (a full locked op), so publishing the
+// totals every packet costs ~8% of the Process budget; every 64 packets
+// it is noise, and scrapes see totals at most 64 packets stale. Explicit
+// flush points (FlushTelemetry, the getters, worker exit) make the
+// counters exact whenever a run hands control back.
+const publishEvery = 64
+
+// engineMetrics holds the engine's hot-path telemetry handles. packets
+// and bytes are published with single-writer atomic stores every packet;
+// the rest update only on rare events (saturations, delegations).
+type engineMetrics struct {
+	packets telemetry.CounterShard
+	bytes   telemetry.CounterShard
+	latency telemetry.HistogramShard
+}
+
 // Engine is a single-core InstaMeasure instance.
 type Engine struct {
-	cfg    Config
-	reg    *flowreg.Regulator
-	table  *wsaf.Table
-	card   *hll.Sketch
-	onPass func(PassEvent)
+	cfg       Config
+	reg       *flowreg.Regulator
+	table     *wsaf.Table
+	card      *hll.Sketch
+	onPass    func(PassEvent)
+	telemetry *telemetry.Registry
+	tm        engineMetrics
 
 	packets uint64
 	bytes   uint64
 	lastTS  int64
+	// tmPacketsBase/tmBytesBase keep the published counters cumulative
+	// across window Resets (Prometheus counters must not move backwards).
+	tmPacketsBase uint64
+	tmBytesBase   uint64
 }
 
 // New builds an Engine from cfg.
@@ -113,8 +150,90 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cardinality sketch: %w", err)
 	}
-	return &Engine{cfg: cfg, reg: reg, table: table, card: card}, nil
+	e := &Engine{cfg: cfg, reg: reg, table: table, card: card}
+	e.instrument()
+	return e, nil
 }
+
+// instrument registers the engine's metrics (idempotently — workers
+// sharing a registry reuse the same families) and attaches shard handles
+// to the regulator and table. Instrumentation is always on; when the
+// caller supplied no registry the engine owns a private one, reachable
+// via Telemetry().
+func (e *Engine) instrument() {
+	reg := e.cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry("instameasure", 1)
+	}
+	e.telemetry = reg
+	w := e.cfg.Worker
+
+	e.tm.packets = reg.Counter("packets_total",
+		"Packets processed by the measurement engine.").Shard(w)
+	e.tm.bytes = reg.Counter("bytes_total",
+		"Bytes observed by the measurement engine.").Shard(w)
+	e.tm.latency = reg.Histogram("process_latency_ns",
+		"Per-packet Process latency in nanoseconds, sampled 1-in-1024.", 24).Shard(w)
+
+	// FlowRegulator: per-layer recycles, emissions, noise distribution.
+	depth := e.reg.Layers()
+	ft := &flowreg.Telemetry{
+		LayerRecycles: make([]telemetry.CounterShard, depth),
+		Emissions: reg.Counter("wsaf_delegations_total",
+			"FlowRegulator passthroughs delegated to the WSAF (insertion rate numerator).").Shard(w),
+		NoiseLevels: reg.Histogram("l1_noise_level",
+			"L1 noise level (zero bits remaining) at recycle time.", 6).Shard(w),
+	}
+	for k := 0; k < depth; k++ {
+		ft.LayerRecycles[k] = reg.Counter(fmt.Sprintf("l%d_recycles_total", k+1),
+			fmt.Sprintf("Layer-%d RCC vector recycles (saturations).", k+1)).Shard(w)
+	}
+	e.reg.SetTelemetry(ft)
+
+	// WSAF: per-outcome ops, probe-length distribution, occupancy.
+	wt := &wsaf.Telemetry{
+		ProbeLength: reg.Histogram("wsaf_probe_length",
+			"Slots probed per WSAF accumulate (quadratic probing policy).", 8).Shard(w),
+		Occupancy: reg.Gauge("wsaf_occupancy",
+			"Live WSAF entries across all workers.").Shard(w),
+	}
+	for i, outcome := range []string{"updated", "inserted", "reclaimed", "evicted", "dropped"} {
+		wt.Outcomes[i] = reg.Counter("wsaf_ops_total",
+			"WSAF accumulate operations by outcome.", "outcome", outcome).Shard(w)
+	}
+	e.table.SetTelemetry(wt)
+
+	// Static per-worker capacities and memory, published once.
+	reg.Gauge("wsaf_capacity_entries",
+		"WSAF table capacity in entries across all workers.").Shard(w).Set(int64(e.table.Capacity()))
+	reg.Gauge("sketch_memory_bytes",
+		"Total FlowRegulator sketch memory across all workers.").Shard(w).Set(int64(e.reg.MemoryBytes()))
+	reg.Gauge("wsaf_memory_bytes",
+		"WSAF DRAM consumption (33-byte entries) across all workers.").Shard(w).Set(int64(e.table.MemoryBytes()))
+
+	// Derived ratios, computed at scrape time from the atomic counters.
+	packetsC := reg.Counter("packets_total", "")
+	delegationsC := reg.Counter("wsaf_delegations_total", "")
+	reg.GaugeFunc("regulation_ratio",
+		"WSAF delegations over packets (the paper's ips/pps, ~0.01).", func() float64 {
+			p := packetsC.Value()
+			if p == 0 {
+				return 0
+			}
+			return float64(delegationsC.Value()) / float64(p)
+		})
+	reg.GaugeFunc("absorption_ratio",
+		"Fraction of packet arrivals absorbed by FlowRegulator (~0.99).", func() float64 {
+			p := packetsC.Value()
+			if p == 0 {
+				return 0
+			}
+			return 1 - float64(delegationsC.Value())/float64(p)
+		})
+}
+
+// Telemetry returns the registry the engine publishes into.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.telemetry }
 
 // MustNew is New for statically-known-good configs; it panics on error.
 func MustNew(cfg Config) *Engine {
@@ -136,11 +255,22 @@ func (e *Engine) Process(p packet.Packet) {
 	e.packets++
 	e.bytes += uint64(p.Len)
 	e.lastTS = p.TS
+	if e.packets&(publishEvery-1) == 0 {
+		e.publishTotals()
+	}
+	sampled := e.packets&(latencySampleEvery-1) == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 
 	h := p.Key.Hash64(e.cfg.Seed)
 	e.card.Add(h)
 	em, ok := e.reg.Process(h, int(p.Len))
 	if !ok {
+		if sampled {
+			e.tm.latency.Observe(uint64(time.Since(t0)))
+		}
 		return
 	}
 	outcome, _ := e.table.Accumulate(p.Key, em.EstPkts, em.EstBytes, p.TS)
@@ -152,6 +282,9 @@ func (e *Engine) Process(p packet.Packet) {
 			ev.Bytes = entry.Bytes
 		}
 		e.onPass(ev)
+	}
+	if sampled {
+		e.tm.latency.Observe(uint64(time.Since(t0)))
 	}
 }
 
@@ -200,11 +333,29 @@ func (e *Engine) TopKBytes(k int) []wsaf.Entry {
 // last Reset — mice included, unlike the WSAF population.
 func (e *Engine) DistinctFlows() float64 { return e.card.Estimate() }
 
+// publishTotals stores the cumulative packet/byte totals into the
+// engine's registry cells (single-writer atomic stores).
+func (e *Engine) publishTotals() {
+	e.tm.packets.Set(e.tmPacketsBase + e.packets)
+	e.tm.bytes.Set(e.tmBytesBase + e.bytes)
+}
+
+// FlushTelemetry publishes the amortized packet/byte totals exactly.
+// Call from the goroutine that owns the engine (it is a flush of the
+// owner's counters, not a synchronization point).
+func (e *Engine) FlushTelemetry() { e.publishTotals() }
+
 // Packets returns the number of packets processed.
-func (e *Engine) Packets() uint64 { return e.packets }
+func (e *Engine) Packets() uint64 {
+	e.publishTotals()
+	return e.packets
+}
 
 // Bytes returns the total bytes observed.
-func (e *Engine) Bytes() uint64 { return e.bytes }
+func (e *Engine) Bytes() uint64 {
+	e.publishTotals()
+	return e.bytes
+}
 
 // LastTS returns the most recent packet timestamp.
 func (e *Engine) LastTS() int64 { return e.lastTS }
@@ -219,12 +370,16 @@ func (e *Engine) Table() *wsaf.Table { return e.table }
 func (e *Engine) SketchMemoryBytes() int { return e.reg.MemoryBytes() }
 
 // Reset clears sketches, table, and counters for a fresh measurement
-// window.
+// window. Published telemetry counters stay cumulative across windows
+// (Prometheus counters must never move backwards); occupancy drops to 0.
 func (e *Engine) Reset() {
 	e.reg.Reset()
 	e.table.Reset()
 	e.card.Reset()
+	e.tmPacketsBase += e.packets
+	e.tmBytesBase += e.bytes
 	e.packets = 0
 	e.bytes = 0
 	e.lastTS = 0
+	e.publishTotals()
 }

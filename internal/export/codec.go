@@ -23,6 +23,7 @@ import (
 const (
 	batchMagic    = 0x494D4231 // "IMB1"
 	snapshotMagic = 0x494D5331 // "IMS1"
+	trailerMagic  = 0x494D5431 // "IMT1"
 	version       = 1
 
 	// maxBatchRecords bounds a single batch so a corrupt length field
@@ -202,6 +203,18 @@ func ReadBatch(r io.Reader) (Batch, error) {
 	return b, nil
 }
 
+// TableStats is the WSAF activity summary a snapshot may carry in its
+// trailer, distinguishing second-chance evictions of live flows from
+// inline TTL expirations (reclaims) — the two ways an entry leaves the
+// table, which pre-trailer snapshots conflated.
+type TableStats struct {
+	Updates     uint64
+	Inserts     uint64
+	Expirations uint64 // TTL-expired entries reclaimed during probing
+	Evictions   uint64 // live entries displaced by the clock policy
+	Drops       uint64
+}
+
 // WriteSnapshot persists records as a snapshot file (same record codec,
 // snapshot magic) for long-term archival of a measurement window.
 func WriteSnapshot(w io.Writer, epoch int64, records []Record) error {
@@ -213,7 +226,37 @@ func WriteSnapshot(w io.Writer, epoch int64, records []Record) error {
 	return WriteBatch(w, Batch{Epoch: epoch, Records: records})
 }
 
-// ReadSnapshot loads a snapshot file written by WriteSnapshot.
+// WriteSnapshotStats is WriteSnapshot plus a CRC-protected stats trailer:
+//
+//	magic(4) updates(8) inserts(8) expirations(8) evictions(8) drops(8) crc32(4)
+//
+// Readers that predate the trailer stop at the batch and are unaffected.
+func WriteSnapshotStats(w io.Writer, epoch int64, records []Record, stats TableStats) error {
+	if err := WriteSnapshot(w, epoch, records); err != nil {
+		return err
+	}
+	payload := make([]byte, 0, 40)
+	for _, v := range []uint64{stats.Updates, stats.Inserts, stats.Expirations, stats.Evictions, stats.Drops} {
+		payload = binary.BigEndian.AppendUint64(payload, v)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], trailerMagic)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot trailer magic: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("snapshot trailer: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("snapshot trailer checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot file written by WriteSnapshot (any stats
+// trailer is left unread).
 func ReadSnapshot(r io.Reader) (Batch, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -223,4 +266,39 @@ func ReadSnapshot(r io.Reader) (Batch, error) {
 		return Batch{}, ErrBadMagic
 	}
 	return ReadBatch(r)
+}
+
+// ReadSnapshotStats loads a snapshot and, when present, its stats
+// trailer; hasStats reports whether the file carried one (older
+// snapshots end at the batch).
+func ReadSnapshotStats(r io.Reader) (b Batch, stats TableStats, hasStats bool, err error) {
+	b, err = ReadSnapshot(r)
+	if err != nil {
+		return Batch{}, TableStats{}, false, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A clean EOF here is a v1 snapshot without trailer.
+		if errors.Is(err, io.EOF) {
+			return b, TableStats{}, false, nil
+		}
+		return Batch{}, TableStats{}, false, fmt.Errorf("snapshot trailer magic: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[:]) != trailerMagic {
+		return Batch{}, TableStats{}, false, ErrBadMagic
+	}
+	var body [44]byte
+	if _, err := io.ReadFull(r, body[:]); err != nil {
+		return Batch{}, TableStats{}, false, fmt.Errorf("snapshot trailer: %w", err)
+	}
+	payload := body[:40]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(body[40:44]) {
+		return Batch{}, TableStats{}, false, ErrChecksum
+	}
+	stats.Updates = binary.BigEndian.Uint64(payload[0:8])
+	stats.Inserts = binary.BigEndian.Uint64(payload[8:16])
+	stats.Expirations = binary.BigEndian.Uint64(payload[16:24])
+	stats.Evictions = binary.BigEndian.Uint64(payload[24:32])
+	stats.Drops = binary.BigEndian.Uint64(payload[32:40])
+	return b, stats, true, nil
 }

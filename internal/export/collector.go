@@ -9,10 +9,51 @@ import (
 	"time"
 
 	"instameasure/internal/packet"
+	"instameasure/internal/telemetry"
 )
 
 func immediateDeadline() time.Time {
 	return time.Now().Add(-time.Second)
+}
+
+// Telemetry carries the exporter's metric handles, updated once per
+// exported batch.
+type Telemetry struct {
+	// Batches and Records count successfully exported units; Bytes the
+	// wire bytes written (framing included).
+	Batches telemetry.CounterShard
+	Records telemetry.CounterShard
+	Bytes   telemetry.CounterShard
+	// Errors counts failed sends (the batch may have been partially
+	// written; the collector's CRC discards torn frames).
+	Errors telemetry.CounterShard
+}
+
+// NewTelemetry registers the export metric family on reg and returns
+// handles bound to worker shard w.
+func NewTelemetry(reg *telemetry.Registry, w int) *Telemetry {
+	return &Telemetry{
+		Batches: reg.Counter("export_batches_total",
+			"Flow batches exported to the collector.").Shard(w),
+		Records: reg.Counter("export_records_total",
+			"Flow records exported to the collector.").Shard(w),
+		Bytes: reg.Counter("export_bytes_total",
+			"Wire bytes written to the collector (framing included).").Shard(w),
+		Errors: reg.Counter("export_errors_total",
+			"Failed batch sends to the collector.").Shard(w),
+	}
+}
+
+// countingWriter counts bytes passed through to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // Exporter ships flow batches to a remote collector over TCP — the
@@ -20,6 +61,8 @@ func immediateDeadline() time.Time {
 // tens of milliseconds.
 type Exporter struct {
 	conn net.Conn
+	cw   countingWriter
+	tm   *Telemetry
 }
 
 // Dial connects an exporter to a collector address.
@@ -28,13 +71,29 @@ func Dial(addr string) (*Exporter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("export: dial %s: %w", addr, err)
 	}
-	return &Exporter{conn: conn}, nil
+	e := &Exporter{conn: conn}
+	e.cw.w = conn
+	return e, nil
 }
+
+// SetTelemetry attaches metric handles updated per exported batch. Pass
+// nil to detach.
+func (e *Exporter) SetTelemetry(tm *Telemetry) { e.tm = tm }
 
 // Export sends one batch.
 func (e *Exporter) Export(b Batch) error {
-	if err := WriteBatch(e.conn, b); err != nil {
+	before := e.cw.n
+	if err := WriteBatch(&e.cw, b); err != nil {
+		if e.tm != nil {
+			e.tm.Errors.Inc()
+			e.tm.Bytes.Add(e.cw.n - before)
+		}
 		return fmt.Errorf("export: %w", err)
+	}
+	if e.tm != nil {
+		e.tm.Batches.Inc()
+		e.tm.Records.Add(uint64(len(b.Records)))
+		e.tm.Bytes.Add(e.cw.n - before)
 	}
 	return nil
 }

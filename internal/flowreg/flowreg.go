@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"instameasure/internal/rcc"
+	"instameasure/internal/telemetry"
 )
 
 // MaxLayers bounds the layer chain; beyond four layers the retention
@@ -57,6 +58,20 @@ type Emission struct {
 	EstBytes float64
 }
 
+// Telemetry carries the regulator's hot-path metric handles. All fields
+// are optional shard handles into a shared registry; only the saturation
+// paths touch them, so the per-packet cost of instrumentation is zero for
+// the ~95% of packets that are absorbed without recycling a vector.
+type Telemetry struct {
+	// LayerRecycles[k] counts vector recycles (saturations) of layer k+1.
+	LayerRecycles []telemetry.CounterShard
+	// Emissions counts full passthroughs to the WSAF.
+	Emissions telemetry.CounterShard
+	// NoiseLevels observes the L1 noise level at each recycle — the
+	// distribution behind the decode table's accuracy.
+	NoiseLevels telemetry.HistogramShard
+}
+
 // Regulator is a multi-layer FlowRegulator. It is not safe for concurrent
 // use; the multi-core pipeline gives each worker its own Regulator.
 type Regulator struct {
@@ -66,6 +81,7 @@ type Regulator struct {
 	layers   [][]*rcc.Counter
 	noiseMin int
 	depth    int
+	tm       *Telemetry
 
 	packets   uint64
 	l1Sats    uint64
@@ -132,6 +148,10 @@ func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
 		return Emission{}, false
 	}
 	r.l1Sats++
+	if r.tm != nil {
+		r.tm.LayerRecycles[0].Inc()
+		r.tm.NoiseLevels.Observe(uint64(z))
+	}
 
 	unit := l1.Decode(z)
 	count := 1.0
@@ -141,9 +161,15 @@ func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
 		if !sat {
 			return Emission{}, false
 		}
+		if r.tm != nil {
+			r.tm.LayerRecycles[k].Inc()
+		}
 		count *= counter.Decode(z)
 	}
 	r.emissions++
+	if r.tm != nil {
+		r.tm.Emissions.Inc()
+	}
 
 	est := unit * count
 	return Emission{
@@ -195,6 +221,16 @@ func (r *Regulator) EstimateResidual(h uint64) float64 {
 		prevPerBit = curPerBit
 	}
 	return total
+}
+
+// SetTelemetry attaches metric handles to the saturation paths. tm's
+// LayerRecycles must have at least Layers entries. Pass nil to detach.
+func (r *Regulator) SetTelemetry(tm *Telemetry) {
+	if tm != nil && len(tm.LayerRecycles) < r.depth {
+		panic(fmt.Sprintf("flowreg: telemetry needs %d layer counters, got %d",
+			r.depth, len(tm.LayerRecycles)))
+	}
+	r.tm = tm
 }
 
 // Packets returns the number of packets processed.

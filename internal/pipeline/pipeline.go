@@ -15,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"instameasure/internal/core"
 	"instameasure/internal/flowhash"
 	"instameasure/internal/packet"
+	"instameasure/internal/telemetry"
 	"instameasure/internal/trace"
 	"instameasure/internal/wsaf"
 )
@@ -65,6 +67,16 @@ type Config struct {
 	// every worker's queue length each SampleEvery packets. 0 disables
 	// sampling.
 	SampleEvery int
+	// DropWhenFull makes the manager drop a worker's batch instead of
+	// blocking when that worker's queue is full — the lossy head-of-line
+	// policy of a real NIC ring. Dropped packets are counted per worker
+	// in Report.Dropped and the telemetry registry. Default false
+	// (lossless back-pressure).
+	DropWhenFull bool
+	// Telemetry, if non-nil, receives per-worker metrics and is shared
+	// with every worker engine; nil creates a registry sharded by
+	// Workers, reachable via System.Telemetry().
+	Telemetry *telemetry.Registry
 }
 
 // QueueSample is one occupancy observation; depths are in packets
@@ -83,6 +95,39 @@ type Report struct {
 	PerWorker    []uint64
 	BusyTime     []time.Duration
 	QueueSamples []QueueSample
+	// Queued counts packets enqueued to each worker by the manager;
+	// Dropped counts packets discarded for that worker because its queue
+	// was full (only non-zero with Config.DropWhenFull). For worker i,
+	// Queued[i] = PerWorker[i] and Queued[i]+Dropped[i] is the load the
+	// shard policy offered it.
+	Queued  []uint64
+	Dropped []uint64
+}
+
+// Imbalance reports the offered-load skew across workers: the maximum
+// worker's share of (queued+dropped) packets over the mean share. 1.0 is
+// perfectly balanced; RoundRobinShard sits at ~1.0 while PopcountShard
+// inherits the binomial popcount distribution's skew.
+func (r Report) Imbalance() float64 {
+	if len(r.Queued) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for i := range r.Queued {
+		offered := r.Queued[i]
+		if i < len(r.Dropped) {
+			offered += r.Dropped[i]
+		}
+		total += offered
+		if offered > max {
+			max = offered
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.Queued))
+	return float64(max) / mean
 }
 
 // MPPS returns the observed throughput in million packets per second.
@@ -112,6 +157,10 @@ type System struct {
 	queues  []chan []packet.Packet
 	shard   ShardFunc
 	batch   int
+
+	telemetry     *telemetry.Registry
+	workerPackets []telemetry.CounterShard
+	workerDropped []telemetry.CounterShard
 }
 
 // New builds a System with per-worker engines whose seeds derive from the
@@ -133,25 +182,71 @@ func New(cfg Config) (*System, error) {
 	if chanCap < 1 {
 		chanCap = 1
 	}
-	s := &System{
-		cfg:     cfg,
-		engines: make([]*core.Engine, cfg.Workers),
-		queues:  make([]chan []packet.Packet, cfg.Workers),
-		shard:   cfg.Shard,
-		batch:   cfg.BatchSize,
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry("instameasure", cfg.Workers)
 	}
+	s := &System{
+		cfg:           cfg,
+		engines:       make([]*core.Engine, cfg.Workers),
+		queues:        make([]chan []packet.Packet, cfg.Workers),
+		shard:         cfg.Shard,
+		batch:         cfg.BatchSize,
+		telemetry:     reg,
+		workerPackets: make([]telemetry.CounterShard, cfg.Workers),
+		workerDropped: make([]telemetry.CounterShard, cfg.Workers),
+	}
+	packetCounters := make([]*telemetry.Counter, cfg.Workers)
+	droppedCounters := make([]*telemetry.Counter, cfg.Workers)
 	for i := range s.engines {
 		engCfg := cfg.Engine
 		engCfg.Seed = cfg.Engine.Seed + uint64(i)*0x9E3779B97F4A7C15
+		engCfg.Telemetry = reg
+		engCfg.Worker = i
 		eng, err := core.New(engCfg)
 		if err != nil {
 			return nil, fmt.Errorf("worker %d engine: %w", i, err)
 		}
 		s.engines[i] = eng
 		s.queues[i] = make(chan []packet.Packet, chanCap)
+
+		label := strconv.Itoa(i)
+		packetCounters[i] = reg.Counter("worker_packets_total",
+			"Packets processed, per worker.", "worker", label)
+		droppedCounters[i] = reg.Counter("worker_dropped_total",
+			"Packets dropped at a full worker queue (DropWhenFull policy), per worker.",
+			"worker", label)
+		s.workerPackets[i] = packetCounters[i].Shard(i)
+		s.workerDropped[i] = droppedCounters[i].Shard(i)
+		q := s.queues[i]
+		batch := cfg.BatchSize
+		reg.GaugeFunc("worker_queue_depth",
+			"Queued packets awaiting a worker (batches in flight x batch size).",
+			func() float64 { return float64(len(q) * batch) },
+			"worker", label)
 	}
+	reg.GaugeFunc("shard_imbalance",
+		"Max worker offered load over the mean (1.0 = perfectly balanced).",
+		func() float64 {
+			var total, max uint64
+			for i := range packetCounters {
+				offered := packetCounters[i].Value() + droppedCounters[i].Value()
+				total += offered
+				if offered > max {
+					max = offered
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(max) / (float64(total) / float64(len(packetCounters)))
+		})
 	return s, nil
 }
+
+// Telemetry returns the registry shared by the manager and every worker
+// engine.
+func (s *System) Telemetry() *telemetry.Registry { return s.telemetry }
 
 // Workers returns the worker count.
 func (s *System) Workers() int { return len(s.engines) }
@@ -180,6 +275,7 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 		i := i
 		eng := s.engines[i]
 		q := s.queues[i]
+		counter := s.workerPackets[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -192,7 +288,10 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 				}
 				b += time.Since(start)
 				n += uint64(len(batch))
+				counter.Set(n)
 			}
+			// Publish exact totals now that this worker is done.
+			eng.FlushTelemetry()
 			perWorker[i] = n
 			busy[i] = b
 		}()
@@ -202,11 +301,24 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 	for i := range pending {
 		pending[i] = make([]packet.Packet, 0, s.batch)
 	}
+	queued := make([]uint64, nw)
+	dropped := make([]uint64, nw)
 	flush := func(w int) {
 		if len(pending[w]) == 0 {
 			return
 		}
-		s.queues[w] <- pending[w]
+		if s.cfg.DropWhenFull {
+			select {
+			case s.queues[w] <- pending[w]:
+				queued[w] += uint64(len(pending[w]))
+			default:
+				dropped[w] += uint64(len(pending[w]))
+				s.workerDropped[w].Add(uint64(len(pending[w])))
+			}
+		} else {
+			s.queues[w] <- pending[w]
+			queued[w] += uint64(len(pending[w]))
+		}
 		pending[w] = make([]packet.Packet, 0, s.batch)
 	}
 
@@ -260,6 +372,8 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 	report.WallTime = time.Since(start)
 	report.PerWorker = perWorker
 	report.BusyTime = busy
+	report.Queued = queued
+	report.Dropped = dropped
 
 	if cancelled {
 		return report, fmt.Errorf("pipeline cancelled: %w", ctx.Err())

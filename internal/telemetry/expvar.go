@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"expvar"
+)
+
+// ExpvarVar adapts the registry to an expvar.Var: its String method
+// marshals every series to a JSON object, scalar series as numbers and
+// histograms as {count, sum, buckets} with power-of-two upper-bound keys.
+// Publish it with PublishExpvar (or expvar.Publish directly) to surface
+// the registry under /debug/vars.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() interface{} {
+		out := make(map[string]interface{})
+		r.Each(func(series string, value float64) {
+			out[series] = value
+		})
+		r.mu.RLock()
+		snapshot := make([]interface{}, len(r.ordered))
+		copy(snapshot, r.ordered)
+		r.mu.RUnlock()
+		for _, m := range snapshot {
+			h, ok := m.(*Histogram)
+			if !ok {
+				continue
+			}
+			buckets, count, sum := h.snapshot()
+			hb := make(map[string]uint64, len(buckets))
+			var cum uint64
+			for i := 0; i < len(buckets)-1; i++ {
+				cum += buckets[i]
+				hb[uintString(upperBound(i))] = cum
+			}
+			cum += buckets[len(buckets)-1]
+			hb["+Inf"] = cum
+			out[h.name+h.labels] = map[string]interface{}{
+				"count":   count,
+				"sum":     sum,
+				"buckets": hb,
+			}
+		}
+		return out
+	})
+}
+
+// PublishExpvar publishes the registry under name in the process-global
+// expvar namespace, once; repeat calls (or a name already taken) are
+// no-ops so tests can create many registries safely.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.ExpvarVar())
+}
+
+// uintString formats a uint64 without strconv allocation ceremony at the
+// call site.
+func uintString(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Server is the observability endpoint: /metrics (Prometheus),
+// /debug/vars (expvar, memstats included), and /debug/pprof/* on one
+// listener. It runs on its own mux so importing net/http/pprof's global
+// side effects is unnecessary.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer starts serving registry r on addr (use ":0" or
+// "127.0.0.1:0" for an ephemeral port) and returns immediately; the
+// accept loop runs in a background goroutine until Close.
+func NewServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	r.PublishExpvar(r.namespace)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "instameasure telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// RegisterRuntimeMetrics adds process-level gauges (goroutines, heap
+// bytes, GC cycles) to r — the bits a dashboard wants next to the
+// engine's own series.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

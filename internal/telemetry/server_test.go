@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry("test", 1)
+	r.Counter("packets_total", "Packets.").Add(42)
+	RegisterRuntimeMetrics(r)
+
+	srv, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "test_packets_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "test_goroutines") {
+		t.Fatalf("/metrics missing runtime gauge:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "test_packets_total") {
+		t.Fatalf("/debug/vars missing registry var:\n%s", body)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry("test", 1)
+	srv, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+}

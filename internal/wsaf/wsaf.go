@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"instameasure/internal/packet"
+	"instameasure/internal/telemetry"
 )
 
 // Probing selects the probe sequence.
@@ -119,6 +120,19 @@ type Stats struct {
 	ProbeSteps uint64
 }
 
+// Telemetry carries the table's metric handles. Accumulate runs only on
+// FlowRegulator passthroughs (~1% of packets), so updating these on every
+// call is cheap. All handles must be set when the struct is non-nil.
+type Telemetry struct {
+	// Outcomes[o-1] counts Accumulate results by Outcome (Updated..Dropped).
+	Outcomes [5]telemetry.CounterShard
+	// ProbeLength observes the number of slots probed per Accumulate —
+	// the paper's quadratic-vs-linear probing quantity.
+	ProbeLength telemetry.HistogramShard
+	// Occupancy publishes the live entry count (single-writer Set).
+	Occupancy telemetry.GaugeShard
+}
+
 // Table is a WSAF instance. It is not safe for concurrent use; the pipeline
 // shards one Table per worker.
 type Table struct {
@@ -129,6 +143,7 @@ type Table struct {
 	probing    Probing
 	eviction   Eviction
 	seed       uint64
+	tm         *Telemetry
 
 	size     int
 	stats    Stats
@@ -186,10 +201,11 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 
 	freeSlot := -1
 	probed := t.probeBuf[:0]
+	steps := 0
 
 	for i := 0; i < t.probeLimit; i++ {
 		slot := t.slot(h, i)
-		t.stats.ProbeSteps++
+		steps++
 		e := &t.entries[slot]
 		switch {
 		case !e.used:
@@ -205,7 +221,7 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 			e.LastUpdate = now
 			e.chance = true
 			t.stats.Updates++
-			return Updated, nil
+			return t.note(Updated, steps), nil
 		case t.expired(e, now):
 			if freeSlot < 0 {
 				freeSlot = slot
@@ -227,7 +243,7 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 			t.stats.Inserts++
 		}
 		t.place(victim, id, key, pkts, bytes, now)
-		return outcome, nil
+		return t.note(outcome, steps), nil
 	}
 
 	victimSlot := -1
@@ -263,14 +279,35 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 	}
 	if victimSlot < 0 {
 		t.stats.Drops++
-		return Dropped, nil
+		return t.note(Dropped, steps), nil
 	}
 
 	victim := t.entries[victimSlot]
 	t.size--
 	t.place(&t.entries[victimSlot], id, key, pkts, bytes, now)
 	t.stats.Evictions++
-	return Evicted, &victim
+	return t.note(Evicted, steps), &victim
+}
+
+// note folds one Accumulate's probe work and outcome into the stats and,
+// when attached, the telemetry registry; it returns o for tail-calling.
+func (t *Table) note(o Outcome, steps int) Outcome {
+	t.stats.ProbeSteps += uint64(steps)
+	if t.tm != nil {
+		t.tm.Outcomes[o-1].Inc()
+		t.tm.ProbeLength.Observe(uint64(steps))
+		t.tm.Occupancy.Set(int64(t.size))
+	}
+	return o
+}
+
+// SetTelemetry attaches metric handles updated on every Accumulate.
+// Pass nil to detach.
+func (t *Table) SetTelemetry(tm *Telemetry) {
+	t.tm = tm
+	if tm != nil {
+		tm.Occupancy.Set(int64(t.size))
+	}
 }
 
 // Lookup returns the entry for key, if present and not expired at now.
@@ -348,6 +385,9 @@ func (t *Table) Reset() {
 	}
 	t.size = 0
 	t.stats = Stats{}
+	if t.tm != nil {
+		t.tm.Occupancy.Set(0)
+	}
 }
 
 func (t *Table) place(e *Entry, id uint32, key packet.FlowKey, pkts, bytes float64, now int64) {

@@ -1,0 +1,87 @@
+package instameasure
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"instameasure/internal/export"
+	"instameasure/internal/telemetry"
+)
+
+// Telemetry is the live metrics registry of a Meter or Cluster: lock-free
+// counters, gauges, and histograms updated on the measurement hot path
+// and scrapeable at any time, including while traffic is flowing.
+//
+// Metric names are Prometheus-style with the "instameasure_" namespace —
+// see the README's Observability section for the catalog.
+type Telemetry struct {
+	reg *telemetry.Registry
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (the same payload /metrics serves).
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	t.reg.WritePrometheus(w)
+	return nil
+}
+
+// Handler returns an http.Handler serving the Prometheus text format,
+// for embedding into an existing HTTP server.
+func (t *Telemetry) Handler() http.Handler { return t.reg.Handler() }
+
+// Value returns the current value of the named scalar metric (counters,
+// gauges, computed gauges), summed over labeled children. Names are
+// fully qualified, e.g. "instameasure_packets_total".
+func (t *Telemetry) Value(name string) float64 { return t.reg.Value(name) }
+
+// Each calls fn for every scalar series with its current value.
+func (t *Telemetry) Each(fn func(series string, value float64)) { t.reg.Each(fn) }
+
+// MetricNames returns the sorted metric family names.
+func (t *Telemetry) MetricNames() []string { return t.reg.SeriesNames() }
+
+// Serve starts the observability endpoint on addr ("host:port"; ":0"
+// picks an ephemeral port): /metrics (Prometheus text), /debug/vars
+// (expvar), and /debug/pprof/*.
+func (t *Telemetry) Serve(addr string) (*TelemetryServer, error) {
+	telemetry.RegisterRuntimeMetrics(t.reg)
+	s, err := telemetry.NewServer(addr, t.reg)
+	if err != nil {
+		return nil, fmt.Errorf("instameasure: %w", err)
+	}
+	return &TelemetryServer{s: s}, nil
+}
+
+// TelemetryServer is a running observability endpoint.
+type TelemetryServer struct {
+	s *telemetry.Server
+}
+
+// Addr returns the bound listen address.
+func (s *TelemetryServer) Addr() string { return s.s.Addr() }
+
+// URL returns the endpoint's base URL.
+func (s *TelemetryServer) URL() string { return "http://" + s.s.Addr() }
+
+// Close stops the listener and any in-flight scrapes.
+func (s *TelemetryServer) Close() error { return s.s.Close() }
+
+// Telemetry returns the meter's metrics registry. The registry is safe
+// to scrape from any goroutine while the meter processes packets.
+func (m *Meter) Telemetry() *Telemetry {
+	return &Telemetry{reg: m.eng.Telemetry()}
+}
+
+// Telemetry returns the cluster-wide metrics registry shared by the
+// manager and every worker; per-worker series carry a worker label.
+func (c *Cluster) Telemetry() *Telemetry {
+	return &Telemetry{reg: c.sys.Telemetry()}
+}
+
+// Instrument attaches export metrics (export_batches_total,
+// export_records_total, export_bytes_total, export_errors_total) to t's
+// registry, updated on every batch this exporter sends.
+func (e *Exporter) Instrument(t *Telemetry) {
+	e.e.SetTelemetry(export.NewTelemetry(t.reg, 0))
+}
