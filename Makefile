@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet-race bench bench-guard clean
+.PHONY: all build test tier1 vet-race bench bench-guard bench-json clean
 
 all: build test
 
@@ -28,6 +28,17 @@ bench:
 # opt-in rather than part of tier1.
 bench-guard:
 	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestProcessTelemetryOverhead -v ./internal/core/
+
+# bench-json archives the hot-path suite — the Fig. 9 throughput benchmark
+# plus the per-component microbenchmarks — as BENCH_hotpath.json
+# (name -> ns/op, allocs/op, Mpps) via cmd/benchjson. When the file already
+# exists, its numbers carry over into the "baseline" section, so the
+# document always records a before/after pair across a change.
+BENCH_HOTPATH = Fig9aCores|EncodePerPacket|ProcessBatchPerPacket|RCCEncode|FlowRegulatorProcess|WSAFAccumulate|FlowKeyHash
+bench-json:
+	$(GO) test -bench '$(BENCH_HOTPATH)' -benchmem -run '^$$' . | \
+		$(GO) run ./cmd/benchjson -o BENCH_hotpath.json \
+		$$(test -f BENCH_hotpath.json && echo -baseline BENCH_hotpath.json)
 
 clean:
 	$(GO) clean ./...

@@ -90,6 +90,26 @@ func BenchmarkEncodePerPacket(b *testing.B) {
 	b.ReportMetric(float64(1e3)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "Mpps")
 }
 
+// BenchmarkProcessBatchPerPacket is the batched counterpart of
+// BenchmarkEncodePerPacket: the same engine and trace, fed in 256-packet
+// bursts through the pre-hashed batch path. ns/op is still per packet.
+func BenchmarkProcessBatchPerPacket(b *testing.B) {
+	tr := benchTrace(b)
+	eng := core.MustNew(core.Config{SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 18, Seed: 1})
+	const burst = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		start := i % (len(tr.Packets) - burst)
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		eng.ProcessBatch(tr.Packets[start : start+n])
+	}
+	b.ReportMetric(float64(1e3)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "Mpps")
+}
+
 func BenchmarkRCCEncode(b *testing.B) {
 	c := rcc.MustNew(rcc.Config{MemoryBytes: 32 << 10, VectorBits: 8, Seed: 1})
 	tr := benchTrace(b)

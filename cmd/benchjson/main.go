@@ -1,0 +1,202 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark runs can be archived, diffed, and gated in
+// CI. It reads benchmark lines from stdin and writes one JSON object to
+// the -o file (stdout by default):
+//
+//	go test -bench . -benchmem -run '^$' . | benchjson -o BENCH_hotpath.json
+//
+// With -baseline FILE, the "baseline" section of an earlier benchjson
+// document is carried over verbatim — and if FILE has no baseline section,
+// its results become the baseline — so a single output file records the
+// before/after pair across a change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics. Only ns/op is guaranteed;
+// the remaining fields appear when the benchmark reports them.
+type Result struct {
+	Iterations int64    `json:"iterations"`
+	NsPerOp    float64  `json:"ns_per_op"`
+	AllocsOp   *float64 `json:"allocs_per_op,omitempty"`
+	BytesOp    *float64 `json:"bytes_per_op,omitempty"`
+	MBPerSec   *float64 `json:"mb_per_s,omitempty"`
+	MPPS       *float64 `json:"mpps,omitempty"`
+}
+
+// Document is the file layout: results keyed by benchmark name (CPU
+// suffix stripped), plus optional environment lines and a carried-over
+// baseline from a previous run.
+type Document struct {
+	GoOS     string            `json:"goos,omitempty"`
+	GoArch   string            `json:"goarch,omitempty"`
+	CPU      string            `json:"cpu,omitempty"`
+	Results  map[string]Result `json:"results"`
+	Baseline map[string]Result `json:"baseline,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		baseline = flag.String("baseline", "", "earlier benchjson document whose results become (or carry over as) the baseline")
+	)
+	flag.Parse()
+
+	doc := Document{Results: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, err := parseLine(line)
+			if err != nil {
+				return fmt.Errorf("parse %q: %w", line, err)
+			}
+			doc.Results[name] = res
+		}
+		// Echo everything through so the tool can sit inside a pipe
+		// without hiding failures or PASS/FAIL trailers.
+		fmt.Println(line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		doc.Baseline = base
+	}
+
+	blob, err := json.MarshalIndent(ordered(doc), "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   1000  123.4 ns/op  5 B/op  2 allocs/op  8.07 Mpps
+func parseLine(line string) (string, Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return "", Result{}, fmt.Errorf("want at least 4 fields, have %d", len(f))
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix so names are stable across hosts.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := Result{Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Result{}, fmt.Errorf("metric value %q: %w", f[i], err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "allocs/op":
+			res.AllocsOp = &v
+		case "B/op":
+			res.BytesOp = &v
+		case "MB/s":
+			res.MBPerSec = &v
+		case "Mpps":
+			res.MPPS = &v
+		}
+	}
+	if !sawNs {
+		return "", Result{}, fmt.Errorf("no ns/op metric")
+	}
+	return name, res, nil
+}
+
+// loadBaseline extracts the comparison section from an earlier document:
+// its baseline if it has one, otherwise its results.
+func loadBaseline(path string) (map[string]Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Baseline) > 0 {
+		return doc.Baseline, nil
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results or baseline section", path)
+	}
+	return doc.Results, nil
+}
+
+// ordered re-marshals the document with deterministically sorted keys.
+// encoding/json already sorts map keys, so this is just a stable wrapper
+// that keeps the section order fixed.
+func ordered(doc Document) any {
+	type out struct {
+		GoOS     string            `json:"goos,omitempty"`
+		GoArch   string            `json:"goarch,omitempty"`
+		CPU      string            `json:"cpu,omitempty"`
+		Names    []string          `json:"benchmarks"`
+		Results  map[string]Result `json:"results"`
+		Baseline map[string]Result `json:"baseline,omitempty"`
+	}
+	names := make([]string, 0, len(doc.Results))
+	for n := range doc.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return out{
+		GoOS:     doc.GoOS,
+		GoArch:   doc.GoArch,
+		CPU:      doc.CPU,
+		Names:    names,
+		Results:  doc.Results,
+		Baseline: doc.Baseline,
+	}
+}

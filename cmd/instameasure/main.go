@@ -38,6 +38,7 @@ func run() error {
 		sketchKB = flag.Int("sketch-kb", 32, "L1 sketch memory in KB (total FlowRegulator = 4x)")
 		wsafExp  = flag.Int("wsaf-exp", 20, "WSAF size as a power of two (20 = paper default)")
 		workers  = flag.Int("workers", 1, "worker cores (1 = single-core meter)")
+		batch    = flag.Int("batch", 256, "burst size packets travel in between manager and workers")
 		topK     = flag.Int("top", 10, "print the K largest flows by packets and bytes")
 		hhPkts   = flag.Float64("hh-pkts", 0, "heavy-hitter packet threshold (0 = off)")
 		hhBytes  = flag.Float64("hh-bytes", 0, "heavy-hitter byte threshold (0 = off)")
@@ -100,7 +101,7 @@ func run() error {
 	}
 
 	if *workers > 1 {
-		return runCluster(cfg, *workers, src, *topK, *metrics)
+		return runCluster(cfg, *workers, *batch, src, *topK, *metrics)
 	}
 	return runMeter(cfg, src, meterOpts{
 		topK:     *topK,
@@ -257,15 +258,16 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 	}
 }
 
-func runCluster(cfg instameasure.Config, workers int, src instameasure.PacketSource, topK int, metrics string) error {
+func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.PacketSource, topK int, metrics string) error {
 	// Split the WSAF budget across workers to keep total memory fixed.
 	cfg.WSAFEntries /= workers
 	if cfg.WSAFEntries < 1024 {
 		cfg.WSAFEntries = 1024
 	}
 	cluster, err := instameasure.NewCluster(instameasure.ClusterConfig{
-		Meter:   cfg,
-		Workers: workers,
+		Meter:     cfg,
+		Workers:   workers,
+		BatchSize: batch,
 	})
 	if err != nil {
 		return err

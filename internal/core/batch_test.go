@@ -1,0 +1,179 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+)
+
+func batchTrace(t *testing.T, flows, packets int, seed uint64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{
+		Flows:        flows,
+		TotalPackets: packets,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestBatchScalarEquivalence is the batch-path determinism contract: a
+// seeded trace through ProcessBatch must leave byte-identical sketch and
+// table state, estimates, and telemetry counters versus the same trace
+// through Process one packet at a time. Only the latency histogram may
+// differ (batch observes once per burst, scalar samples 1-in-1024).
+func TestBatchScalarEquivalence(t *testing.T) {
+	tr := batchTrace(t, 2000, 120_000, 11)
+	cfg := Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 14, Seed: 5}
+
+	scalar := testEngine(t, cfg)
+	var scalarPasses []PassEvent
+	scalar.OnPass(func(ev PassEvent) { scalarPasses = append(scalarPasses, ev) })
+	for i := range tr.Packets {
+		scalar.Process(tr.Packets[i])
+	}
+
+	batched := testEngine(t, cfg)
+	var batchPasses []PassEvent
+	batched.OnPass(func(ev PassEvent) { batchPasses = append(batchPasses, ev) })
+	for i := 0; i < len(tr.Packets); {
+		// Vary the burst size so batch boundaries provably don't matter.
+		burst := []int{1, 7, 64, 256, 1000}[i%5]
+		end := i + burst
+		if end > len(tr.Packets) {
+			end = len(tr.Packets)
+		}
+		batched.ProcessBatch(tr.Packets[i:end])
+		i = end
+	}
+
+	if scalar.Packets() != batched.Packets() || scalar.Bytes() != batched.Bytes() {
+		t.Fatalf("totals differ: scalar %d/%d, batch %d/%d",
+			scalar.Packets(), scalar.Bytes(), batched.Packets(), batched.Bytes())
+	}
+	if len(scalarPasses) != len(batchPasses) {
+		t.Fatalf("pass events: scalar %d, batch %d", len(scalarPasses), len(batchPasses))
+	}
+	for i := range scalarPasses {
+		if scalarPasses[i] != batchPasses[i] {
+			t.Fatalf("pass event %d differs:\nscalar %+v\nbatch  %+v", i, scalarPasses[i], batchPasses[i])
+		}
+	}
+
+	// WSAF snapshots must be byte-identical (same entries, same slots —
+	// Snapshot walks the table in slot order).
+	sa, sb := scalar.Snapshot(), batched.Snapshot()
+	if len(sa) != len(sb) {
+		t.Fatalf("snapshot sizes: scalar %d, batch %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("snapshot entry %d differs:\nscalar %+v\nbatch  %+v", i, sa[i], sb[i])
+		}
+	}
+
+	// Estimates for the top flows must agree exactly.
+	for _, e := range scalar.TopKPackets(50) {
+		p1, b1 := scalar.Estimate(e.Key)
+		p2, b2 := batched.Estimate(e.Key)
+		if p1 != p2 || b1 != b2 {
+			t.Fatalf("estimate for %v differs: scalar %v/%v, batch %v/%v", e.Key, p1, b1, p2, b2)
+		}
+	}
+	if scalar.DistinctFlows() != batched.DistinctFlows() {
+		t.Fatalf("cardinality differs: %v vs %v", scalar.DistinctFlows(), batched.DistinctFlows())
+	}
+
+	// Telemetry counters (everything except the latency histogram series).
+	scalar.FlushTelemetry()
+	batched.FlushTelemetry()
+	want := map[string]float64{}
+	scalar.Telemetry().Each(func(series string, v float64) {
+		if !strings.Contains(series, "process_latency_ns") {
+			want[series] = v
+		}
+	})
+	batched.Telemetry().Each(func(series string, v float64) {
+		if strings.Contains(series, "process_latency_ns") {
+			return
+		}
+		if got, ok := want[series]; !ok || got != v {
+			t.Errorf("series %s: scalar %v, batch %v", series, got, v)
+		}
+	})
+}
+
+// TestSingleHashPerPacket pins the tentpole invariant: each packet's flow
+// key is hashed exactly once end-to-end — by Process and by ProcessBatch —
+// even with the onPass consumer armed (the path that used to re-probe via
+// Lookup).
+func TestSingleHashPerPacket(t *testing.T) {
+	tr := batchTrace(t, 500, 30_000, 3)
+	cfg := Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 12, Seed: 2}
+
+	eng := testEngine(t, cfg)
+	eng.OnPass(func(PassEvent) {})
+	packet.SetHashCounting(true)
+	for i := range tr.Packets {
+		eng.Process(tr.Packets[i])
+	}
+	if got := packet.HashCount(); got != uint64(len(tr.Packets)) {
+		packet.SetHashCounting(false)
+		t.Fatalf("scalar path: %d Hash64 calls for %d packets, want exactly one per packet", got, len(tr.Packets))
+	}
+
+	eng2 := testEngine(t, cfg)
+	eng2.OnPass(func(PassEvent) {})
+	packet.SetHashCounting(true)
+	for i := 0; i < len(tr.Packets); i += 256 {
+		end := i + 256
+		if end > len(tr.Packets) {
+			end = len(tr.Packets)
+		}
+		eng2.ProcessBatch(tr.Packets[i:end])
+	}
+	got := packet.HashCount()
+	packet.SetHashCounting(false)
+	if got != uint64(len(tr.Packets)) {
+		t.Fatalf("batch path: %d Hash64 calls for %d packets, want exactly one per packet", got, len(tr.Packets))
+	}
+}
+
+// TestProcessBatchZeroAllocs asserts the steady-state hot path allocates
+// nothing: after warmup (hash buffer grown, telemetry shards touched),
+// ProcessBatch must run alloc-free.
+func TestProcessBatchZeroAllocs(t *testing.T) {
+	tr := batchTrace(t, 1000, 60_000, 9)
+	eng := testEngine(t, Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 14, Seed: 1})
+
+	const burst = 256
+	// Warm up: size the hash buffer and fault in the table.
+	eng.ProcessBatch(tr.Packets[:burst])
+
+	next := burst
+	allocs := testing.AllocsPerRun(100, func() {
+		end := next + burst
+		if end > len(tr.Packets) {
+			next = burst
+			end = next + burst
+		}
+		eng.ProcessBatch(tr.Packets[next:end])
+		next = end
+	})
+	if allocs > 0.5 {
+		t.Errorf("ProcessBatch allocates %.1f objects per burst in steady state, want 0", allocs)
+	}
+}
+
+func TestProcessBatchEmpty(t *testing.T) {
+	eng := testEngine(t, Config{})
+	eng.ProcessBatch(nil)
+	eng.ProcessBatch([]packet.Packet{})
+	if eng.Packets() != 0 {
+		t.Errorf("empty batches counted %d packets", eng.Packets())
+	}
+}

@@ -33,14 +33,20 @@ func Fig9aCoreScaling(s Scale) (*Report, error) {
 		Seed:              s.Seed,
 	}
 
-	// Component calibration: one worker's encode rate.
+	// Component calibration: one worker's encode rate through the batched
+	// hot path, in the same burst size the pipeline workers consume.
 	eng, err := core.New(engCfg)
 	if err != nil {
 		return nil, err
 	}
+	const burst = 256
 	start := time.Now()
-	for i := range tr.Packets {
-		eng.Process(tr.Packets[i])
+	for i := 0; i < len(tr.Packets); i += burst {
+		end := i + burst
+		if end > len(tr.Packets) {
+			end = len(tr.Packets)
+		}
+		eng.ProcessBatch(tr.Packets[i:end])
 	}
 	workerPPS := float64(len(tr.Packets)) / time.Since(start).Seconds()
 

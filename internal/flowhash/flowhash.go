@@ -72,6 +72,28 @@ func Sum32(b []byte, seed uint64) uint32 {
 	return uint32(h ^ (h >> 32))
 }
 
+// v4KeyLen is the canonical wire-encoding length of an IPv4 flow key:
+// 4+4 address bytes, 2+2 port bytes, 1 protocol byte.
+const v4KeyLen = 13
+
+// SumFlowKeyV4 hashes the 13-byte IPv4 flow-key encoding without staging
+// it through a byte buffer: addrs is the first 8 encoding bytes as a
+// little-endian word (src then dst address), ports the next 4 bytes
+// (big-endian src port then dst port, loaded little-endian), proto the
+// final byte. The result is bit-identical to Sum64 over the same
+// FlowKey.AppendBytes encoding — the fixed-width path is an
+// evaluation-order specialization of the tail, not a different hash.
+func SumFlowKeyV4(addrs uint64, ports uint32, proto uint8, seed uint64) uint64 {
+	h := seed + prime5 + v4KeyLen
+	h ^= round(0, addrs)
+	h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	h ^= uint64(ports) * prime1
+	h = bits.RotateLeft64(h, 23)*prime2 + prime3
+	h ^= uint64(proto) * prime5
+	h = bits.RotateLeft64(h, 11) * prime1
+	return avalanche(h)
+}
+
 // Mix64 applies a strong 64-bit finalizer (splitmix64) to x. It is used to
 // derive independent hash streams from a single flow hash, e.g. the bit
 // positions of a virtual vector.

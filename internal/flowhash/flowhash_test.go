@@ -39,6 +39,26 @@ func TestSum64InputLengths(t *testing.T) {
 	}
 }
 
+func TestSumFlowKeyV4MatchesSum64(t *testing.T) {
+	// The fixed-width fast path must be bit-identical to the general hash
+	// over the same 13-byte encoding: addrs is bytes 0-7 little-endian,
+	// ports bytes 8-11 little-endian, proto byte 12.
+	f := func(addrs uint64, ports uint32, proto uint8, seed uint64) bool {
+		var b [13]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(addrs >> (8 * i))
+		}
+		for i := 0; i < 4; i++ {
+			b[8+i] = byte(ports >> (8 * i))
+		}
+		b[12] = proto
+		return SumFlowKeyV4(addrs, ports, proto, seed) == Sum64(b[:], seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSum64SingleBitFlipAvalanche(t *testing.T) {
 	base := make([]byte, 16)
 	h0 := Sum64(base, 0)

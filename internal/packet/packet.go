@@ -113,10 +113,45 @@ func (k FlowKey) AppendBytes(dst []byte) []byte {
 	return dst
 }
 
+// hashCounting instruments flow-key hashing for the single-hash-per-packet
+// invariant test: when enabled, every Hash64/Hash32 call bumps hashCount.
+// The guard is a plain (non-atomic) global — enable it only from
+// single-goroutine tests. Disabled, it costs one predicted branch per hash.
+var (
+	hashCounting bool
+	hashCount    uint64
+)
+
+// SetHashCounting turns hash-call counting on or off and resets the count.
+// Test instrumentation only; not safe to enable around concurrent hashing.
+func SetHashCounting(on bool) {
+	hashCounting = on
+	hashCount = 0
+}
+
+// HashCount reports the number of Hash64/Hash32 calls since counting was
+// enabled.
+func HashCount() uint64 { return hashCount }
+
 // Hash64 returns the seeded 64-bit hash of the key. Sketches derive the
 // word index, the virtual-vector bit positions, and the WSAF slot from this
 // one value, matching the paper's single-hash-per-packet design.
+//
+// IPv4 keys (the hot case) take a fixed-width path that feeds the 13-byte
+// canonical encoding to the hash as three registers, skipping the staging
+// buffer and length-dispatch loop of the general byte-slice hash; the
+// result is identical to hashing AppendBytes output.
 func (k *FlowKey) Hash64(seed uint64) uint64 {
+	if hashCounting {
+		hashCount++
+	}
+	if !k.IsV6 {
+		addrs := uint64(uint32(k.SrcIP[0])|uint32(k.SrcIP[1])<<8|uint32(k.SrcIP[2])<<16|uint32(k.SrcIP[3])<<24) |
+			uint64(uint32(k.DstIP[0])|uint32(k.DstIP[1])<<8|uint32(k.DstIP[2])<<16|uint32(k.DstIP[3])<<24)<<32
+		ports := uint32(k.SrcPort>>8) | uint32(k.SrcPort&0xFF)<<8 |
+			uint32(k.DstPort>>8)<<16 | uint32(k.DstPort&0xFF)<<24
+		return flowhash.SumFlowKeyV4(addrs, ports, k.Proto, seed)
+	}
 	var buf [37]byte
 	b := k.AppendBytes(buf[:0])
 	return flowhash.Sum64(b, seed)

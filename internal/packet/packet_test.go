@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"instameasure/internal/flowhash"
 )
 
 func TestV4KeyFields(t *testing.T) {
@@ -86,6 +88,50 @@ func TestHashDeterministicAndKeySensitive(t *testing.T) {
 	}
 	if a.Hash64(7) == a.Hash64(8) {
 		t.Error("seed change did not alter hash")
+	}
+}
+
+func TestHash64V4FastPathMatchesEncoding(t *testing.T) {
+	// The fixed-width IPv4 path must produce exactly the hash of the
+	// canonical AppendBytes encoding — the hashing contract every stored
+	// snapshot and seed-determinism guarantee depends on.
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, seed uint64) bool {
+		k := V4Key(src, dst, sp, dp, proto)
+		var buf [37]byte
+		want := flowhash.Sum64(k.AppendBytes(buf[:0]), seed)
+		return k.Hash64(seed) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64V6PathMatchesEncoding(t *testing.T) {
+	var k FlowKey
+	k.IsV6 = true
+	for i := range k.SrcIP {
+		k.SrcIP[i] = byte(i + 1)
+		k.DstIP[i] = byte(0x80 + i)
+	}
+	k.SrcPort, k.DstPort, k.Proto = 443, 51234, ProtoTCP
+	var buf [37]byte
+	if want := flowhash.Sum64(k.AppendBytes(buf[:0]), 99); k.Hash64(99) != want {
+		t.Errorf("v6 Hash64 = %#x, want %#x", k.Hash64(99), want)
+	}
+}
+
+func TestHashCounting(t *testing.T) {
+	SetHashCounting(true)
+	defer SetHashCounting(false)
+	k := V4Key(1, 2, 3, 4, ProtoTCP)
+	k.Hash64(1)
+	k.Hash32(1) // folds through Hash64: one hash computation
+	if got := HashCount(); got != 2 {
+		t.Errorf("hash count = %d, want 2", got)
+	}
+	SetHashCounting(true) // re-enabling resets
+	if got := HashCount(); got != 0 {
+		t.Errorf("hash count after reset = %d, want 0", got)
 	}
 }
 

@@ -38,12 +38,13 @@ func PopcountShard(p *packet.Packet, workers int) int {
 
 // RoundRobinShard cycles through workers regardless of flow identity —
 // the ablation baseline. It breaks flow affinity, so per-worker sketches
-// each see a slice of every flow.
+// each see a slice of every flow. The first packet goes to worker 0.
 func RoundRobinShard() ShardFunc {
 	var n int
 	return func(_ *packet.Packet, workers int) int {
+		w := n % workers
 		n++
-		return n % workers
+		return w
 	}
 }
 
@@ -155,6 +156,11 @@ type System struct {
 	cfg     Config
 	engines []*core.Engine
 	queues  []chan []packet.Packet
+	// recycle[w] is worker w's buffer free list: the worker pushes each
+	// spent batch slice back (non-blocking) and the manager prefers a
+	// recycled buffer over a fresh allocation, so the steady state moves a
+	// fixed set of buffers around instead of allocating one per flush.
+	recycle []chan []packet.Packet
 	shard   ShardFunc
 	batch   int
 
@@ -190,6 +196,7 @@ func New(cfg Config) (*System, error) {
 		cfg:           cfg,
 		engines:       make([]*core.Engine, cfg.Workers),
 		queues:        make([]chan []packet.Packet, cfg.Workers),
+		recycle:       make([]chan []packet.Packet, cfg.Workers),
 		shard:         cfg.Shard,
 		batch:         cfg.BatchSize,
 		telemetry:     reg,
@@ -209,6 +216,10 @@ func New(cfg Config) (*System, error) {
 		}
 		s.engines[i] = eng
 		s.queues[i] = make(chan []packet.Packet, chanCap)
+		// +2: every in-flight batch plus the one being processed and the
+		// one being filled can be parked here, so neither side ever blocks
+		// on the free list.
+		s.recycle[i] = make(chan []packet.Packet, chanCap+2)
 
 		label := strconv.Itoa(i)
 		packetCounters[i] = reg.Counter("worker_packets_total",
@@ -275,6 +286,7 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 		i := i
 		eng := s.engines[i]
 		q := s.queues[i]
+		recycle := s.recycle[i]
 		counter := s.workerPackets[i]
 		wg.Add(1)
 		go func() {
@@ -283,12 +295,16 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 			var b time.Duration
 			for batch := range q {
 				start := time.Now()
-				for j := range batch {
-					eng.Process(batch[j])
-				}
+				eng.ProcessBatch(batch)
 				b += time.Since(start)
 				n += uint64(len(batch))
 				counter.Set(n)
+				// Hand the spent buffer back to the manager; if the free
+				// list is somehow full, let the GC have it.
+				select {
+				case recycle <- batch[:0]:
+				default:
+				}
 			}
 			// Publish exact totals now that this worker is done.
 			eng.FlushTelemetry()
@@ -303,6 +319,17 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 	}
 	queued := make([]uint64, nw)
 	dropped := make([]uint64, nw)
+	// nextBuf prefers a buffer the worker has finished with over a fresh
+	// allocation; with the free lists primed after the first QueueDepth
+	// packets, the steady state allocates nothing per flush.
+	nextBuf := func(w int) []packet.Packet {
+		select {
+		case buf := <-s.recycle[w]:
+			return buf
+		default:
+			return make([]packet.Packet, 0, s.batch)
+		}
+	}
 	flush := func(w int) {
 		if len(pending[w]) == 0 {
 			return
@@ -311,25 +338,61 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 			select {
 			case s.queues[w] <- pending[w]:
 				queued[w] += uint64(len(pending[w]))
+				pending[w] = nextBuf(w)
 			default:
 				dropped[w] += uint64(len(pending[w]))
 				s.workerDropped[w].Add(uint64(len(pending[w])))
+				// The batch never left the manager; reuse it in place.
+				pending[w] = pending[w][:0]
 			}
 		} else {
 			s.queues[w] <- pending[w]
 			queued[w] += uint64(len(pending[w]))
+			pending[w] = nextBuf(w)
 		}
-		pending[w] = make([]packet.Packet, 0, s.batch)
 	}
 
 	var report Report
+	// depthArena backs QueueSample.Depths in blocks of depthArenaSamples
+	// samples, replacing the per-sample allocation of the scalar manager.
+	var depthArena []int
+	const depthArenaSamples = 64
+	sample := func(ts int64) {
+		if len(depthArena) < nw {
+			depthArena = make([]int, nw*depthArenaSamples)
+		}
+		depths := depthArena[:nw:nw]
+		depthArena = depthArena[nw:]
+		for j, q := range s.queues {
+			depths[j] = len(q)*s.batch + len(pending[j])
+		}
+		report.QueueSamples = append(report.QueueSamples, QueueSample{
+			PacketIndex: report.Packets,
+			TS:          ts,
+			Depths:      depths,
+		})
+	}
+	dispatch := func(p *packet.Packet) {
+		report.Packets++
+		report.Bytes += uint64(p.Len)
+		w := s.shard(p, nw)
+		pending[w] = append(pending[w], *p)
+		if len(pending[w]) >= s.batch {
+			flush(w)
+		}
+		if s.cfg.SampleEvery > 0 && report.Packets%uint64(s.cfg.SampleEvery) == 0 {
+			sample(p.TS)
+		}
+	}
+
 	start := time.Now()
 	var err error
 	var cancelled bool
-	// Check ctx every checkEvery packets — cheap enough to leave on.
-	const checkEvery = 1024
-	for {
-		if report.Packets%checkEvery == 0 {
+	if bs, ok := src.(trace.BatchSource); ok {
+		// Bulk ingest: read a burst per interface call, then shard
+		// packet-by-packet. The context check runs once per burst.
+		readBuf := make([]packet.Packet, s.batch)
+		for {
 			select {
 			case <-ctx.Done():
 				cancelled = true
@@ -338,30 +401,36 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 			if cancelled {
 				break
 			}
-		}
-		var p packet.Packet
-		p, err = src.Next()
-		if err != nil {
-			break
-		}
-		report.Packets++
-		report.Bytes += uint64(p.Len)
-		w := s.shard(&p, nw)
-		pending[w] = append(pending[w], p)
-		if len(pending[w]) >= s.batch {
-			flush(w)
-		}
-
-		if s.cfg.SampleEvery > 0 && report.Packets%uint64(s.cfg.SampleEvery) == 0 {
-			depths := make([]int, nw)
-			for j, q := range s.queues {
-				depths[j] = len(q)*s.batch + len(pending[j])
+			var n int
+			n, err = bs.NextBatch(readBuf)
+			for i := 0; i < n; i++ {
+				dispatch(&readBuf[i])
 			}
-			report.QueueSamples = append(report.QueueSamples, QueueSample{
-				PacketIndex: report.Packets,
-				TS:          p.TS,
-				Depths:      depths,
-			})
+			if err != nil {
+				break
+			}
+		}
+	} else {
+		// Scalar ingest for plain Sources. Check ctx every checkEvery
+		// packets — cheap enough to leave on.
+		const checkEvery = 1024
+		for {
+			if report.Packets%checkEvery == 0 {
+				select {
+				case <-ctx.Done():
+					cancelled = true
+				default:
+				}
+				if cancelled {
+					break
+				}
+			}
+			var p packet.Packet
+			p, err = src.Next()
+			if err != nil {
+				break
+			}
+			dispatch(&p)
 		}
 	}
 	for w := 0; w < nw; w++ {

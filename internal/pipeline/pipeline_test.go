@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"testing"
 
 	"instameasure/internal/core"
@@ -54,6 +55,93 @@ func TestRoundRobinShardCycles(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Errorf("round robin visited %d of 4 workers", len(seen))
+	}
+}
+
+func TestRoundRobinShardStartsAtZero(t *testing.T) {
+	shard := RoundRobinShard()
+	var p packet.Packet
+	for i := 0; i < 9; i++ {
+		if w := shard(&p, 4); w != i%4 {
+			t.Fatalf("call %d: shard = %d, want %d", i, w, i%4)
+		}
+	}
+}
+
+// scalarOnlySource hides the BatchSource fast path so tests can force the
+// pipeline's packet-at-a-time ingest loop.
+type scalarOnlySource struct{ inner trace.Source }
+
+func (s scalarOnlySource) Next() (packet.Packet, error) { return s.inner.Next() }
+
+func TestBatchIngestMatchesScalarIngest(t *testing.T) {
+	// The BatchSource bulk-read path must leave the system in exactly the
+	// state the scalar Next() loop does: same per-worker totals, same
+	// merged flow table.
+	tr := testTrace(t, 1200, 60_000)
+
+	run := func(src trace.Source) (*System, Report) {
+		t.Helper()
+		sys, err := New(testConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, rep
+	}
+	if _, ok := tr.Source().(trace.BatchSource); !ok {
+		t.Fatal("trace source must implement BatchSource for this test to exercise the bulk path")
+	}
+	batchSys, batchRep := run(tr.Source())
+	scalarSys, scalarRep := run(scalarOnlySource{inner: tr.Source()})
+
+	if batchRep.Packets != scalarRep.Packets || batchRep.Bytes != scalarRep.Bytes {
+		t.Fatalf("totals differ: batch %d/%d, scalar %d/%d",
+			batchRep.Packets, batchRep.Bytes, scalarRep.Packets, scalarRep.Bytes)
+	}
+	for w := range batchRep.PerWorker {
+		if batchRep.PerWorker[w] != scalarRep.PerWorker[w] {
+			t.Errorf("worker %d: batch %d packets, scalar %d", w, batchRep.PerWorker[w], scalarRep.PerWorker[w])
+		}
+	}
+	bm := map[packet.FlowKey]float64{}
+	for _, e := range batchSys.MergedSnapshot() {
+		bm[e.Key] = e.Pkts
+	}
+	for _, e := range scalarSys.MergedSnapshot() {
+		if bm[e.Key] != e.Pkts {
+			t.Fatalf("flow %v: batch %v pkts, scalar %v", e.Key, bm[e.Key], e.Pkts)
+		}
+	}
+}
+
+func TestSteadyStateAllocations(t *testing.T) {
+	// Buffer recycling regression guard: a full run must not allocate a
+	// batch buffer per flush. The bound (1 object per 500 packets) sits
+	// between the recycled steady state (~fixed setup cost only) and the
+	// old allocate-per-flush behavior (1 per BatchSize=256 packets).
+	tr := testTrace(t, 2000, 400_000)
+	sys, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tr.Source()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rep, err := sys.Run(src)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	perPacket := float64(allocs) / float64(rep.Packets)
+	if perPacket > 1.0/500 {
+		t.Errorf("pipeline allocated %d objects for %d packets (%.5f/packet), want < 0.002/packet",
+			allocs, rep.Packets, perPacket)
 	}
 }
 

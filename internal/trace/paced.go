@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"io"
 	"time"
 
 	"instameasure/internal/packet"
@@ -45,4 +46,46 @@ func (p *pacedSource) Next() (packet.Packet, error) {
 	}
 	p.count++
 	return p.src.Next()
+}
+
+// NextBatch reads a burst from the underlying source and applies the same
+// chunked pacing schedule: delivery never runs ahead of the configured
+// rate by more than one chunk, exactly as the scalar path behaves.
+func (p *pacedSource) NextBatch(buf []packet.Packet) (int, error) {
+	if p.count == 0 {
+		p.start = p.now()
+	}
+	if p.count > 0 && p.count/p.chunk > 0 {
+		expected := p.start.Add(time.Duration(p.count/p.chunk) * p.perChunk)
+		if d := expected.Sub(p.now()); d > 0 {
+			p.sleep(d)
+		}
+	}
+	// Cap the burst at one pacing chunk so a large buffer cannot blow
+	// through several rate windows in a single read.
+	if len(buf) > p.chunk {
+		buf = buf[:p.chunk]
+	}
+	var n int
+	var err error
+	if bs, ok := p.src.(BatchSource); ok {
+		n, err = bs.NextBatch(buf)
+	} else {
+		for n < len(buf) {
+			var pkt packet.Packet
+			pkt, err = p.src.Next()
+			if err != nil {
+				break
+			}
+			buf[n] = pkt
+			n++
+		}
+		if n > 0 {
+			err = nil // deliver the partial read; the source re-errors next call
+		} else if err == nil {
+			err = io.EOF
+		}
+	}
+	p.count += n
+	return n, err
 }

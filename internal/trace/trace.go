@@ -27,6 +27,18 @@ type Source interface {
 	Next() (packet.Packet, error)
 }
 
+// BatchSource is an optional Source extension for bulk consumers: the
+// pipeline manager reads whole bursts through it, paying one interface
+// call per batch instead of one per packet. NextBatch fills buf from the
+// front, returning how many packets were written. A short count with a nil
+// error is a partial read (e.g. the tail of the stream); errors — io.EOF
+// included — are only returned with n == 0, so callers never have to
+// process packets and handle an error from the same call.
+type BatchSource interface {
+	Source
+	NextBatch(buf []packet.Packet) (int, error)
+}
+
 // FlowTruth is the exact ground truth for one flow.
 type FlowTruth struct {
 	Pkts    uint64
@@ -156,12 +168,26 @@ func (s *sliceSource) Next() (packet.Packet, error) {
 	return p, nil
 }
 
+// NextBatch copies up to len(buf) packets into buf — one memmove instead
+// of per-packet interface calls.
+func (s *sliceSource) NextBatch(buf []packet.Packet) (int, error) {
+	if s.i >= len(s.pkts) {
+		return 0, io.EOF
+	}
+	n := copy(buf, s.pkts[s.i:])
+	s.i += n
+	return n, nil
+}
+
 // PcapSource replays a pcap stream as a Source, parsing each frame into a
 // flow key. Frames that are not IP or carry an unsupported L4 protocol are
 // counted and skipped.
 type PcapSource struct {
 	r       *pcap.Reader
 	Skipped int
+	// deferred holds an error encountered mid-NextBatch, delivered on the
+	// next read so partial batches are never paired with an error.
+	deferred error
 }
 
 // NewPcapSource wraps an open pcap reader.
@@ -171,6 +197,11 @@ func NewPcapSource(r *pcap.Reader) *PcapSource {
 
 // Next returns the next parseable packet, io.EOF at end of stream.
 func (s *PcapSource) Next() (packet.Packet, error) {
+	if s.deferred != nil {
+		err := s.deferred
+		s.deferred = nil
+		return packet.Packet{}, err
+	}
 	for {
 		rec, err := s.r.Next()
 		if errors.Is(err, io.EOF) {
@@ -198,6 +229,26 @@ func (s *PcapSource) Next() (packet.Packet, error) {
 		}
 		return p, nil
 	}
+}
+
+// NextBatch parses up to len(buf) frames into buf. The tail of the capture
+// is delivered as a short read; the terminating error (io.EOF or a parse
+// failure) follows on the next call.
+func (s *PcapSource) NextBatch(buf []packet.Packet) (int, error) {
+	n := 0
+	for n < len(buf) {
+		p, err := s.Next()
+		if err != nil {
+			if n > 0 {
+				s.deferred = err
+				return n, nil
+			}
+			return 0, err
+		}
+		buf[n] = p
+		n++
+	}
+	return n, nil
 }
 
 // WritePcap writes the trace to w as an Ethernet pcap capture with the

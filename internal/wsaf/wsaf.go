@@ -148,6 +148,7 @@ type Table struct {
 	size     int
 	stats    Stats
 	probeBuf []int // reused across Accumulate calls to avoid per-packet allocation
+	victim   Entry // scratch for the displaced entry of the last eviction
 }
 
 // New builds a Table from cfg.
@@ -193,10 +194,25 @@ func MustNew(cfg Config) *Table {
 
 // Accumulate adds (pkts, bytes) to key's entry, inserting it if absent.
 // now is the trace timestamp driving TTL garbage collection and the
-// second-chance policy. It returns the outcome and, for Evicted, the entry
-// that was displaced.
+// second-chance policy. It returns the outcome and, for Evicted, a copy of
+// the entry that was displaced.
 func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
-	h := key.Hash64(t.seed)
+	o, _ := t.AccumulateHashed(key.Hash64(t.seed), key, pkts, bytes, now)
+	if o != Evicted {
+		return o, nil
+	}
+	v := t.victim
+	return o, &v
+}
+
+// AccumulateHashed is Accumulate with the key's precomputed Hash64 — the
+// zero-rehash hot path: the engine hashes each packet once and threads the
+// value through the FlowRegulator and into the table. It returns the live
+// entry for key after the update (nil only for Dropped); the pointer is
+// into the table and valid until the next mutating call. For Evicted, a
+// copy of the displaced entry is retained in the table's victim scratch
+// (Accumulate surfaces it).
+func (t *Table) AccumulateHashed(h uint64, key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
 	id := uint32(h ^ (h >> 32))
 
 	freeSlot := -1
@@ -221,7 +237,7 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 			e.LastUpdate = now
 			e.chance = true
 			t.stats.Updates++
-			return t.note(Updated, steps), nil
+			return t.note(Updated, steps), e
 		case t.expired(e, now):
 			if freeSlot < 0 {
 				freeSlot = slot
@@ -233,17 +249,17 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 	}
 
 	if freeSlot >= 0 {
-		victim := &t.entries[freeSlot]
+		slot := &t.entries[freeSlot]
 		outcome := Inserted
-		if victim.used {
+		if slot.used {
 			outcome = Reclaimed
 			t.stats.Reclaims++
 			t.size--
 		} else {
 			t.stats.Inserts++
 		}
-		t.place(victim, id, key, pkts, bytes, now)
-		return t.note(outcome, steps), nil
+		t.place(slot, id, key, pkts, bytes, now)
+		return t.note(outcome, steps), slot
 	}
 
 	victimSlot := -1
@@ -282,11 +298,12 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 		return t.note(Dropped, steps), nil
 	}
 
-	victim := t.entries[victimSlot]
+	t.victim = t.entries[victimSlot]
 	t.size--
-	t.place(&t.entries[victimSlot], id, key, pkts, bytes, now)
+	slot := &t.entries[victimSlot]
+	t.place(slot, id, key, pkts, bytes, now)
 	t.stats.Evictions++
-	return t.note(Evicted, steps), &victim
+	return t.note(Evicted, steps), slot
 }
 
 // note folds one Accumulate's probe work and outcome into the stats and,
@@ -312,7 +329,12 @@ func (t *Table) SetTelemetry(tm *Telemetry) {
 
 // Lookup returns the entry for key, if present and not expired at now.
 func (t *Table) Lookup(key packet.FlowKey, now int64) (Entry, bool) {
-	h := key.Hash64(t.seed)
+	return t.LookupHashed(key.Hash64(t.seed), key, now)
+}
+
+// LookupHashed is Lookup with the key's precomputed Hash64, for callers
+// that already paid for the hash (the engine computes it once per packet).
+func (t *Table) LookupHashed(h uint64, key packet.FlowKey, now int64) (Entry, bool) {
 	id := uint32(h ^ (h >> 32))
 	for i := 0; i < t.probeLimit; i++ {
 		slot := t.slot(h, i)

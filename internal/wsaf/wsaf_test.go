@@ -69,6 +69,97 @@ func TestAccumulateUpdate(t *testing.T) {
 	}
 }
 
+func TestHashedAPIMatchesKeyed(t *testing.T) {
+	// AccumulateHashed/LookupHashed with the caller-computed hash must be
+	// indistinguishable from the keyed wrappers: same outcomes, same table
+	// state, same lookups.
+	keyed := MustNew(Config{Entries: 256, Seed: 7})
+	hashed := MustNew(Config{Entries: 256, Seed: 7})
+	for i := 0; i < 400; i++ {
+		k := key(i % 90) // revisit keys so Updated paths run too
+		now := int64(i) * 10
+		oK, _ := keyed.Accumulate(k, float64(i+1), float64(i)*100, now)
+		oH, live := hashed.AccumulateHashed(k.Hash64(hashed.seed), k, float64(i+1), float64(i)*100, now)
+		if oK != oH {
+			t.Fatalf("packet %d: keyed outcome %v, hashed outcome %v", i, oK, oH)
+		}
+		if oH != Dropped && live == nil {
+			t.Fatalf("packet %d: outcome %v returned nil live entry", i, oH)
+		}
+		if live != nil && live.Key != k {
+			t.Fatalf("packet %d: live entry key %v, want %v", i, live.Key, k)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		k := key(i)
+		eK, okK := keyed.Lookup(k, 5000)
+		eH, okH := hashed.LookupHashed(k.Hash64(hashed.seed), k, 5000)
+		if okK != okH || eK != eH {
+			t.Fatalf("key %d: keyed lookup (%+v,%v) != hashed (%+v,%v)", i, eK, okK, eH, okH)
+		}
+	}
+}
+
+func TestAccumulateHashedLiveEntryTotals(t *testing.T) {
+	tab := MustNew(Config{Entries: 64})
+	k := key(3)
+	h := k.Hash64(tab.seed)
+	if _, live := tab.AccumulateHashed(h, k, 4, 400, 10); live == nil || live.Pkts != 4 || live.Bytes != 400 {
+		t.Fatalf("insert live entry = %+v, want 4/400", live)
+	}
+	_, live := tab.AccumulateHashed(h, k, 6, 600, 20)
+	if live == nil || live.Pkts != 10 || live.Bytes != 1000 {
+		t.Fatalf("update live entry = %+v, want accumulated 10/1000", live)
+	}
+	if live.FirstSeen != 10 || live.LastUpdate != 20 {
+		t.Errorf("live entry timestamps = %d/%d, want 10/20", live.FirstSeen, live.LastUpdate)
+	}
+}
+
+func TestAccumulateHashedEvictionReturnsNewEntry(t *testing.T) {
+	// Tiny table, linear-fill until an eviction; the returned live entry
+	// must describe the newly placed flow, and the keyed wrapper must still
+	// surface a copy of the victim.
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), 100, 100, 1)
+	}
+	var newKey packet.FlowKey
+	for i := 4; ; i++ {
+		newKey = key(i)
+		outcome, live := tab.AccumulateHashed(newKey.Hash64(tab.seed), newKey, 1, 1, 2)
+		if outcome == Evicted {
+			if live == nil || live.Key != newKey || live.Pkts != 1 {
+				t.Fatalf("evict live entry = %+v, want fresh entry for %v", live, newKey)
+			}
+			break
+		}
+		if outcome == Dropped {
+			continue // every candidate slot recently referenced; try another key
+		}
+	}
+
+	// Keyed wrapper: victim copy survives subsequent table mutation.
+	tab2 := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab2.Accumulate(key(i), float64(100+i), 100, 1)
+	}
+	for i := 4; ; i++ {
+		outcome, victim := tab2.Accumulate(key(i), 1, 1, 2)
+		if outcome == Evicted {
+			if victim == nil || victim.Pkts < 100 {
+				t.Fatalf("victim = %+v, want one of the original heavy entries", victim)
+			}
+			saved := *victim
+			tab2.Accumulate(key(i), 9, 9, 3) // mutate table; copy must not alias
+			if *victim != saved {
+				t.Error("victim entry aliases live table state")
+			}
+			break
+		}
+	}
+}
+
 func TestLookupMissing(t *testing.T) {
 	tab := MustNew(Config{Entries: 64})
 	if _, ok := tab.Lookup(key(9), 0); ok {
