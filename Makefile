@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet-race bench bench-guard bench-json clean
+.PHONY: all build test tier1 vet-race fuzz-smoke bench bench-guard bench-json clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# tier1 is the repo's baseline gate: everything must build and pass.
+# tier1 is the repo's baseline gate: everything must build, vet clean, and
+# pass — including the differential-oracle suite under the race detector
+# (the concurrent pipeline leg is the racy surface; the oracle shrinks its
+# workload automatically under -race via the raceEnabled build tag).
 tier1: build
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race -run 'TestDifferential' ./internal/oracle/... ./internal/pipeline/...
 
 test: tier1
 
@@ -19,6 +24,17 @@ test: tier1
 vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry/... ./internal/pipeline/...
+
+# fuzz-smoke gives each native fuzz target a short budget against its
+# committed seed corpus (testdata/fuzz/). go test accepts one -fuzz
+# pattern per invocation, so the targets run in sequence.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/packet/ -fuzz '^FuzzParseEthernet$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/packet/ -fuzz '^FuzzParseIP$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/pcap/ -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/export/ -fuzz '^FuzzReadBatch$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/export/ -fuzz '^FuzzReadSnapshotStats$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -100,10 +100,7 @@ func run() error {
 		return errors.New("need -pcap FILE or -synth (see -h)")
 	}
 
-	if *workers > 1 {
-		return runCluster(cfg, *workers, *batch, src, *topK, *metrics)
-	}
-	return runMeter(cfg, src, meterOpts{
+	opts := meterOpts{
 		topK:     *topK,
 		hhPkts:   *hhPkts,
 		hhBytes:  *hhBytes,
@@ -111,7 +108,11 @@ func run() error {
 		snapshot: *snapshot,
 		exportTo: *exportTo,
 		metrics:  *metrics,
-	})
+	}
+	if *workers > 1 {
+		return runCluster(cfg, *workers, *batch, src, opts)
+	}
+	return runMeter(cfg, src, opts)
 }
 
 type meterOpts struct {
@@ -258,7 +259,7 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 	}
 }
 
-func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.PacketSource, topK int, metrics string) error {
+func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.PacketSource, opts meterOpts) error {
 	// Split the WSAF budget across workers to keep total memory fixed.
 	cfg.WSAFEntries /= workers
 	if cfg.WSAFEntries < 1024 {
@@ -272,7 +273,7 @@ func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.Pa
 	if err != nil {
 		return err
 	}
-	srv, err := serveMetrics(cluster.Telemetry(), metrics)
+	srv, err := serveMetrics(cluster.Telemetry(), opts.metrics)
 	if err != nil {
 		return err
 	}
@@ -289,8 +290,23 @@ func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.Pa
 		fmt.Printf("  worker %d: %d packets\n", w, n)
 	}
 	fmt.Printf("cluster regulation rate %.3f%%\n\n", rep.RegulationRate*100)
-	printTop(os.Stdout, "packets", cluster.TopKPackets(topK))
-	printTop(os.Stdout, "bytes", cluster.TopKBytes(topK))
+	printTop(os.Stdout, "packets", cluster.TopKPackets(opts.topK))
+	printTop(os.Stdout, "bytes", cluster.TopKBytes(opts.topK))
+
+	if opts.snapshot != "" {
+		f, err := os.Create(opts.snapshot)
+		if err != nil {
+			return err
+		}
+		if err := cluster.ExportSnapshot(f, int64(rep.Packets)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote merged flow table snapshot to %s\n", opts.snapshot)
+	}
 	return nil
 }
 

@@ -498,6 +498,31 @@ func (c *Cluster) TopKBytes(k int) []FlowRecord {
 	return clusterTopK(c, k, func(r *FlowRecord) float64 { return r.Bytes })
 }
 
+// ExportSnapshot writes the cluster's merged flow table as a snapshot
+// file — the same format Meter.ExportSnapshot produces, with the stats
+// trailer summed across workers — readable by wsafdump and
+// ReadSnapshotDetail.
+func (c *Cluster) ExportSnapshot(w io.Writer, epoch int64) error {
+	snap := c.sys.MergedSnapshot()
+	records := make([]export.Record, len(snap))
+	for i, e := range snap {
+		records[i] = export.FromEntry(e)
+	}
+	var stats export.TableStats
+	for _, eng := range c.sys.Engines() {
+		ts := eng.Table().Stats()
+		stats.Updates += ts.Updates
+		stats.Inserts += ts.Inserts
+		stats.Expirations += ts.Reclaims
+		stats.Evictions += ts.Evictions
+		stats.Drops += ts.Drops
+	}
+	if err := export.WriteSnapshotStats(w, epoch, records, stats); err != nil {
+		return fmt.Errorf("instameasure: %w", err)
+	}
+	return nil
+}
+
 func clusterTopK(c *Cluster, k int, metric func(*FlowRecord) float64) []FlowRecord {
 	all := c.Flows()
 	sortRecords(all, metric)

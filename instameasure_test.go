@@ -191,6 +191,31 @@ func TestClusterEndToEnd(t *testing.T) {
 	if len(cluster.Flows()) == 0 {
 		t.Error("cluster Flows() empty")
 	}
+
+	// Snapshot export must work from a cluster too (the CLI's -snapshot
+	// flag in -workers mode): merged records plus summed stats trailer,
+	// readable back through the public snapshot reader.
+	var buf bytes.Buffer
+	if err := cluster.ExportSnapshot(&buf, int64(rep.Packets)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReadSnapshotDetail(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != int64(rep.Packets) || !info.HasStats {
+		t.Errorf("snapshot epoch=%d hasStats=%v, want epoch=%d with stats", info.Epoch, info.HasStats, rep.Packets)
+	}
+	if len(info.Records) != len(cluster.Flows()) {
+		t.Errorf("snapshot carries %d records, cluster has %d flows", len(info.Records), len(cluster.Flows()))
+	}
+	var inserts uint64
+	for _, eng := range cluster.sys.Engines() {
+		inserts += eng.Table().Stats().Inserts
+	}
+	if info.Stats.Inserts != inserts {
+		t.Errorf("trailer inserts = %d, want sum across workers %d", info.Stats.Inserts, inserts)
+	}
 }
 
 func TestPcapRoundTripThroughPublicAPI(t *testing.T) {

@@ -190,6 +190,7 @@ func All(s Scale) ([]*Report, error) {
 		{"apps", AppsDetection},
 		{"onset", AnomalyOnset},
 		{"layers", LayersSweep},
+		{"oracle", OracleDifferential},
 	}
 	out := make([]*Report, 0, len(runners))
 	for _, r := range runners {
@@ -249,6 +250,8 @@ func ByID(id string, s Scale) (*Report, error) {
 		return AnomalyOnset(s)
 	case "layers":
 		return LayersSweep(s)
+	case "oracle":
+		return OracleDifferential(s)
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure id %q", id)
 	}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"instameasure/internal/core"
+	"instameasure/internal/oracle"
+)
+
+// OracleDifferential runs the differential correctness harness as an
+// experiment: the CAIDA-like trace replayed through the exact reference,
+// the scalar engine, the batch path, and the concurrent pipeline, with
+// every invariant checked and the measured per-flow error bucketed by flow
+// size against the analytic envelope. A healthy system shows margin
+// (measured error / bound) well below 1 in every bucket and zero
+// invariant violations.
+func OracleDifferential(s Scale) (*Report, error) {
+	tr, err := caidaTrace(s)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := oracle.Run(tr, oracle.Config{
+		Engine: core.Config{
+			WSAFEntries: 1 << 15,
+			Seed:        s.Seed,
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Report{
+		ID:     "oracle",
+		Title:  "Differential oracle: measured error vs analytic envelope",
+		Header: []string{"flow size", "flows", "mean err", "max err", "bound@max", "margin"},
+	}
+
+	// Bucket checked flows by truth size in powers of 4 above the floor.
+	floor := rep.Env.Floor(0)
+	type bucket struct {
+		count          int
+		sumRel, maxRel float64
+		boundAtMax     float64
+		maxOverBound   float64
+	}
+	buckets := map[int]*bucket{}
+	for _, c := range rep.Checks {
+		idx := int(math.Log(c.Truth/floor) / math.Log(4))
+		b := buckets[idx]
+		if b == nil {
+			b = &bucket{}
+			buckets[idx] = b
+		}
+		b.count++
+		b.sumRel += c.RelErr
+		if c.RelErr > b.maxRel {
+			b.maxRel = c.RelErr
+			b.boundAtMax = c.Bound
+		}
+		if over := c.RelErr / c.Bound; over > b.maxOverBound {
+			b.maxOverBound = over
+		}
+	}
+	idxs := make([]int, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		b := buckets[i]
+		lo := floor * math.Pow(4, float64(i))
+		out.AddRow(
+			fmt.Sprintf("≥%.0f pkts", lo),
+			fmt.Sprintf("%d", b.count),
+			pct(b.sumRel/float64(b.count)),
+			pct(b.maxRel),
+			pct(b.boundAtMax),
+			fmt.Sprintf("%.2f", b.maxOverBound),
+		)
+	}
+
+	out.AddNote("packets=%d flows=%d checked=%d (floor %.0f pkts = 2× retention capacity)",
+		rep.Packets, rep.Flows, rep.Checked, floor)
+	out.AddNote("std-err %.4f, mean rel-err %.4f, max rel-err %.4f, max err/bound %.2f",
+		rep.StdErr, rep.MeanRelErr, rep.MaxRelErr, rep.MaxOverBound)
+	out.AddNote("envelope: %d-sigma, per-emission %.1f, retention %.1f, emission cv %.3f",
+		int(rep.Env.Sigmas), rep.Env.PerEmission, rep.Env.Retention, rep.Env.EmissionCV)
+	if rep.Ok() {
+		out.AddNote("invariants: all passed (batch ≡ scalar ≡ pipeline, conservation, TTL hygiene, export round-trip)")
+	} else {
+		for _, v := range rep.Violations {
+			out.AddNote("VIOLATION: %s", v)
+		}
+	}
+	return out, nil
+}

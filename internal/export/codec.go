@@ -29,14 +29,28 @@ const (
 	// maxBatchRecords bounds a single batch so a corrupt length field
 	// cannot trigger an enormous allocation.
 	maxBatchRecords = 1 << 24
+
+	// recordMinBytes/recordMaxBytes are the encoded sizes of a v4 and a
+	// v6 record: flag(1) + addresses(8 or 32) + ports(4) + proto(1) +
+	// 4 × 8-byte counters. Any (count, payloadLen) pair outside
+	// [count·min, count·max] is internally inconsistent.
+	recordMinBytes = 1 + 2*4 + 4 + 1 + 4*8
+	recordMaxBytes = 1 + 2*16 + 4 + 1 + 4*8
+
+	// readChunk bounds each payload-read allocation step: a header lying
+	// about its length on a truncated stream costs at most one chunk of
+	// memory before the read fails, not the full claimed size.
+	readChunk = 1 << 16
 )
 
 // Codec errors.
 var (
-	ErrBadMagic   = errors.New("export: bad magic")
-	ErrBadVersion = errors.New("export: unsupported version")
-	ErrChecksum   = errors.New("export: checksum mismatch")
-	ErrOversized  = errors.New("export: batch exceeds record limit")
+	ErrBadMagic    = errors.New("export: bad magic")
+	ErrBadVersion  = errors.New("export: unsupported version")
+	ErrChecksum    = errors.New("export: checksum mismatch")
+	ErrOversized   = errors.New("export: batch exceeds record limit")
+	ErrFrameLength = errors.New("export: payload length inconsistent with record count")
+	ErrBadRecord   = errors.New("export: malformed record")
 )
 
 // Record is one exported flow: the WSAF entry fields that survive
@@ -93,6 +107,9 @@ func decodeRecord(b []byte) (Record, []byte, error) {
 	var r Record
 	if len(b) < 1 {
 		return r, nil, fmt.Errorf("export: record flag: %w", io.ErrUnexpectedEOF)
+	}
+	if b[0] > 1 {
+		return r, nil, fmt.Errorf("%w: flag 0x%02x", ErrBadRecord, b[0])
 	}
 	isV6 := b[0] == 1
 	b = b[1:]
@@ -151,6 +168,32 @@ func WriteBatch(w io.Writer, b Batch) error {
 	return nil
 }
 
+// readPayload reads exactly n bytes, growing the buffer in readChunk
+// steps so memory tracks bytes actually delivered rather than the claimed
+// length. A stream that ends early fails with io.ErrUnexpectedEOF.
+func readPayload(r io.Reader, n uint32) ([]byte, error) {
+	buf := make([]byte, 0, min(int(n), readChunk))
+	for remaining := int(n); remaining > 0; {
+		step := min(remaining, readChunk)
+		off := len(buf)
+		if cap(buf) < off+step {
+			grown := make([]byte, off+step, max(off+step, 2*cap(buf)))
+			copy(grown, buf)
+			buf = grown
+		} else {
+			buf = buf[:off+step]
+		}
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		remaining -= step
+	}
+	return buf, nil
+}
+
 // ReadBatch reads one framed batch. io.EOF is returned verbatim at a clean
 // stream end.
 func ReadBatch(r io.Reader) (Batch, error) {
@@ -170,12 +213,16 @@ func ReadBatch(r io.Reader) (Batch, error) {
 	epoch := int64(binary.BigEndian.Uint64(hdr[5:13]))
 	count := binary.BigEndian.Uint32(hdr[13:17])
 	payloadLen := binary.BigEndian.Uint32(hdr[17:21])
-	if count > maxBatchRecords || payloadLen > maxBatchRecords*46 {
+	if count > maxBatchRecords {
 		return Batch{}, ErrOversized
 	}
+	if uint64(payloadLen) < uint64(count)*recordMinBytes ||
+		uint64(payloadLen) > uint64(count)*recordMaxBytes {
+		return Batch{}, fmt.Errorf("%w: count=%d payload=%d", ErrFrameLength, count, payloadLen)
+	}
 
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, payloadLen)
+	if err != nil {
 		return Batch{}, fmt.Errorf("batch payload: %w", err)
 	}
 	var crc [4]byte

@@ -1,0 +1,104 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"instameasure/internal/packet"
+)
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func seedKeyV6() packet.FlowKey {
+	k := packet.FlowKey{SrcPort: 53, DstPort: 5353, Proto: packet.ProtoUDP, IsV6: true}
+	k.SrcIP[0], k.SrcIP[15] = 0x20, 1
+	k.DstIP[0], k.DstIP[15] = 0x20, 2
+	return k
+}
+
+func fuzzSeedBatch() []byte {
+	var buf bytes.Buffer
+	_ = WriteBatch(&buf, Batch{Epoch: 42, Records: []Record{
+		{Key: rec(1).Key, Pkts: 10, Bytes: 4242, FirstSeen: 1, LastUpdate: 9},
+		{Key: seedKeyV6(), Pkts: 3.5, Bytes: 100.25, FirstSeen: 2, LastUpdate: 8},
+	}})
+	return buf.Bytes()
+}
+
+// FuzzReadBatch throws arbitrary frames at the batch decoder. The
+// contract: never panic, never over-allocate, and any frame that decodes
+// must round-trip bit-exactly through WriteBatch → ReadBatch.
+func FuzzReadBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fuzzSeedBatch())
+	corrupt := fuzzSeedBatch()
+	corrupt[17] ^= 0x80 // payload length high byte
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBatch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteBatch(&re, b); err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		b2, err := ReadBatch(&re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if b2.Epoch != b.Epoch || len(b2.Records) != len(b.Records) {
+			t.Fatalf("round trip changed batch shape: %+v vs %+v", b2, b)
+		}
+		for i := range b.Records {
+			a, z := b.Records[i], b2.Records[i]
+			// Compare counter bit patterns, not float values: a decoded
+			// NaN is legal and must survive unchanged.
+			if a.Key != z.Key || !sameBits(a.Pkts, z.Pkts) || !sameBits(a.Bytes, z.Bytes) ||
+				a.FirstSeen != z.FirstSeen || a.LastUpdate != z.LastUpdate {
+				t.Fatalf("record %d changed in round trip:\n  %+v\n  %+v", i, a, z)
+			}
+		}
+	})
+}
+
+// FuzzReadSnapshotStats drives the snapshot-plus-trailer path, which layers
+// a second magic and CRC on top of the batch frame.
+func FuzzReadSnapshotStats(f *testing.F) {
+	var plain, full bytes.Buffer
+	recs := []Record{{Key: rec(2).Key, Pkts: 7, Bytes: 700, FirstSeen: 3, LastUpdate: 5}}
+	_ = WriteSnapshot(&plain, 7, recs)
+	_ = WriteSnapshotStats(&full, 7, recs, TableStats{Updates: 6, Inserts: 1, Expirations: 2, Evictions: 3, Drops: 4})
+	f.Add(plain.Bytes())
+	f.Add(full.Bytes())
+	f.Add(full.Bytes()[:full.Len()-2]) // trailer cut mid-CRC
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, stats, hasStats, err := ReadSnapshotStats(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if hasStats {
+			err = WriteSnapshotStats(&re, b.Epoch, b.Records, stats)
+		} else {
+			err = WriteSnapshot(&re, b.Epoch, b.Records)
+		}
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		b2, stats2, hasStats2, err := ReadSnapshotStats(&re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if hasStats2 != hasStats || stats2 != stats ||
+			b2.Epoch != b.Epoch || len(b2.Records) != len(b.Records) {
+			t.Fatalf("round trip changed snapshot: stats %+v/%v vs %+v/%v",
+				stats2, hasStats2, stats, hasStats)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package export
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// TestFrameLengthCrossCheck: a header whose payload length cannot hold its
+// record count (or vice versa) is rejected before any payload is read.
+func TestFrameLengthCrossCheck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, Batch{Epoch: 1, Records: []Record{rec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name       string
+		count      uint32
+		payloadLen uint32
+	}{
+		{"payload too short for count", 2, 46},
+		{"payload too long for count", 1, 71},
+		{"zero count, nonzero payload", 0, 46},
+		{"huge payload, small count", 1, 1 << 30},
+	} {
+		raw := append([]byte{}, buf.Bytes()...)
+		binary.BigEndian.PutUint32(raw[13:17], tc.count)
+		binary.BigEndian.PutUint32(raw[17:21], tc.payloadLen)
+		if _, err := ReadBatch(bytes.NewReader(raw)); !errors.Is(err, ErrFrameLength) {
+			t.Errorf("%s: err = %v, want ErrFrameLength", tc.name, err)
+		}
+	}
+}
+
+// TestTruncatedPayloadNoOverAllocate: a header claiming a large (but
+// internally consistent) payload over a truncated stream must fail with
+// ErrUnexpectedEOF — the incremental reader never allocates the claimed
+// size up front.
+func TestTruncatedPayloadNoOverAllocate(t *testing.T) {
+	count := uint32(1 << 20)
+	hdr := make([]byte, 0, 21)
+	hdr = binary.BigEndian.AppendUint32(hdr, batchMagic)
+	hdr = append(hdr, version)
+	hdr = binary.BigEndian.AppendUint64(hdr, 0)
+	hdr = binary.BigEndian.AppendUint32(hdr, count)
+	hdr = binary.BigEndian.AppendUint32(hdr, count*recordMinBytes) // ~46 MB claimed
+	raw := append(hdr, 1, 2, 3)                                    // 3 bytes delivered
+
+	if _, err := ReadBatch(bytes.NewReader(raw)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestBadRecordFlagRejected: a flag byte other than 0/1 fails decoding
+// even when framing and checksum are intact.
+func TestBadRecordFlagRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, Batch{Epoch: 1, Records: []Record{rec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	payload := raw[21 : len(raw)-4]
+	payload[0] = 0x7F // corrupt the flag
+	binary.BigEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(payload))
+	if _, err := ReadBatch(bytes.NewReader(raw)); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+// TestTruncatedTrailerWrapped: a stats trailer cut mid-body or mid-CRC is
+// a wrapped error, never a panic or silent truncation.
+func TestTruncatedTrailerWrapped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshotStats(&buf, 1, []Record{rec(1)}, TableStats{Inserts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut <= 44; cut += 7 {
+		_, _, _, err := ReadSnapshotStats(bytes.NewReader(full[:len(full)-cut]))
+		if err == nil {
+			t.Errorf("cut=%d: truncated trailer accepted", cut)
+		}
+	}
+	// Sanity: the intact file still reads with stats.
+	if _, stats, has, err := ReadSnapshotStats(bytes.NewReader(full)); err != nil || !has || stats.Inserts != 1 {
+		t.Errorf("intact file: stats=%+v has=%v err=%v", stats, has, err)
+	}
+}

@@ -1,0 +1,420 @@
+// The differential test engine: one seeded trace, four executions, and a
+// set of cross-run invariants that must hold exactly (where the design is
+// deterministic) or within the analytic envelope (where it is
+// probabilistic).
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"instameasure/internal/core"
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+	"instameasure/internal/pipeline"
+	"instameasure/internal/trace"
+)
+
+// Config parameterizes a differential run.
+type Config struct {
+	// Engine is the configuration shared by every execution.
+	Engine core.Config
+	// Workers is the pipeline width; 0 means 4.
+	Workers int
+	// BatchSize is the ProcessBatch / pipeline burst size; 0 means 256.
+	BatchSize int
+	// Sigmas is the envelope safety factor; 0 means 5.
+	Sigmas float64
+	// FloorMult sets the envelope floor at FloorMult × retention capacity;
+	// 0 means 2.
+	FloorMult float64
+	// MaxWorst bounds how many worst-offender flows the report retains;
+	// 0 means 8.
+	MaxWorst int
+	// SkipEnvelope disables the analytic error-envelope checks, keeping
+	// only the exact invariants — for property tests over random sketch
+	// geometries where the envelope's assumptions (low fill ratio, enough
+	// emissions) need not hold.
+	SkipEnvelope bool
+}
+
+// FlowCheck is one envelope comparison: a flow's exact truth against the
+// scalar engine's estimate.
+type FlowCheck struct {
+	Key       packet.FlowKey
+	Truth     float64 // exact packet count
+	Est       float64 // engine packet estimate
+	RelErr    float64 // |Est−Truth|/Truth
+	Bound     float64 // Sigmas-sigma analytic bound for this flow size
+	ByteRel   float64 // byte-estimate relative error
+	ByteBound float64
+}
+
+// Report is the outcome of one differential run.
+type Report struct {
+	Packets uint64
+	Flows   int
+	Env     Envelope
+
+	// Envelope statistics over the checked (above-floor) flows.
+	Checked      int
+	StdErr       float64 // √mean(RelErr²) — the paper's std-err metric
+	MeanRelErr   float64
+	MaxRelErr    float64
+	MaxOverBound float64 // max RelErr/Bound: <1 means the envelope held everywhere
+	Checks       []FlowCheck
+	Worst        []FlowCheck
+
+	// Violations lists every invariant that failed; empty means the run
+	// passed.
+	Violations []string
+}
+
+// Ok reports whether the run passed every invariant.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Run replays tr through (a) the exact Reference, (b) a scalar Process
+// engine, (c) a ProcessBatch engine, and (d) a concurrent multi-worker
+// pipeline paired with a synchronously-fed twin, then cross-checks:
+//
+//   - batch ≡ scalar: identical table state, statistics, and per-flow
+//     estimates (bit-exact — same seed, same update order).
+//   - pipeline ≡ sync: each concurrent worker's state matches a worker fed
+//     the same shard sequence synchronously (bit-exact).
+//   - conservation: Σ outcome counters = delegations, occupancy =
+//     fresh-slot inserts, per-worker queued packets sum to the trace.
+//   - no phantom flows: every WSAF entry's key appeared in the trace.
+//   - TTL hygiene: no snapshot entry is older than the TTL.
+//   - export fidelity: snapshot → codec → snapshot round-trips exactly.
+//   - envelope (TTL=0 runs only): per-flow relative error within the
+//     analytic bound for every flow above the retention floor.
+func Run(tr *trace.Trace, cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.MaxWorst <= 0 {
+		cfg.MaxWorst = 8
+	}
+	env, err := NewEnvelope(cfg.Engine, cfg.Sigmas)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: envelope: %w", err)
+	}
+	rep := &Report{Packets: uint64(len(tr.Packets)), Flows: tr.Flows(), Env: env}
+	ttl := cfg.Engine.WSAFTTL
+
+	// (a) Exact reference.
+	ref := NewReference(ttl)
+	for i := range tr.Packets {
+		ref.Observe(tr.Packets[i])
+	}
+	if ref.Packets() != rep.Packets {
+		rep.violatef("oracle packets %d != trace packets %d", ref.Packets(), rep.Packets)
+	}
+
+	// (b) Scalar engine.
+	scalar, err := core.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: scalar engine: %w", err)
+	}
+	for i := range tr.Packets {
+		scalar.Process(tr.Packets[i])
+	}
+
+	// (c) Batch engine: same config, burst ingestion.
+	batcher, err := core.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: batch engine: %w", err)
+	}
+	for off := 0; off < len(tr.Packets); off += cfg.BatchSize {
+		end := off + cfg.BatchSize
+		if end > len(tr.Packets) {
+			end = len(tr.Packets)
+		}
+		batcher.ProcessBatch(tr.Packets[off:end])
+	}
+
+	checkConservation(rep, "scalar", scalar, rep.Packets)
+	checkConservation(rep, "batch", batcher, rep.Packets)
+	compareEngines(rep, "batch vs scalar", batcher, scalar, tr)
+	checkNoPhantoms(rep, "scalar", scalar, ref)
+	checkTTLHygiene(rep, "scalar", scalar, ttl)
+
+	// (d) Concurrent pipeline vs a synchronously-fed twin. Both use the
+	// same shard policy, so worker w of each system sees the identical
+	// packet subsequence; only the transport differs (queues + bursts vs
+	// direct calls). Any divergence is a transport bug.
+	shard := pipeline.PopcountShard
+	pipeCfg := pipeline.Config{
+		Workers:   cfg.Workers,
+		BatchSize: cfg.BatchSize,
+		Engine:    cfg.Engine,
+		Shard:     shard,
+	}
+	sysA, err := pipeline.New(pipeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: pipeline: %w", err)
+	}
+	pipeRep, err := sysA.Run(tr.Source())
+	if err != nil {
+		return nil, fmt.Errorf("oracle: pipeline run: %w", err)
+	}
+	sysB, err := pipeline.New(pipeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: sync pipeline: %w", err)
+	}
+	for i := range tr.Packets {
+		p := tr.Packets[i]
+		sysB.Engines()[shard(&p, cfg.Workers)].Process(p)
+	}
+
+	if pipeRep.Packets != rep.Packets {
+		rep.violatef("pipeline report packets %d != trace %d", pipeRep.Packets, rep.Packets)
+	}
+	var queued, perWorker, droppedTotal uint64
+	for w := 0; w < cfg.Workers; w++ {
+		queued += pipeRep.Queued[w]
+		perWorker += pipeRep.PerWorker[w]
+		droppedTotal += pipeRep.Dropped[w]
+	}
+	if droppedTotal != 0 {
+		rep.violatef("lossless pipeline dropped %d packets", droppedTotal)
+	}
+	if queued != rep.Packets || perWorker != rep.Packets {
+		rep.violatef("pipeline conservation: queued %d, processed %d, want %d", queued, perWorker, rep.Packets)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		label := fmt.Sprintf("pipeline worker %d", w)
+		a, b := sysA.Engines()[w], sysB.Engines()[w]
+		checkConservation(rep, label, a, a.Packets())
+		compareEngines(rep, label+" vs sync twin", a, b, nil)
+		checkNoPhantoms(rep, label, a, ref)
+		checkTTLHygiene(rep, label, a, ttl)
+	}
+	// Per-flow estimates must be identical across the two transports.
+	tr.EachTruth(func(k packet.FlowKey, _ *trace.FlowTruth) {
+		w := shardKey(k, cfg.Workers)
+		ap, ab := sysA.Engines()[w].Estimate(k)
+		bp, bb := sysB.Engines()[w].Estimate(k)
+		if ap != bp || ab != bb {
+			rep.violatef("pipeline worker %d estimate for %v: concurrent (%g,%g) != sync (%g,%g)",
+				w, k, ap, ab, bp, bb)
+		}
+	})
+
+	checkExportRoundTrip(rep, scalar)
+
+	// Envelope checks need the whole-trace truth; a non-zero TTL makes the
+	// WSAF clock (last delegation) lag the oracle clock (last packet), so
+	// those runs stick to the structural invariants above.
+	if ttl == 0 && !cfg.SkipEnvelope {
+		floor := env.Floor(cfg.FloorMult)
+		var sumSq, sumRel float64
+		ref.Each(func(k packet.FlowKey, f Flow) {
+			truth := float64(f.Pkts)
+			if truth < floor {
+				return
+			}
+			est, estBytes := scalar.Estimate(k)
+			check := FlowCheck{
+				Key:       k,
+				Truth:     truth,
+				Est:       est,
+				RelErr:    math.Abs(est-truth) / truth,
+				Bound:     env.PktBound(truth),
+				ByteRel:   math.Abs(estBytes-float64(f.Bytes)) / float64(f.Bytes),
+				ByteBound: env.ByteBound(truth),
+			}
+			rep.Checks = append(rep.Checks, check)
+			rep.Checked++
+			sumSq += check.RelErr * check.RelErr
+			sumRel += check.RelErr
+			if check.RelErr > rep.MaxRelErr {
+				rep.MaxRelErr = check.RelErr
+			}
+			if over := check.RelErr / check.Bound; over > rep.MaxOverBound {
+				rep.MaxOverBound = over
+			}
+			if check.RelErr > check.Bound {
+				rep.violatef("flow %v (truth %.0f): relative error %.4f exceeds %.1fσ bound %.4f",
+					k, truth, check.RelErr, env.Sigmas, check.Bound)
+			}
+			if check.ByteRel > check.ByteBound {
+				rep.violatef("flow %v (truth %.0f): byte error %.4f exceeds bound %.4f",
+					k, truth, check.ByteRel, check.ByteBound)
+			}
+			// The concurrent pipeline worker holding this flow is an
+			// independent sample (different seed); it must satisfy the
+			// same envelope.
+			w := shardKey(k, cfg.Workers)
+			pEst, _ := sysA.Engines()[w].Estimate(k)
+			if rel := math.Abs(pEst-truth) / truth; rel > check.Bound {
+				rep.violatef("flow %v (truth %.0f): pipeline worker %d error %.4f exceeds bound %.4f",
+					k, truth, w, rel, check.Bound)
+			}
+		})
+		if rep.Checked > 0 {
+			rep.StdErr = math.Sqrt(sumSq / float64(rep.Checked))
+			rep.MeanRelErr = sumRel / float64(rep.Checked)
+		}
+		rep.Worst = worstChecks(rep.Checks, cfg.MaxWorst)
+	}
+	return rep, nil
+}
+
+// shardKey applies the popcount shard policy to a bare key.
+func shardKey(k packet.FlowKey, workers int) int {
+	p := packet.Packet{Key: k}
+	return pipeline.PopcountShard(&p, workers)
+}
+
+// checkConservation asserts the engine's internal counting identities.
+func checkConservation(rep *Report, label string, e *core.Engine, wantPackets uint64) {
+	if got := e.Packets(); got != wantPackets {
+		rep.violatef("%s: engine packets %d != %d", label, got, wantPackets)
+	}
+	if rp := e.Regulator().Packets(); rp != e.Packets() {
+		rep.violatef("%s: regulator packets %d != engine packets %d", label, rp, e.Packets())
+	}
+	s := e.Table().Stats()
+	outcomes := s.Updates + s.Inserts + s.Reclaims + s.Evictions + s.Drops
+	if em := e.Regulator().Emissions(); outcomes != em {
+		rep.violatef("%s: Σ WSAF outcomes %d != delegations %d", label, outcomes, em)
+	}
+	if occ := uint64(e.Table().Len()); occ != s.Inserts {
+		rep.violatef("%s: occupancy %d != fresh-slot inserts %d", label, occ, s.Inserts)
+	}
+	if sat := e.Regulator().L1Saturations(); e.Regulator().Emissions() > sat {
+		rep.violatef("%s: emissions %d exceed L1 saturations %d", label, e.Regulator().Emissions(), sat)
+	}
+}
+
+// compareEngines asserts two engines reached bit-identical state. When tr
+// is non-nil, every flow's estimate is compared too (covering sketch
+// residual state the snapshots cannot see).
+func compareEngines(rep *Report, label string, a, b *core.Engine, tr *trace.Trace) {
+	if a.Packets() != b.Packets() || a.Bytes() != b.Bytes() {
+		rep.violatef("%s: totals (%d pkts, %d bytes) != (%d pkts, %d bytes)",
+			label, a.Packets(), a.Bytes(), b.Packets(), b.Bytes())
+	}
+	if as, bs := a.Table().Stats(), b.Table().Stats(); as != bs {
+		rep.violatef("%s: table stats %+v != %+v", label, as, bs)
+	}
+	ar, br := a.Regulator(), b.Regulator()
+	if ar.Packets() != br.Packets() || ar.L1Saturations() != br.L1Saturations() || ar.Emissions() != br.Emissions() {
+		rep.violatef("%s: regulator counters (%d,%d,%d) != (%d,%d,%d)", label,
+			ar.Packets(), ar.L1Saturations(), ar.Emissions(),
+			br.Packets(), br.L1Saturations(), br.Emissions())
+	}
+	asnap, bsnap := a.Snapshot(), b.Snapshot()
+	if len(asnap) != len(bsnap) {
+		rep.violatef("%s: snapshot sizes %d != %d", label, len(asnap), len(bsnap))
+		return
+	}
+	for i := range asnap {
+		if asnap[i] != bsnap[i] {
+			rep.violatef("%s: snapshot entry %d differs: %+v != %+v", label, i, asnap[i], bsnap[i])
+			return
+		}
+	}
+	if tr != nil {
+		tr.EachTruth(func(k packet.FlowKey, _ *trace.FlowTruth) {
+			ap, ab := a.Estimate(k)
+			bp, bb := b.Estimate(k)
+			if ap != bp || ab != bb {
+				rep.violatef("%s: estimate for %v: (%g,%g) != (%g,%g)", label, k, ap, ab, bp, bb)
+			}
+		})
+	}
+}
+
+// checkNoPhantoms asserts every WSAF entry belongs to a flow that actually
+// appeared in the trace — the invariant key-corruption bugs break.
+func checkNoPhantoms(rep *Report, label string, e *core.Engine, ref *Reference) {
+	for _, entry := range e.Snapshot() {
+		if _, ok := ref.Truth(entry.Key); !ok {
+			rep.violatef("%s: phantom WSAF entry for %v (flow never in trace)", label, entry.Key)
+			return
+		}
+	}
+}
+
+// checkTTLHygiene asserts no snapshot entry is reported past its TTL.
+func checkTTLHygiene(rep *Report, label string, e *core.Engine, ttl int64) {
+	if ttl <= 0 {
+		return
+	}
+	now := e.LastTS()
+	for _, entry := range e.Snapshot() {
+		if now-entry.LastUpdate > ttl {
+			rep.violatef("%s: snapshot leaked expired entry %+v at now=%d ttl=%d", label, entry, now, ttl)
+			return
+		}
+	}
+}
+
+// checkExportRoundTrip asserts snapshot → codec → snapshot fidelity for
+// both the batch frame and the snapshot-with-stats file format.
+func checkExportRoundTrip(rep *Report, e *core.Engine) {
+	snap := e.Snapshot()
+	records := make([]export.Record, len(snap))
+	for i, entry := range snap {
+		records[i] = export.FromEntry(entry)
+	}
+	s := e.Table().Stats()
+	stats := export.TableStats{
+		Updates:     s.Updates,
+		Inserts:     s.Inserts,
+		Expirations: s.Reclaims,
+		Evictions:   s.Evictions,
+		Drops:       s.Drops,
+	}
+
+	var buf bytes.Buffer
+	if err := export.WriteSnapshotStats(&buf, e.LastTS(), records, stats); err != nil {
+		rep.violatef("export: write snapshot: %v", err)
+		return
+	}
+	batch, gotStats, hasStats, err := export.ReadSnapshotStats(&buf)
+	if err != nil {
+		rep.violatef("export: read snapshot: %v", err)
+		return
+	}
+	if !hasStats || gotStats != stats {
+		rep.violatef("export: stats trailer mismatch: has=%v got %+v want %+v", hasStats, gotStats, stats)
+	}
+	if batch.Epoch != e.LastTS() {
+		rep.violatef("export: epoch %d != %d", batch.Epoch, e.LastTS())
+	}
+	if len(batch.Records) != len(records) {
+		rep.violatef("export: %d records round-tripped, want %d", len(batch.Records), len(records))
+		return
+	}
+	for i := range records {
+		if batch.Records[i] != records[i] {
+			rep.violatef("export: record %d corrupted: %+v != %+v", i, batch.Records[i], records[i])
+			return
+		}
+	}
+}
+
+// worstChecks returns the n checks with the highest RelErr/Bound ratio.
+func worstChecks(checks []FlowCheck, n int) []FlowCheck {
+	sorted := make([]FlowCheck, len(checks))
+	copy(sorted, checks)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].RelErr/sorted[i].Bound > sorted[j].RelErr/sorted[j].Bound
+	})
+	if n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	return sorted
+}

@@ -1,0 +1,136 @@
+// Package oracle is the repo's independent correctness oracle: an exact
+// per-flow reference counter with the same clock/TTL semantics as the WSAF,
+// an analytical error envelope derived from the RCC coupon-collector
+// estimator (Nyang & Shin 2016), and a differential test engine that
+// replays one seeded trace through the oracle, the scalar engine,
+// ProcessBatch, and the multi-worker pipeline, then cross-checks every run
+// against the others and against the analytic bound.
+//
+// The probabilistic pipeline's headline claims (≤0.65% std-err, Top-K
+// recall, FPR) are accuracy claims; a silent estimator bug — a decode-table
+// off-by-one, eviction aliasing, codec corruption — can keep every shape
+// test green while the numbers drift. The oracle exists to make that class
+// of bug loud: it asserts exact cross-run equality where determinism
+// guarantees it (batch ≡ scalar ≡ synchronously-fed pipeline workers),
+// conservation laws where counting is exact (Σ outcomes = delegations,
+// occupancy = fresh-slot inserts), and analytic envelopes where the
+// estimator is probabilistic.
+package oracle
+
+import (
+	"instameasure/internal/packet"
+)
+
+// Flow is one exact per-flow record — the ground truth the estimators are
+// judged against.
+type Flow struct {
+	Pkts       uint64
+	Bytes      uint64
+	FirstSeen  int64
+	LastUpdate int64
+}
+
+// Reference is an exact map-based per-flow counter with the WSAF's clock
+// and TTL semantics: an entry idle longer than the TTL is dead — excluded
+// from lookups and snapshots — and a new packet for an expired flow starts
+// a fresh record (mirroring the table's inline reclaim of its own expired
+// slot). A TTL of 0 disables expiry, making Reference a plain exact
+// counter over the whole trace.
+//
+// Unlike the WSAF, the Reference sees every packet (the WSAF only sees the
+// ~1% of packets FlowRegulator delegates), so under a non-zero TTL its
+// LastUpdate clock runs ahead of the table's. Differential error checks
+// therefore run with TTL disabled; TTL runs check structural invariants.
+type Reference struct {
+	ttl   int64
+	flows map[packet.FlowKey]*Flow
+
+	packets  uint64
+	bytes    uint64
+	restarts uint64
+	lastTS   int64
+}
+
+// NewReference builds a Reference with the given inactivity TTL in trace
+// nanoseconds (0 disables expiry).
+func NewReference(ttl int64) *Reference {
+	return &Reference{ttl: ttl, flows: make(map[packet.FlowKey]*Flow)}
+}
+
+// Observe accounts one packet.
+func (r *Reference) Observe(p packet.Packet) {
+	r.packets++
+	r.bytes += uint64(p.Len)
+	r.lastTS = p.TS
+	f := r.flows[p.Key]
+	if f == nil {
+		f = &Flow{FirstSeen: p.TS, LastUpdate: p.TS}
+		r.flows[p.Key] = f
+	} else if r.expired(f, p.TS) {
+		// Same restart rule as wsaf.Table: the expired record is dead;
+		// this packet opens a new one.
+		*f = Flow{FirstSeen: p.TS, LastUpdate: p.TS}
+		r.restarts++
+	}
+	f.Pkts++
+	f.Bytes += uint64(p.Len)
+	f.LastUpdate = p.TS
+}
+
+// Lookup returns the flow's record if it is live at now.
+func (r *Reference) Lookup(key packet.FlowKey, now int64) (Flow, bool) {
+	f := r.flows[key]
+	if f == nil || r.expired(f, now) {
+		return Flow{}, false
+	}
+	return *f, true
+}
+
+// Truth returns the flow's record regardless of expiry (its state as of
+// its last packet), for whole-trace accuracy comparisons.
+func (r *Reference) Truth(key packet.FlowKey) (Flow, bool) {
+	f := r.flows[key]
+	if f == nil {
+		return Flow{}, false
+	}
+	return *f, true
+}
+
+// Snapshot returns all records live at now.
+func (r *Reference) Snapshot(now int64) map[packet.FlowKey]Flow {
+	out := make(map[packet.FlowKey]Flow, len(r.flows))
+	for k, f := range r.flows {
+		if r.expired(f, now) {
+			continue
+		}
+		out[k] = *f
+	}
+	return out
+}
+
+// Each calls fn for every tracked flow (expired ones included), in
+// unspecified order.
+func (r *Reference) Each(fn func(packet.FlowKey, Flow)) {
+	for k, f := range r.flows {
+		fn(k, *f)
+	}
+}
+
+// Packets returns the total packets observed.
+func (r *Reference) Packets() uint64 { return r.packets }
+
+// Bytes returns the total bytes observed.
+func (r *Reference) Bytes() uint64 { return r.bytes }
+
+// Restarts returns how many expired flows were restarted by a late packet.
+func (r *Reference) Restarts() uint64 { return r.restarts }
+
+// LastTS returns the most recent packet timestamp.
+func (r *Reference) LastTS() int64 { return r.lastTS }
+
+// Flows returns the number of tracked flow records (expired included).
+func (r *Reference) Flows() int { return len(r.flows) }
+
+func (r *Reference) expired(f *Flow, now int64) bool {
+	return r.ttl > 0 && now-f.LastUpdate > r.ttl
+}

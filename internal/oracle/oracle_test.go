@@ -1,0 +1,86 @@
+package oracle
+
+import (
+	"testing"
+
+	"instameasure/internal/packet"
+	"instameasure/internal/wsaf"
+)
+
+func okey(i int) packet.FlowKey {
+	return packet.V4Key(uint32(i)*2654435761, uint32(i)+7, uint16(i%60000)+1, 443, packet.ProtoTCP)
+}
+
+func TestReferenceExactCounting(t *testing.T) {
+	r := NewReference(0)
+	for i := 0; i < 10; i++ {
+		r.Observe(packet.Packet{Key: okey(1), Len: 100, TS: int64(i)})
+	}
+	for i := 0; i < 3; i++ {
+		r.Observe(packet.Packet{Key: okey(2), Len: 1500, TS: int64(100 + i)})
+	}
+	f, ok := r.Lookup(okey(1), 200)
+	if !ok || f.Pkts != 10 || f.Bytes != 1000 || f.FirstSeen != 0 || f.LastUpdate != 9 {
+		t.Errorf("flow 1 = %+v, ok=%v", f, ok)
+	}
+	if r.Packets() != 13 || r.Bytes() != 1000+4500 {
+		t.Errorf("totals = %d pkts / %d bytes", r.Packets(), r.Bytes())
+	}
+	if r.Flows() != 2 {
+		t.Errorf("Flows = %d, want 2", r.Flows())
+	}
+}
+
+func TestReferenceTTLExpiry(t *testing.T) {
+	r := NewReference(1000)
+	r.Observe(packet.Packet{Key: okey(1), Len: 60, TS: 0})
+	if _, ok := r.Lookup(okey(1), 500); !ok {
+		t.Fatal("flow must be live inside the TTL")
+	}
+	if _, ok := r.Lookup(okey(1), 2000); ok {
+		t.Fatal("flow must be dead past the TTL")
+	}
+	if snap := r.Snapshot(2000); len(snap) != 0 {
+		t.Errorf("snapshot at 2000 has %d flows, want 0", len(snap))
+	}
+
+	// A late packet restarts the record, like the WSAF's inline reclaim.
+	r.Observe(packet.Packet{Key: okey(1), Len: 60, TS: 5000})
+	f, ok := r.Lookup(okey(1), 5000)
+	if !ok || f.Pkts != 1 || f.FirstSeen != 5000 {
+		t.Errorf("restarted flow = %+v, ok=%v (want fresh record)", f, ok)
+	}
+	if r.Restarts() != 1 {
+		t.Errorf("Restarts = %d, want 1", r.Restarts())
+	}
+}
+
+// TestReferenceMatchesWSAFSemantics pins the clock/TTL contract the two
+// implementations share: for a single flow fed identical (count, ts)
+// updates, the WSAF (given a passthrough per update) and the Reference
+// agree on liveness and restart boundaries at every step.
+func TestReferenceMatchesWSAFSemantics(t *testing.T) {
+	const ttl = 1000
+	ref := NewReference(ttl)
+	tab := wsaf.MustNew(wsaf.Config{Entries: 64, TTL: ttl})
+	k := okey(3)
+
+	times := []int64{0, 500, 900, 3000, 3100, 9999, 10500}
+	for _, ts := range times {
+		ref.Observe(packet.Packet{Key: k, Len: 100, TS: ts})
+		tab.Accumulate(k, 1, 100, ts)
+
+		for _, now := range []int64{ts, ts + 999, ts + 1001} {
+			_, refLive := ref.Lookup(k, now)
+			_, tabLive := tab.Lookup(k, now)
+			if refLive != tabLive {
+				t.Fatalf("ts=%d now=%d: oracle live=%v, wsaf live=%v", ts, now, refLive, tabLive)
+			}
+		}
+		rf, _ := ref.Lookup(k, ts)
+		te, _ := tab.Lookup(k, ts)
+		if rf.Pkts != uint64(te.Pkts) || rf.FirstSeen != te.FirstSeen {
+			t.Fatalf("ts=%d: oracle %+v vs wsaf %+v (restart boundary disagreement)", ts, rf, te)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"instameasure/internal/core"
+	"instameasure/internal/trace"
+)
+
+// TestDifferentialRandomConfigs is the property test: across random sketch
+// geometries, table sizes, probe limits, TTLs, worker counts, and batch
+// sizes, the exact invariants — batch ≡ scalar ≡ pipeline, conservation
+// laws, TTL hygiene, export round-trip — must hold unconditionally. (The
+// analytic envelope is skipped: random tiny geometries can saturate the
+// bit pool, which violates the envelope's low-collision assumption without
+// being a bug.)
+func TestDifferentialRandomConfigs(t *testing.T) {
+	iterations := 14
+	if testing.Short() || raceEnabled {
+		iterations = 5
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	for i := 0; i < iterations; i++ {
+		engine := core.Config{
+			SketchMemoryBytes: 512 << rng.Intn(5),     // 512 B .. 8 KB
+			VectorBits:        4 + rng.Intn(9),        // 4..12
+			Layers:            2 + rng.Intn(2),        // 2..3
+			WSAFEntries:       1 << (8 + rng.Intn(5)), // 256..4096
+			ProbeLimit:        []int{4, 8, 16}[rng.Intn(3)],
+			Seed:              rng.Uint64(),
+		}
+		flows := 300 + rng.Intn(1700)
+		packets := 10_000 + rng.Intn(30_000)
+		cfg := Config{
+			Engine:       engine,
+			Workers:      1 + rng.Intn(5),
+			BatchSize:    []int{1, 7, 64, 256}[rng.Intn(4)],
+			SkipEnvelope: true,
+		}
+
+		tr, err := trace.GenerateZipf(trace.ZipfConfig{
+			Flows:        flows,
+			TotalPackets: packets,
+			Skew:         0.8 + rng.Float64()*0.6,
+			Seed:         rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			engine.WSAFTTL = tr.Duration() / int64(2+rng.Intn(10))
+			cfg.Engine = engine
+		}
+
+		rep, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatalf("config %d (%+v): %v", i, cfg, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("config %d (engine %+v, workers=%d, batch=%d, ttl=%d): %s",
+				i, engine, cfg.Workers, cfg.BatchSize, engine.WSAFTTL, v)
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}

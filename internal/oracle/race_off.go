@@ -1,0 +1,8 @@
+//go:build !race
+
+package oracle
+
+// raceEnabled reports whether the race detector is compiled in; the big
+// differential tests shrink their workloads under -race (≈10× slower per
+// packet, and race bugs do not need a million packets to surface).
+const raceEnabled = false

@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEthernet throws arbitrary frames at the Ethernet parser. The
+// contract under fuzzing: never panic, and any frame that parses yields a
+// structurally sane packet (a known address family and a key that hashes
+// deterministically).
+func FuzzParseEthernet(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add(make([]byte, 14), 14)
+	// Minimal IPv4/TCP frame.
+	v4 := append(
+		append(make([]byte, 12), 0x08, 0x00),
+		0x45, 0, 0, 40, 0, 0, 0, 0, 64, 6, 0, 0,
+		10, 0, 0, 1, 10, 0, 0, 2,
+		0x01, 0xBB, 0x00, 0x50, 0, 0, 0, 0,
+	)
+	f.Add(v4, len(v4))
+	// VLAN-tagged IPv6/UDP header prefix (truncated on purpose).
+	f.Add(append(append(make([]byte, 12), 0x81, 0x00, 0x00, 0x2A, 0x86, 0xDD), make([]byte, 20)...), 60)
+
+	f.Fuzz(func(t *testing.T, frame []byte, wireLen int) {
+		p, err := ParseEthernet(frame, wireLen, 12345)
+		if err != nil {
+			return
+		}
+		if p.TS != 12345 {
+			t.Fatalf("timestamp not propagated: %d", p.TS)
+		}
+		if !p.Key.IsV6 {
+			// IPv4 keys must keep the upper 12 address bytes zero so map
+			// equality and hashing are well defined.
+			var zero [12]byte
+			if !bytes.Equal(p.Key.SrcIP[4:], zero[:]) || !bytes.Equal(p.Key.DstIP[4:], zero[:]) {
+				t.Fatalf("v4 key has non-zero padding: %+v", p.Key)
+			}
+		}
+		if h1, h2 := p.Key.Hash64(1), p.Key.Hash64(1); h1 != h2 {
+			t.Fatalf("hash not deterministic: %x vs %x", h1, h2)
+		}
+	})
+}
+
+// FuzzParseIP does the same for the raw-IP (DLT_RAW) entry point.
+func FuzzParseIP(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	f.Add([]byte{
+		0x45, 0, 0, 28, 0, 0, 0, 0, 64, 17, 0, 0,
+		192, 168, 0, 1, 192, 168, 0, 2,
+		0x13, 0x88, 0x00, 0x35, 0, 8, 0, 0,
+	})
+	f.Add(append([]byte{0x60, 0, 0, 0, 0, 8, 58, 64}, make([]byte, 40)...))
+
+	f.Fuzz(func(t *testing.T, datagram []byte) {
+		p, err := ParseIP(datagram, len(datagram), 7)
+		if err != nil {
+			return
+		}
+		if p.Key.IsV6 && datagram[0]>>4 != 6 || !p.Key.IsV6 && datagram[0]>>4 != 4 {
+			t.Fatalf("family flag %v disagrees with version nibble %d", p.Key.IsV6, datagram[0]>>4)
+		}
+	})
+}

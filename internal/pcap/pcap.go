@@ -31,6 +31,18 @@ const (
 	magicNanos  = 0xA1B23C4D
 )
 
+const (
+	// readChunk bounds each body-read allocation step: a record header
+	// lying about its length on a truncated stream costs at most one
+	// chunk of memory before the read fails, not the full claimed size.
+	readChunk = 1 << 16
+
+	// maxRecordBytes is the absolute sanity cap applied when the capture
+	// declares no snap length; no supported link layer produces frames
+	// anywhere near this large, so a bigger claim is a corrupt header.
+	maxRecordBytes = 1 << 28
+)
+
 // Errors returned by the reader.
 var (
 	ErrBadMagic   = errors.New("pcap: unrecognized magic number")
@@ -121,13 +133,31 @@ func (r *Reader) Next() (Record, error) {
 	if inclLen > origLen {
 		return Record{}, fmt.Errorf("%w: incl=%d orig=%d", ErrCorruptHdr, inclLen, origLen)
 	}
-
-	if cap(r.buf) < int(inclLen) {
-		r.buf = make([]byte, inclLen)
+	if r.snapLen == 0 && inclLen > maxRecordBytes {
+		return Record{}, fmt.Errorf("%w: incl=%d exceeds %d-byte cap", ErrCorruptHdr, inclLen, maxRecordBytes)
 	}
-	r.buf = r.buf[:inclLen]
-	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		return Record{}, fmt.Errorf("record body: %w", err)
+
+	// Read the body in chunks so the buffer only grows as bytes actually
+	// arrive; a truncated stream fails after at most one readChunk
+	// allocation regardless of the claimed length.
+	r.buf = r.buf[:0]
+	for remaining := int(inclLen); remaining > 0; {
+		n := min(remaining, readChunk)
+		off := len(r.buf)
+		if cap(r.buf) < off+n {
+			grown := make([]byte, off+n, max(off+n, 2*cap(r.buf)))
+			copy(grown, r.buf)
+			r.buf = grown
+		} else {
+			r.buf = r.buf[:off+n]
+		}
+		if _, err := io.ReadFull(r.r, r.buf[off:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Record{}, fmt.Errorf("record body: %w", err)
+		}
+		remaining -= n
 	}
 
 	ts := sec * 1e9

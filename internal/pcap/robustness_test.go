@@ -100,3 +100,55 @@ func TestReaderHugeClaimedLength(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
 	}
 }
+
+// TestReaderInsaneLengthRejected: with no snap length declared, a record
+// claiming a body beyond the absolute sanity cap is a corrupt header, not
+// a multi-hundred-megabyte read attempt.
+func TestReaderInsaneLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanos)
+	binary.LittleEndian.PutUint32(hdr[16:20], 0) // snap length 0: no cap
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(LinkEthernet))
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], maxRecordBytes+1)
+	binary.LittleEndian.PutUint32(rec[12:16], maxRecordBytes+1)
+	buf.Write(rec)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorruptHdr) {
+		t.Errorf("err = %v, want ErrCorruptHdr", err)
+	}
+}
+
+// TestReaderChunkedBodyReassembly: a record bigger than one read chunk is
+// reassembled intact across the chunk boundary.
+func TestReaderChunkedBodyReassembly(t *testing.T) {
+	body := make([]byte, readChunk*2+1234)
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(body)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkRaw, len(body))
+	if err := w.Write(3e9, len(body), body); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Data, body) {
+		t.Error("chunked body read did not reassemble the original record")
+	}
+}

@@ -194,8 +194,11 @@ func MustNew(cfg Config) *Table {
 
 // Accumulate adds (pkts, bytes) to key's entry, inserting it if absent.
 // now is the trace timestamp driving TTL garbage collection and the
-// second-chance policy. It returns the outcome and, for Evicted, a copy of
-// the entry that was displaced.
+// second-chance policy. It returns the outcome and, for Evicted, the entry
+// that was displaced. The returned Entry is the caller's own copy — it is
+// never aliased to table storage or to the victim scratch, so it remains
+// valid across any number of later table operations
+// (TestEvictedEntrySurvivesLaterCalls enforces this).
 func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
 	o, _ := t.AccumulateHashed(key.Hash64(t.seed), key, pkts, bytes, now)
 	if o != Evicted {
@@ -209,9 +212,11 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 // zero-rehash hot path: the engine hashes each packet once and threads the
 // value through the FlowRegulator and into the table. It returns the live
 // entry for key after the update (nil only for Dropped); the pointer is
-// into the table and valid until the next mutating call. For Evicted, a
-// copy of the displaced entry is retained in the table's victim scratch
-// (Accumulate surfaces it).
+// into the table and MUST NOT be held across the next mutating call — any
+// later Accumulate may relocate, evict, or overwrite the slot. Copy the
+// fields out before touching the table again. For Evicted, the displaced
+// entry is retained in the table's victim scratch until the next eviction;
+// read it through Victim (a copy) or use Accumulate, which surfaces it.
 func (t *Table) AccumulateHashed(h uint64, key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
 	id := uint32(h ^ (h >> 32))
 
@@ -232,6 +237,17 @@ func (t *Table) AccumulateHashed(h uint64, key packet.FlowKey, pkts, bytes float
 			// stored past the first hole it would have filled.
 			i = t.probeLimit
 		case e.FlowID == id && e.Key == key:
+			if t.expired(e, now) {
+				// The flow's own entry sat idle past the TTL. Lookup and
+				// Snapshot already treat it as dead, so resuming the stale
+				// counters here would resurrect a flow the rest of the API
+				// says expired: start a fresh record instead (inline GC of
+				// our own slot).
+				t.stats.Reclaims++
+				t.size--
+				t.place(e, id, key, pkts, bytes, now)
+				return t.note(Reclaimed, steps), e
+			}
 			e.Pkts += pkts
 			e.Bytes += bytes
 			e.LastUpdate = now
@@ -317,6 +333,12 @@ func (t *Table) note(o Outcome, steps int) Outcome {
 	}
 	return o
 }
+
+// Victim returns a copy of the entry displaced by the most recent Evicted
+// outcome. It is only meaningful immediately after AccumulateHashed
+// reported Evicted: the scratch is overwritten by the next eviction.
+// Accumulate callers get the same copy returned directly.
+func (t *Table) Victim() Entry { return t.victim }
 
 // SetTelemetry attaches metric handles updated on every Accumulate.
 // Pass nil to detach.

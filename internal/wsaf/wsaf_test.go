@@ -516,3 +516,146 @@ func TestModelEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestExpiredSelfEntryRestarts is the regression test for the TTL
+// resurrection bug: a packet arriving for a flow whose own entry expired
+// must start a fresh record (Reclaimed), not resume the stale counters —
+// Lookup and Snapshot already declared that entry dead.
+func TestExpiredSelfEntryRestarts(t *testing.T) {
+	tab := MustNew(Config{Entries: 64, TTL: 1000})
+	k := key(11)
+	tab.Accumulate(k, 40, 4000, 0)
+	if _, ok := tab.Lookup(k, 5000); ok {
+		t.Fatal("entry must be expired at now=5000")
+	}
+
+	outcome, _ := tab.Accumulate(k, 3, 300, 5000)
+	if outcome != Reclaimed {
+		t.Fatalf("accumulate into own expired entry: outcome = %v, want Reclaimed", outcome)
+	}
+	e, ok := tab.Lookup(k, 5000)
+	if !ok {
+		t.Fatal("restarted flow must be findable")
+	}
+	if e.Pkts != 3 || e.Bytes != 300 {
+		t.Errorf("restarted entry carries stale counters: Pkts=%v Bytes=%v, want 3/300", e.Pkts, e.Bytes)
+	}
+	if e.FirstSeen != 5000 {
+		t.Errorf("restarted FirstSeen = %d, want 5000", e.FirstSeen)
+	}
+	if s := tab.Stats(); s.Reclaims != 1 || s.Updates != 0 {
+		t.Errorf("stats = %+v, want 1 reclaim and 0 updates", s)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (restart must not double-count occupancy)", tab.Len())
+	}
+}
+
+// TestExpiredEntriesNeverLeak drives a TTL table with two generations of
+// flows and checks that no API — Lookup, LookupHashed, Snapshot, TopK —
+// ever reports an entry whose last update is older than the TTL.
+func TestExpiredEntriesNeverLeak(t *testing.T) {
+	const ttl = 1000
+	tab := MustNew(Config{Entries: 256, TTL: ttl})
+	for i := 0; i < 100; i++ {
+		tab.Accumulate(key(i), 10, 100, int64(i))
+	}
+	// Second generation, far past the first's TTL.
+	now := int64(100_000)
+	for i := 100; i < 130; i++ {
+		tab.Accumulate(key(i), 20, 200, now)
+	}
+
+	for i := 0; i < 100; i++ {
+		if _, ok := tab.Lookup(key(i), now); ok {
+			t.Fatalf("Lookup leaked expired flow %d", i)
+		}
+		k := key(i)
+		if _, ok := tab.LookupHashed(k.Hash64(0), k, now); ok {
+			t.Fatalf("LookupHashed leaked expired flow %d", i)
+		}
+	}
+	for _, e := range tab.Snapshot(now) {
+		if now-e.LastUpdate > ttl {
+			t.Fatalf("Snapshot leaked expired entry %+v at now=%d", e, now)
+		}
+	}
+	for _, e := range tab.TopK(1000, now, func(en *Entry) float64 { return en.Pkts }) {
+		if now-e.LastUpdate > ttl {
+			t.Fatalf("TopK leaked expired entry %+v at now=%d", e, now)
+		}
+	}
+}
+
+// TestEvictedEntrySurvivesLaterCalls enforces Accumulate's copy contract:
+// the Evicted result must stay intact across arbitrarily many later calls,
+// including further evictions that overwrite the victim scratch.
+func TestEvictedEntrySurvivesLaterCalls(t *testing.T) {
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), float64(1000+i), 10, 1)
+	}
+	var first *Entry
+	var firstSaved Entry
+	for i := 4; first == nil; i++ {
+		if o, v := tab.Accumulate(key(i), 1, 1, 2); o == Evicted {
+			first, firstSaved = v, *v
+		}
+	}
+	// Force more evictions; each overwrites the victim scratch.
+	evictions := 0
+	for i := 1000; evictions < 3; i++ {
+		if o, _ := tab.Accumulate(key(i), 1, 1, int64(3+i)); o == Evicted {
+			evictions++
+		}
+	}
+	if *first != firstSaved {
+		t.Errorf("held Evicted result changed after later evictions:\n got %+v\nwant %+v", *first, firstSaved)
+	}
+}
+
+// TestVictimAccessor checks that Victim surfaces the displaced entry for
+// AccumulateHashed callers, as a copy.
+func TestVictimAccessor(t *testing.T) {
+	tab := MustNew(Config{Entries: 4, ProbeLimit: 4})
+	for i := 0; i < 4; i++ {
+		tab.Accumulate(key(i), float64(500+i), 10, 1)
+	}
+	for i := 4; ; i++ {
+		k := key(i)
+		o, _ := tab.AccumulateHashed(k.Hash64(tab.seed), k, 1, 1, 2)
+		if o != Evicted {
+			continue
+		}
+		v := tab.Victim()
+		if v.Pkts < 500 {
+			t.Fatalf("Victim() = %+v, want one of the original heavy entries", v)
+		}
+		saved := v
+		tab.Accumulate(key(i+12345), 7, 7, 3)
+		if v != saved {
+			t.Error("Victim() copy aliases table state")
+		}
+		break
+	}
+}
+
+// TestStatsConservation checks the table's conservation laws under random
+// load: every Accumulate lands in exactly one outcome bucket, and live
+// occupancy equals fresh-slot inserts (reclaims and evictions pair one
+// death with one birth).
+func TestStatsConservation(t *testing.T) {
+	tab := MustNew(Config{Entries: 64, ProbeLimit: 8, TTL: 5000})
+	var calls uint64
+	for i := 0; i < 20_000; i++ {
+		tab.Accumulate(key(i%500), 1, 64, int64(i)*17)
+		calls++
+	}
+	s := tab.Stats()
+	if got := s.Updates + s.Inserts + s.Reclaims + s.Evictions + s.Drops; got != calls {
+		t.Errorf("outcome sum %d != %d calls", got, calls)
+	}
+	if uint64(tab.Len()) != s.Inserts {
+		t.Errorf("occupancy %d != inserts %d (reclaim/evict must be occupancy-neutral)", tab.Len(), s.Inserts)
+	}
+}
