@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet-race fuzz-smoke bench bench-guard bench-json clean
+.PHONY: all build test tier1 vet-race fuzz-smoke store-smoke bench bench-guard bench-json clean
 
 all: build test
 
@@ -11,12 +11,20 @@ build:
 # pass — including the differential-oracle suite under the race detector
 # (the concurrent pipeline leg is the racy surface; the oracle shrinks its
 # workload automatically under -race via the raceEnabled build tag).
-tier1: build
+tier1: build store-smoke
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -run 'TestDifferential' ./internal/oracle/... ./internal/pipeline/...
 
 test: tier1
+
+# store-smoke is the epoch-store drill: meter a trace into a store, tear
+# the tail segment mid-record (a simulated kill -9), reopen, and query —
+# top-k, timeline, changers, and the JSON API must all answer from what
+# survived. Crash-recovery and the store/live differential ride along.
+store-smoke:
+	$(GO) test ./internal/store/ -run 'TestStoreSmoke|TestCrashRecovery' -count=1
+	$(GO) test ./internal/oracle/ -run 'TestStoreDifferential' -count=1
 
 # vet-race is the observability gate: static checks plus the telemetry
 # and pipeline packages under the race detector (lock-free counters and
@@ -35,15 +43,18 @@ fuzz-smoke:
 	$(GO) test ./internal/pcap/ -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/export/ -fuzz '^FuzzReadBatch$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/export/ -fuzz '^FuzzReadSnapshotStats$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/store/ -fuzz '^FuzzStoreSegment$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# bench-guard asserts the always-on hot-path instrumentation stays within
-# ~3% of the uninstrumented per-packet loop. Benchmark-based, so it is
-# opt-in rather than part of tier1.
+# bench-guard asserts (a) the always-on hot-path instrumentation stays
+# within ~3% of the uninstrumented per-packet loop, and (b) a windowed
+# top-k over a 1M-record epoch store answers through the JSON endpoint in
+# under 50 ms. Benchmark-based, so opt-in rather than part of tier1.
 bench-guard:
 	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestProcessTelemetryOverhead -v ./internal/core/
+	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestStoreTopKGuard -v ./internal/store/
 
 # bench-json archives the hot-path suite — the Fig. 9 throughput benchmark
 # plus the per-component microbenchmarks — as BENCH_hotpath.json

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"instameasure"
 )
@@ -43,10 +44,13 @@ func run() error {
 		hhPkts   = flag.Float64("hh-pkts", 0, "heavy-hitter packet threshold (0 = off)")
 		hhBytes  = flag.Float64("hh-bytes", 0, "heavy-hitter byte threshold (0 = off)")
 		stream   = flag.Bool("stream", false, "decode the pcap incrementally (constant memory; '-' reads stdin)")
-		epoch    = flag.Int("epoch", 0, "print interim stats every N packets (0 = off)")
+		epoch    = flag.Int("epoch", 0, "cut an epoch every N packets (0 = off): print interim stats, export, commit to -store")
+		interval = flag.Duration("epoch-interval", 0, "cut an epoch every D of trace time (capture timestamps), e.g. 500ms; combines with -epoch — whichever fires first cuts")
 		snapshot = flag.String("snapshot", "", "write the final flow table to this snapshot file")
 		exportTo = flag.String("export", "", "export each epoch's flow table to a collector at host:port")
 		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on host:port")
+		storeDir = flag.String("store", "", "append each epoch's flow table to the epoch store in this directory (query with /flows or wsafdump -store)")
+		storeSyn = flag.Bool("store-sync", false, "fsync the store after every epoch append")
 	)
 	flag.Parse()
 
@@ -101,13 +105,16 @@ func run() error {
 	}
 
 	opts := meterOpts{
-		topK:     *topK,
-		hhPkts:   *hhPkts,
-		hhBytes:  *hhBytes,
-		epoch:    *epoch,
-		snapshot: *snapshot,
-		exportTo: *exportTo,
-		metrics:  *metrics,
+		topK:      *topK,
+		hhPkts:    *hhPkts,
+		hhBytes:   *hhBytes,
+		epoch:     *epoch,
+		interval:  *interval,
+		snapshot:  *snapshot,
+		exportTo:  *exportTo,
+		metrics:   *metrics,
+		store:     *storeDir,
+		storeSync: *storeSyn,
 	}
 	if *workers > 1 {
 		return runCluster(cfg, *workers, *batch, src, opts)
@@ -116,13 +123,25 @@ func run() error {
 }
 
 type meterOpts struct {
-	topK     int
-	hhPkts   float64
-	hhBytes  float64
-	epoch    int
-	snapshot string
-	exportTo string
-	metrics  string
+	topK      int
+	hhPkts    float64
+	hhBytes   float64
+	epoch     int           // cut every N packets (0 = off)
+	interval  time.Duration // cut every D of trace time (0 = off)
+	snapshot  string
+	exportTo  string
+	metrics   string
+	store     string
+	storeSync bool
+}
+
+// storeOptions maps the CLI flags to StoreOptions.
+func (o meterOpts) storeOptions() instameasure.StoreOptions {
+	opt := instameasure.StoreOptions{}
+	if o.storeSync {
+		opt.Sync = instameasure.StoreSyncEach
+	}
+	return opt
 }
 
 // serveMetrics starts the observability endpoint when addr is non-empty.
@@ -163,6 +182,22 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 	}
 	if srv != nil {
 		defer srv.Close()
+	}
+
+	if opts.store != "" {
+		fs, err := instameasure.OpenFlowStore(opts.store, opts.storeOptions())
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		meter.AttachStore(fs)
+		if srv != nil {
+			srv.ServeFlows(fs) // also instruments the store on the registry
+			fmt.Printf("flow history at %s/flows/topk (timeline, changers, stats)\n", srv.URL())
+		} else {
+			fs.Instrument(meter.Telemetry())
+		}
+		fmt.Printf("committing epochs to store %s\n", opts.store)
 	}
 
 	var exporter *instameasure.Exporter
@@ -215,45 +250,90 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 	return nil
 }
 
-// drain feeds the source through the meter, printing interim stats and
-// exporting per-epoch deltas when configured.
+// drain feeds the source through the meter, cutting epochs on either
+// trigger — every opts.epoch packets and/or every opts.interval of trace
+// time (capture timestamps), whichever fires first; both counters then
+// restart from the cut. Each cut prints interim stats, exports to the
+// collector, and commits a snapshot to the attached store. With a store
+// attached, the final table is committed as one last epoch on EOF so a
+// run's tail is never lost.
 func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterOpts, exporter *instameasure.Exporter) (uint64, error) {
-	if opts.epoch <= 0 {
+	hasStore := meter.Store() != nil
+	if opts.epoch <= 0 && opts.interval <= 0 && !hasStore {
 		return meter.ProcessSource(src)
 	}
 	var n uint64
+	var sincePkts uint64 // packets since the last cut
+	var nextCut int64    // trace-time ns of the next interval cut (0 = unarmed)
 	epochID := int64(0)
+
+	cut := func() error {
+		epochID++
+		sincePkts = 0
+		st := meter.Stats()
+		// Interim ratios read back from the live telemetry registry —
+		// the same series a Prometheus scrape of -metrics would see.
+		tm := meter.Telemetry()
+		pkts := tm.Value("instameasure_packets_total")
+		regulation := 0.0
+		if pkts > 0 {
+			regulation = tm.Value("instameasure_wsaf_delegations_total") / pkts
+		}
+		occupancy := 0.0
+		if capacity := tm.Value("instameasure_wsaf_capacity_entries"); capacity > 0 {
+			occupancy = tm.Value("instameasure_wsaf_occupancy") / capacity
+		}
+		fmt.Printf("epoch %d: %d packets, %d flows, regulation %.3f%%, WSAF occupancy %.2f%%\n",
+			epochID, n, st.ActiveFlows, regulation*100, occupancy*100)
+		if exporter != nil {
+			if err := exporter.ExportMeter(meter, epochID); err != nil {
+				return err
+			}
+		}
+		if hasStore {
+			if err := meter.CommitEpoch(epochID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for {
 		p, err := src.Next()
 		if errors.Is(err, io.EOF) {
+			// Commit whatever accumulated since the last cut as a final
+			// epoch, so the stored history covers the whole run.
+			if hasStore && sincePkts > 0 {
+				if err := meter.CommitEpoch(epochID + 1); err != nil {
+					return n, err
+				}
+			}
 			return n, nil
 		}
 		if err != nil {
 			return n, err
 		}
+		if opts.interval > 0 && nextCut == 0 {
+			nextCut = p.TS + int64(opts.interval)
+		}
 		meter.Process(p)
 		n++
-		if n%uint64(opts.epoch) == 0 {
-			epochID++
-			st := meter.Stats()
-			// Interim ratios read back from the live telemetry registry —
-			// the same series a Prometheus scrape of -metrics would see.
-			tm := meter.Telemetry()
-			pkts := tm.Value("instameasure_packets_total")
-			regulation := 0.0
-			if pkts > 0 {
-				regulation = tm.Value("instameasure_wsaf_delegations_total") / pkts
+		sincePkts++
+		switch {
+		case opts.epoch > 0 && sincePkts >= uint64(opts.epoch):
+			if err := cut(); err != nil {
+				return n, err
 			}
-			occupancy := 0.0
-			if capacity := tm.Value("instameasure_wsaf_capacity_entries"); capacity > 0 {
-				occupancy = tm.Value("instameasure_wsaf_occupancy") / capacity
+			if opts.interval > 0 {
+				nextCut = p.TS + int64(opts.interval)
 			}
-			fmt.Printf("epoch %d: %d packets, %d flows, regulation %.3f%%, WSAF occupancy %.2f%%\n",
-				epochID, n, st.ActiveFlows, regulation*100, occupancy*100)
-			if exporter != nil {
-				if err := exporter.ExportMeter(meter, epochID); err != nil {
-					return n, err
-				}
+		case opts.interval > 0 && p.TS >= nextCut:
+			if err := cut(); err != nil {
+				return n, err
+			}
+			// Skip over idle gaps instead of cutting empty epochs.
+			for nextCut <= p.TS {
+				nextCut += int64(opts.interval)
 			}
 		}
 	}
@@ -280,9 +360,29 @@ func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.Pa
 	if srv != nil {
 		defer srv.Close()
 	}
+	if opts.store != "" {
+		fs, err := instameasure.OpenFlowStore(opts.store, opts.storeOptions())
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		cluster.AttachStore(fs)
+		if srv != nil {
+			srv.ServeFlows(fs)
+			fmt.Printf("flow history at %s/flows/topk (timeline, changers, stats)\n", srv.URL())
+		}
+	}
 	rep, err := cluster.Run(src)
 	if err != nil {
 		return err
+	}
+	if cluster.Store() != nil {
+		// The cluster drains the whole source in one go; its history is a
+		// single epoch holding the merged final table.
+		if err := cluster.CommitEpoch(1); err != nil {
+			return err
+		}
+		fmt.Printf("committed merged flow table to store %s\n", opts.store)
 	}
 	fmt.Printf("\nprocessed %d packets at %.2f Mpps with %d workers\n",
 		rep.Packets, rep.MPPS, workers)

@@ -1,0 +1,203 @@
+package instameasure
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMeterStoreCommitAndQuery drives the public history path: a meter
+// committing epochs to a store, then windowed queries over them.
+func TestMeterStoreCommitAndQuery(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	fs, err := m.WithStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	src := tr.Source()
+	epoch := int64(0)
+	var n int
+	for {
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Process(p)
+		if n++; n%60_000 == 0 {
+			epoch++
+			if err := m.CommitEpoch(epoch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Final commit at EOF: delegation updates the WSAF in bursts, so the
+	// live table keeps moving after the last mid-run commit.
+	epoch++
+	if err := m.CommitEpoch(epoch); err != nil {
+		t.Fatal(err)
+	}
+	if epoch < 4 {
+		t.Fatalf("only %d epochs committed", epoch)
+	}
+
+	st := fs.Stats()
+	if int64(st.Epochs) != epoch || st.MaxEpoch != epoch {
+		t.Fatalf("store stats %+v after %d commits", st, epoch)
+	}
+
+	// All-history top-k must agree with the live meter's.
+	live := m.TopKPackets(5)
+	stored, err := fs.TopK(EpochWindow{}, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 5 || stored[0].Key != live[0].Key || stored[0].Pkts != live[0].Pkts {
+		t.Fatalf("stored top-k diverges from live: %+v vs %+v", stored[0], live[0])
+	}
+
+	// The heaviest flow has a monotone timeline ending at its live value.
+	pts, err := fs.Timeline(live[0].Key, EpochWindow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || pts[len(pts)-1].Pkts != live[0].Pkts {
+		t.Fatalf("timeline end %v, live %v", pts, live[0].Pkts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Pkts < pts[i-1].Pkts {
+			t.Fatalf("cumulative timeline went backwards at %d: %+v", i, pts)
+		}
+	}
+
+	// EpochFlows round-trips a stored epoch with its activity counters.
+	flows, activity, ok, err := fs.EpochFlows(epoch)
+	if err != nil || !ok {
+		t.Fatalf("EpochFlows: ok=%v err=%v", ok, err)
+	}
+	if len(flows) == 0 || activity.Updates == 0 {
+		t.Fatalf("EpochFlows empty: %d flows, %+v", len(flows), activity)
+	}
+}
+
+// TestServeFlowsEndToEnd mounts the store's query API on the telemetry
+// endpoint and checks /flows answers and store metrics appear in
+// /metrics.
+func TestServeFlowsEndToEnd(t *testing.T) {
+	tr := testTrace(t)
+	m := testMeter(t)
+	fs, err := m.WithStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	for e := int64(1); e <= 2; e++ {
+		if err := m.CommitEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := m.Telemetry().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.ServeFlows(fs)
+
+	resp, err := http.Get(srv.URL() + "/flows/topk?k=3&by=bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/flows/topk: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Flows []struct {
+			Flow  string  `json:"flow"`
+			Bytes float64 `json:"bytes"`
+		} `json:"flows"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Flows) != 3 || out.Flows[0].Bytes <= 0 {
+		t.Fatalf("topk over HTTP: %+v", out)
+	}
+
+	resp, err = http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"instameasure_store_appends_total",
+		"instameasure_store_query_nanos",
+		"instameasure_store_segments",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestCollectorStoreSink checks the delegation path: batches arriving at
+// a collector land in its attached store under the batch epoch.
+func TestCollectorStoreSink(t *testing.T) {
+	fs, err := OpenFlowStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	coll, err := NewCollector("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	coll.WithStore(fs)
+
+	tr := testTrace(t)
+	m := testMeter(t)
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := DialCollector(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.ExportMeter(m, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fs.Stats().Appends == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never reached the store sink")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	top, err := fs.TopK(EpochWindow{From: 7, To: 7}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := m.TopKPackets(3)
+	if len(top) != 3 || top[0].Key != live[0].Key {
+		t.Fatalf("sinked store top-k diverges: %+v vs %+v", top, live)
+	}
+}

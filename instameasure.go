@@ -172,6 +172,7 @@ type Meter struct {
 	eng      *core.Engine
 	detector *detect.HeavyHitterDetector
 	onHH     func(HeavyHitterEvent)
+	store    *FlowStore
 }
 
 // New builds a Meter from cfg.
@@ -446,7 +447,8 @@ type ClusterReport struct {
 // shards packets to workers by source-IP popcount; each worker runs an
 // independent Meter engine over exclusive memory.
 type Cluster struct {
-	sys *pipeline.System
+	sys   *pipeline.System
+	store *FlowStore
 }
 
 // NewCluster builds a Cluster from cfg.

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instameasure/internal/packet"
@@ -56,22 +58,48 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Exporter reconnect backoff defaults.
+const (
+	defaultBackoffBase = 50 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+// ErrBackoff reports that a send was skipped because the exporter is
+// disconnected and its reconnect backoff has not elapsed yet. The batch
+// was not sent; the caller may retry later (cumulative snapshots make
+// skipped epochs harmless — the next one carries the same totals).
+var ErrBackoff = errors.New("export: waiting out reconnect backoff")
+
 // Exporter ships flow batches to a remote collector over TCP — the
 // delegation-based decoding path whose round-trip the paper measures in
 // tens of milliseconds.
+//
+// A broken connection does not kill the exporter: the next Export redials,
+// under jittered exponential backoff so a fleet of meters does not hammer
+// a restarting collector in lockstep.
 type Exporter struct {
-	conn net.Conn
-	cw   countingWriter
-	tm   *Telemetry
+	addr string
+
+	mu       sync.Mutex
+	conn     net.Conn // nil while disconnected
+	cw       countingWriter
+	attempts int       // consecutive failed dials/sends
+	retryAt  time.Time // no redial before this
+	base     time.Duration
+	max      time.Duration
+
+	tm *Telemetry
 }
 
-// Dial connects an exporter to a collector address.
+// Dial connects an exporter to a collector address. The initial dial must
+// succeed (a misconfigured address should fail fast); connections lost
+// afterwards are re-established by Export under backoff.
 func Dial(addr string) (*Exporter, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("export: dial %s: %w", addr, err)
 	}
-	e := &Exporter{conn: conn}
+	e := &Exporter{addr: addr, conn: conn, base: defaultBackoffBase, max: defaultBackoffMax}
 	e.cw.w = conn
 	return e, nil
 }
@@ -80,16 +108,80 @@ func Dial(addr string) (*Exporter, error) {
 // nil to detach.
 func (e *Exporter) SetTelemetry(tm *Telemetry) { e.tm = tm }
 
-// Export sends one batch.
+// SetBackoff overrides the reconnect backoff bounds: the first retry
+// waits ~base (jittered), doubling per consecutive failure up to max.
+func (e *Exporter) SetBackoff(base, max time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if base > 0 {
+		e.base = base
+	}
+	if max >= e.base {
+		e.max = max
+	}
+}
+
+// backoffDelay is the jittered wait after the attempt-th consecutive
+// failure: base·2^(attempt-1) capped at max, scaled by ±25%.
+func (e *Exporter) backoffDelay() time.Duration {
+	d := e.base << (e.attempts - 1)
+	if d > e.max || d <= 0 { // <= 0: shift overflow
+		d = e.max
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+}
+
+// noteFailureLocked records a failed dial or send and arms the next
+// retry window.
+func (e *Exporter) noteFailureLocked() {
+	e.attempts++
+	e.retryAt = time.Now().Add(e.backoffDelay())
+}
+
+// ensureConnLocked returns the live connection, redialing if the previous
+// one broke and the backoff window has passed.
+func (e *Exporter) ensureConnLocked() error {
+	if e.conn != nil {
+		return nil
+	}
+	if time.Now().Before(e.retryAt) {
+		return fmt.Errorf("%w (%s)", ErrBackoff, time.Until(e.retryAt).Round(time.Millisecond))
+	}
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		e.noteFailureLocked()
+		return fmt.Errorf("export: redial %s: %w", e.addr, err)
+	}
+	e.conn = conn
+	e.cw.w = conn
+	e.attempts = 0
+	return nil
+}
+
+// Export sends one batch, redialing first if the connection previously
+// broke. A send error tears the connection down; the following Export
+// attempts the reconnect (or returns ErrBackoff while the wait is on).
 func (e *Exporter) Export(b Batch) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureConnLocked(); err != nil {
+		if e.tm != nil {
+			e.tm.Errors.Inc()
+		}
+		return err
+	}
 	before := e.cw.n
 	if err := WriteBatch(&e.cw, b); err != nil {
+		e.conn.Close()
+		e.conn = nil
+		e.noteFailureLocked()
 		if e.tm != nil {
 			e.tm.Errors.Inc()
 			e.tm.Bytes.Add(e.cw.n - before)
 		}
 		return fmt.Errorf("export: %w", err)
 	}
+	e.attempts = 0
 	if e.tm != nil {
 		e.tm.Batches.Inc()
 		e.tm.Records.Add(uint64(len(b.Records)))
@@ -98,9 +190,17 @@ func (e *Exporter) Export(b Batch) error {
 	return nil
 }
 
-// Close shuts the connection down.
+// Close shuts the connection down. A closed exporter does not reconnect.
 func (e *Exporter) Close() error {
-	return e.conn.Close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retryAt = time.Unix(1<<62, 0) // never redial
+	if e.conn == nil {
+		return nil
+	}
+	err := e.conn.Close()
+	e.conn = nil
+	return err
 }
 
 // Collector accepts exporter connections and merges their batches into a
@@ -109,15 +209,27 @@ func (e *Exporter) Close() error {
 type Collector struct {
 	ln net.Listener
 
+	// frameTimeout bounds how long a connection may sit inside one frame:
+	// the read deadline is re-armed before every ReadBatch, so an exporter
+	// that opens a connection and trickles bytes (or goes silent mid-frame)
+	// is dropped instead of pinning a goroutine forever. Nanoseconds;
+	// 0 disables the deadline.
+	frameTimeout atomic.Int64
+
 	mu      sync.Mutex
 	flows   map[packet.FlowKey]Record
 	batches uint64
 	records uint64
 	onBatch func(Batch)
+	sink    func(Batch)
 
 	closing chan struct{}
 	wg      sync.WaitGroup
 }
+
+// DefaultFrameTimeout is how long a collector connection may take to
+// deliver one complete frame before being dropped as a slow-loris.
+const DefaultFrameTimeout = 30 * time.Second
 
 // NewCollector starts a collector listening on addr (use "127.0.0.1:0"
 // for an ephemeral test port). onBatch, if non-nil, fires after each batch
@@ -133,6 +245,7 @@ func NewCollector(addr string, onBatch func(Batch)) (*Collector, error) {
 		onBatch: onBatch,
 		closing: make(chan struct{}),
 	}
+	c.frameTimeout.Store(int64(DefaultFrameTimeout))
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -140,6 +253,21 @@ func NewCollector(addr string, onBatch func(Batch)) (*Collector, error) {
 
 // Addr returns the listener's address.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// SetFrameTimeout overrides the per-frame read deadline on accepted
+// connections (0 disables it). Applies to frames read after the call.
+func (c *Collector) SetFrameTimeout(d time.Duration) {
+	c.frameTimeout.Store(int64(d))
+}
+
+// SetSink attaches fn, called with every merged batch — the epoch store
+// hangs off this to persist what remote meters report. Unlike onBatch it
+// can be attached after construction; pass nil to detach.
+func (c *Collector) SetSink(fn func(Batch)) {
+	c.mu.Lock()
+	c.sink = fn
+	c.mu.Unlock()
+}
 
 func (c *Collector) acceptLoop() {
 	defer c.wg.Done()
@@ -175,11 +303,22 @@ func (c *Collector) serve(conn net.Conn) {
 	}()
 
 	for {
+		// Arm the per-frame deadline, then re-check closing: if Close's
+		// immediate deadline fired before the re-arm, the check catches
+		// it; if Close fires after, its SetDeadline overrides this one.
+		if d := c.frameTimeout.Load(); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(time.Duration(d)))
+		}
+		select {
+		case <-c.closing:
+			return
+		default:
+		}
 		b, err := ReadBatch(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
-				// Protocol error: drop the connection; the exporter
-				// re-dials.
+				// Protocol error or frame deadline: drop the connection;
+				// the exporter re-dials.
 				return
 			}
 			return
@@ -208,11 +347,14 @@ func (c *Collector) merge(b Batch) {
 	}
 	c.batches++
 	c.records += uint64(len(b.Records))
-	onBatch := c.onBatch
+	onBatch, sink := c.onBatch, c.sink
 	c.mu.Unlock()
 
 	if onBatch != nil {
 		onBatch(b)
+	}
+	if sink != nil {
+		sink(b)
 	}
 }
 

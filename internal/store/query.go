@@ -1,0 +1,448 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+)
+
+// Window is an inclusive epoch range. A zero From means "from the
+// beginning"; a zero To means "up to the latest epoch". Epochs are the
+// caller-assigned identifiers passed to Append — positive, typically
+// sequential (the CLIs count 1, 2, 3, ...).
+type Window struct {
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+}
+
+// FlowDelta is one flow's traffic within a queried window: the growth of
+// its cumulative counters between the window's boundary snapshots.
+type FlowDelta struct {
+	Key   packet.FlowKey
+	Pkts  float64
+	Bytes float64
+}
+
+// TimelinePoint is one epoch's observation of a flow.
+type TimelinePoint struct {
+	Epoch int64 `json:"epoch"`
+	// TS is the flow's LastUpdate trace timestamp at that epoch.
+	TS    int64   `json:"ts"`
+	Pkts  float64 `json:"pkts"`
+	Bytes float64 `json:"bytes"`
+}
+
+// FlowChange is one flow's rate change between two windows: the newer
+// window's delta minus the older window's, per dimension.
+type FlowChange struct {
+	Key        packet.FlowKey
+	Pkts       float64 // newer-window delta minus older-window delta
+	Bytes      float64
+	NewerPkts  float64
+	OlderPkts  float64
+	NewerBytes float64
+	OlderBytes float64
+}
+
+// StoreStats summarizes the store's on-disk state.
+type StoreStats struct {
+	Segments    int    `json:"segments"`
+	Records     uint64 `json:"records"` // indexed epoch records (rollups count as one)
+	Flows       uint64 `json:"flows"`   // flow rows across all records
+	Bytes       int64  `json:"bytes"`
+	Epochs      int    `json:"epochs"` // distinct outer epochs
+	MinEpoch    int64  `json:"min_epoch"`
+	MaxEpoch    int64  `json:"max_epoch"`
+	Appends     uint64 `json:"appends"`
+	Truncations uint64 `json:"truncations"`
+	Compactions uint64 `json:"compactions"`
+	Retired     uint64 `json:"retired"`
+}
+
+// Stats returns the store's current summary.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Segments:    len(s.segs),
+		Appends:     s.stats.appends,
+		Truncations: s.stats.truncations,
+		Compactions: s.stats.compactions,
+		Retired:     s.stats.retired,
+	}
+	for _, seg := range s.segs {
+		st.Bytes += seg.size
+	}
+	seen := make(map[int64]struct{})
+	for i, r := range s.refs {
+		st.Records++
+		st.Flows += uint64(r.count)
+		seen[r.epoch] = struct{}{}
+		if i == 0 || r.epoch < st.MinEpoch {
+			st.MinEpoch = r.epoch
+		}
+		if r.epoch > st.MaxEpoch {
+			st.MaxEpoch = r.epoch
+		}
+	}
+	st.Epochs = len(seen)
+	return st
+}
+
+// Epochs returns the distinct outer epochs present, ascending.
+func (s *Store) Epochs() []int64 {
+	s.mu.Lock()
+	seen := make(map[int64]struct{}, len(s.refs))
+	for _, r := range s.refs {
+		seen[r.epoch] = struct{}{}
+	}
+	s.mu.Unlock()
+	out := make([]int64, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshotRefs copies the current index.
+func (s *Store) snapshotRefs() ([]recordRef, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return nil, ErrClosed
+	default:
+	}
+	out := make([]recordRef, len(s.refs))
+	copy(out, s.refs)
+	return out, nil
+}
+
+// segReader opens segment files lazily and at most once per query.
+type segReader struct {
+	dir   string
+	files map[int]*os.File
+}
+
+func newSegReader(dir string) *segReader {
+	return &segReader{dir: dir, files: make(map[int]*os.File)}
+}
+
+func (sr *segReader) decode(ref recordRef) ([]export.Record, export.TableStats, error) {
+	f, ok := sr.files[ref.seg]
+	if !ok {
+		var err error
+		f, err = os.Open(filepath.Join(sr.dir, segName(ref.seg)))
+		if err != nil {
+			return nil, export.TableStats{}, err
+		}
+		sr.files[ref.seg] = f
+	}
+	return decodeFrameFrom(f, ref)
+}
+
+func (sr *segReader) close() {
+	for _, f := range sr.files {
+		f.Close()
+	}
+}
+
+// query runs fn against a consistent index snapshot, retrying once if a
+// concurrent compaction or retention pass invalidated the snapshot's refs
+// mid-read (the segment files a query touches can be renamed over or
+// deleted under it).
+func (s *Store) query(fn func(refs []recordRef, sr *segReader) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		refs, err := s.snapshotRefs()
+		if err != nil {
+			return err
+		}
+		sr := newSegReader(s.dir)
+		err = fn(refs, sr)
+		sr.close()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// EpochRecords returns the exact flow records and stats trailer of the
+// most recent append tagged with precisely this epoch — the archival
+// read-back path (the differential oracle asserts it is bit-identical to
+// what was appended). ok is false when no such epoch exists. Rollups do
+// not answer for their compacted range here; only a record whose outer
+// epoch matches exactly is returned.
+func (s *Store) EpochRecords(epoch int64) (records []export.Record, stats export.TableStats, ok bool, err error) {
+	err = s.query(func(refs []recordRef, sr *segReader) error {
+		var match *recordRef
+		for i := range refs {
+			if refs[i].epoch == epoch {
+				match = &refs[i]
+			}
+		}
+		if match == nil {
+			return nil
+		}
+		recs, st, derr := sr.decode(*match)
+		if derr != nil {
+			return derr
+		}
+		records, stats, ok = recs, st, true
+		return nil
+	})
+	return records, stats, ok, err
+}
+
+// tableAt resolves the merged per-flow cumulative table as of epoch e:
+// all records carrying the latest outer epoch ≤ e are unioned in append
+// order (later appends win per flow). found is false when no record is
+// that old. e ≤ 0 means "latest".
+func tableAt(refs []recordRef, sr *segReader, e int64) (map[packet.FlowKey]export.Record, int64, bool, error) {
+	best := int64(0)
+	found := false
+	for _, r := range refs {
+		if e > 0 && r.epoch > e {
+			continue
+		}
+		if !found || r.epoch > best {
+			best, found = r.epoch, true
+		}
+	}
+	if !found {
+		return nil, 0, false, nil
+	}
+	table := make(map[packet.FlowKey]export.Record)
+	for _, r := range refs {
+		if r.epoch != best {
+			continue
+		}
+		recs, _, err := sr.decode(r)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		for _, rec := range recs {
+			table[rec.Key] = rec
+		}
+	}
+	return table, best, true, nil
+}
+
+// windowDelta computes each flow's counter growth across w: its value in
+// the table at the window's end minus its value in the table just before
+// the window's start (zero if it was absent). A negative delta means the
+// flow's WSAF entry restarted (eviction or TTL) inside the window; the
+// end-of-window value is used as a floor in that case.
+func windowDelta(refs []recordRef, sr *segReader, w Window) (map[packet.FlowKey]FlowDelta, error) {
+	end, _, found, err := tableAt(refs, sr, w.To)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return map[packet.FlowKey]FlowDelta{}, nil
+	}
+	var base map[packet.FlowKey]export.Record
+	if w.From > 0 {
+		base, _, _, err = tableAt(refs, sr, w.From-1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[packet.FlowKey]FlowDelta, len(end))
+	for key, rec := range end {
+		d := FlowDelta{Key: key, Pkts: rec.Pkts, Bytes: rec.Bytes}
+		if b, ok := base[key]; ok {
+			d.Pkts -= b.Pkts
+			d.Bytes -= b.Bytes
+			if d.Pkts < 0 || d.Bytes < 0 {
+				d.Pkts, d.Bytes = rec.Pkts, rec.Bytes
+			}
+		}
+		if d.Pkts != 0 || d.Bytes != 0 {
+			out[key] = d
+		}
+	}
+	return out, nil
+}
+
+// TopK returns the k largest flows by packet (or byte) growth within the
+// window, largest first. A zero window ranks absolute totals at the
+// latest epoch.
+func (s *Store) TopK(w Window, k int, byBytes bool) ([]FlowDelta, error) {
+	start := time.Now()
+	var out []FlowDelta
+	err := s.query(func(refs []recordRef, sr *segReader) error {
+		deltas, err := windowDelta(refs, sr, w)
+		if err != nil {
+			return err
+		}
+		out = rankDeltas(deltas, k, byBytes)
+		return nil
+	})
+	s.observeQuery(queryTopK, start)
+	return out, err
+}
+
+// rankDeltas sorts deltas by the chosen metric (key order breaking ties,
+// so results are deterministic) and keeps the top k.
+func rankDeltas(deltas map[packet.FlowKey]FlowDelta, k int, byBytes bool) []FlowDelta {
+	out := make([]FlowDelta, 0, len(deltas))
+	for _, d := range deltas {
+		out = append(out, d)
+	}
+	metric := func(d *FlowDelta) float64 { return d.Pkts }
+	if byBytes {
+		metric = func(d *FlowDelta) float64 { return d.Bytes }
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := metric(&out[i]), metric(&out[j])
+		if mi != mj {
+			return mi > mj
+		}
+		return keyLess(&out[i].Key, &out[j].Key)
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Timeline returns the flow's per-epoch series within the window,
+// ascending by epoch. Epochs where the flow is absent yield no point;
+// over compacted history a whole rollup window collapses to one point at
+// its high epoch.
+func (s *Store) Timeline(key packet.FlowKey, w Window) ([]TimelinePoint, error) {
+	pts, _, err := s.timeline(w, func(k *packet.FlowKey) bool { return *k == key })
+	return pts, err
+}
+
+// TimelineByHash is Timeline keyed by the 64-bit flow ID
+// (packet.FlowKey.Hash64 with seed 0), for callers that only hold the
+// hash — e.g. the HTTP API's ?flow= parameter. The matched key is
+// returned alongside the series.
+func (s *Store) TimelineByHash(h uint64) ([]TimelinePoint, packet.FlowKey, error) {
+	return s.timeline(Window{}, func(k *packet.FlowKey) bool { return k.Hash64(0) == h })
+}
+
+func (s *Store) timeline(w Window, match func(*packet.FlowKey) bool) ([]TimelinePoint, packet.FlowKey, error) {
+	start := time.Now()
+	byEpoch := make(map[int64]TimelinePoint)
+	var matched packet.FlowKey
+	err := s.query(func(refs []recordRef, sr *segReader) error {
+		clear(byEpoch)
+		for _, r := range refs {
+			if w.From > 0 && r.epoch < w.From {
+				continue
+			}
+			if w.To > 0 && r.epoch > w.To {
+				continue
+			}
+			recs, _, err := sr.decode(r)
+			if err != nil {
+				return err
+			}
+			for i := range recs {
+				if match(&recs[i].Key) {
+					matched = recs[i].Key
+					byEpoch[r.epoch] = TimelinePoint{
+						Epoch: r.epoch,
+						TS:    recs[i].LastUpdate,
+						Pkts:  recs[i].Pkts,
+						Bytes: recs[i].Bytes,
+					}
+				}
+			}
+		}
+		return nil
+	})
+	s.observeQuery(queryTimeline, start)
+	if err != nil {
+		return nil, packet.FlowKey{}, err
+	}
+	out := make([]TimelinePoint, 0, len(byEpoch))
+	for _, p := range byEpoch {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out, matched, nil
+}
+
+// HeavyChangers returns the k flows whose windowed traffic changed the
+// most between the older and newer windows — the cross-epoch analogue of
+// heavy-hitter detection. Flows are ranked by the absolute change in the
+// chosen dimension, largest first.
+func (s *Store) HeavyChangers(older, newer Window, k int, byBytes bool) ([]FlowChange, error) {
+	start := time.Now()
+	var out []FlowChange
+	err := s.query(func(refs []recordRef, sr *segReader) error {
+		dOld, err := windowDelta(refs, sr, older)
+		if err != nil {
+			return err
+		}
+		dNew, err := windowDelta(refs, sr, newer)
+		if err != nil {
+			return err
+		}
+		changes := make(map[packet.FlowKey]FlowChange, len(dNew)+len(dOld))
+		for key, d := range dNew {
+			changes[key] = FlowChange{Key: key, NewerPkts: d.Pkts, NewerBytes: d.Bytes}
+		}
+		for key, d := range dOld {
+			c := changes[key]
+			c.Key = key
+			c.OlderPkts, c.OlderBytes = d.Pkts, d.Bytes
+			changes[key] = c
+		}
+		out = out[:0]
+		for key, c := range changes {
+			c.Pkts = c.NewerPkts - c.OlderPkts
+			c.Bytes = c.NewerBytes - c.OlderBytes
+			changes[key] = c
+			out = append(out, c)
+		}
+		metric := func(c *FlowChange) float64 { return c.Pkts }
+		if byBytes {
+			metric = func(c *FlowChange) float64 { return c.Bytes }
+		}
+		sort.Slice(out, func(i, j int) bool {
+			mi, mj := abs(metric(&out[i])), abs(metric(&out[j]))
+			if mi != mj {
+				return mi > mj
+			}
+			return keyLess(&out[i].Key, &out[j].Key)
+		})
+		if k > 0 && k < len(out) {
+			out = out[:k]
+		}
+		return nil
+	})
+	s.observeQuery(queryChangers, start)
+	return out, err
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DefaultChangerWindows derives the conventional heavy-changer windows
+// from the epochs on hand: the newest epoch versus the one before it.
+// ok is false with fewer than two epochs.
+func (s *Store) DefaultChangerWindows() (older, newer Window, ok bool) {
+	epochs := s.Epochs()
+	if len(epochs) < 2 {
+		return Window{}, Window{}, false
+	}
+	n := epochs[len(epochs)-1]
+	o := epochs[len(epochs)-2]
+	return Window{From: o, To: o}, Window{From: n, To: n}, true
+}

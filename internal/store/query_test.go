@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+)
+
+// growStore writes a store where flow i gains i pkts and 100·i bytes per
+// epoch (cumulative values i·e / 100·i·e), which makes windowed deltas
+// easy to predict.
+func growStore(t *testing.T, epochs, flows int) *Store {
+	t.Helper()
+	s := openTestStore(t, t.TempDir(), Options{})
+	for e := int64(1); e <= int64(epochs); e++ {
+		recs := make([]export.Record, flows)
+		for i := range recs {
+			id := i + 1
+			recs[i] = export.Record{
+				Key:        packet.V4Key(0x0a000000+uint32(id), 0xc0a80001, uint16(1000+id), 443, packet.ProtoTCP),
+				Pkts:       float64(id) * float64(e),
+				Bytes:      float64(100*id) * float64(e),
+				FirstSeen:  1,
+				LastUpdate: e * 1_000_000,
+			}
+		}
+		mustAppend(t, s, e, recs, epochStats(e))
+	}
+	return s
+}
+
+func TestTopKAbsoluteAndWindowed(t *testing.T) {
+	s := growStore(t, 10, 20)
+
+	// Absolute totals: biggest flow (id 20) at epoch 10 has 200 pkts.
+	top, err := s.TopK(Window{}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 || top[0].Pkts != 200 || top[1].Pkts != 190 {
+		t.Fatalf("absolute topk wrong: %+v", top)
+	}
+
+	// Window [4,7]: delta = v(7) - v(3) = id·4 packets.
+	top, err = s.TopK(Window{From: 4, To: 7}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Pkts != 20*4 || top[1].Pkts != 19*4 {
+		t.Fatalf("windowed topk wrong: %+v", top)
+	}
+
+	// By bytes the ranking holds with the byte deltas.
+	top, err = s.TopK(Window{From: 4, To: 7}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Bytes != 100*20*4 {
+		t.Fatalf("byte topk wrong: %+v", top)
+	}
+
+	// A window before any epoch exists is empty, not an error.
+	top, err = s.TopK(Window{From: 900, To: 950}, 5, false)
+	if err != nil || len(top) != 0 {
+		t.Fatalf("empty window: %+v err=%v", top, err)
+	}
+}
+
+// TestTopKCounterRestart pins the eviction-restart clamp: when a flow's
+// cumulative counter shrinks inside the window (WSAF eviction and
+// re-insert), the end-of-window value stands in for the delta.
+func TestTopKCounterRestart(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), Options{})
+	key := packet.V4Key(1, 2, 3, 4, packet.ProtoUDP)
+	mustAppend(t, s, 1, []export.Record{{Key: key, Pkts: 500, Bytes: 5000}}, export.TableStats{})
+	mustAppend(t, s, 2, []export.Record{{Key: key, Pkts: 30, Bytes: 300}}, export.TableStats{})
+	top, err := s.TopK(Window{From: 2, To: 2}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Pkts != 30 {
+		t.Fatalf("restart clamp: %+v", top)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s := growStore(t, 8, 5)
+	key := packet.V4Key(0x0a000000+3, 0xc0a80001, 1003, 443, packet.ProtoTCP)
+	pts, err := s.Timeline(key, Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("timeline has %d points, want 8", len(pts))
+	}
+	for i, p := range pts {
+		e := int64(i + 1)
+		if p.Epoch != e || p.Pkts != float64(3*int(e)) || p.TS != e*1_000_000 {
+			t.Fatalf("point %d wrong: %+v", i, p)
+		}
+	}
+
+	windowed, err := s.Timeline(key, Window{From: 3, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windowed) != 3 || windowed[0].Epoch != 3 || windowed[2].Epoch != 5 {
+		t.Fatalf("windowed timeline wrong: %+v", windowed)
+	}
+
+	// The hash lookup finds the same flow from just its 64-bit id.
+	byHash, matched, err := s.TimelineByHash(key.Hash64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != key || len(byHash) != 8 {
+		t.Fatalf("hash timeline: matched=%v points=%d", matched, len(byHash))
+	}
+
+	// An unknown flow yields an empty series, not an error.
+	none, err := s.Timeline(packet.V4Key(9, 9, 9, 9, packet.ProtoTCP), Window{})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("unknown flow: %+v err=%v", none, err)
+	}
+}
+
+func TestHeavyChangers(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), Options{})
+	steady := packet.V4Key(1, 1, 1, 1, packet.ProtoTCP)
+	surger := packet.V4Key(2, 2, 2, 2, packet.ProtoTCP)
+	fader := packet.V4Key(3, 3, 3, 3, packet.ProtoTCP)
+	// Per-epoch gains: steady +10 every epoch; surger +1 then +100 in
+	// epochs 3-4; fader +50 then +1.
+	cum := func(vals ...float64) []float64 { // prefix sums
+		out := make([]float64, len(vals))
+		sum := 0.0
+		for i, v := range vals {
+			sum += v
+			out[i] = sum
+		}
+		return out
+	}
+	st := cum(10, 10, 10, 10)
+	su := cum(1, 1, 100, 100)
+	fa := cum(50, 50, 1, 1)
+	for e := int64(1); e <= 4; e++ {
+		recs := []export.Record{
+			{Key: steady, Pkts: st[e-1], Bytes: st[e-1] * 10},
+			{Key: surger, Pkts: su[e-1], Bytes: su[e-1] * 10},
+			{Key: fader, Pkts: fa[e-1], Bytes: fa[e-1] * 10},
+		}
+		mustAppend(t, s, e, recs, export.TableStats{})
+	}
+	changes, err := s.HeavyChangers(Window{From: 1, To: 2}, Window{From: 3, To: 4}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 3 {
+		t.Fatalf("%d changers, want 3", len(changes))
+	}
+	// surger: newer 200 - older 2 = +198; fader: 2 - 100 = -98; steady: 0.
+	if changes[0].Key != surger || changes[0].Pkts != 198 {
+		t.Fatalf("top changer wrong: %+v", changes[0])
+	}
+	if changes[1].Key != fader || changes[1].Pkts != -98 {
+		t.Fatalf("second changer wrong: %+v", changes[1])
+	}
+	if changes[2].Key != steady || changes[2].Pkts != 0 {
+		t.Fatalf("third changer wrong: %+v", changes[2])
+	}
+
+	older, newer, ok := s.DefaultChangerWindows()
+	if !ok || older != (Window{From: 3, To: 3}) || newer != (Window{From: 4, To: 4}) {
+		t.Fatalf("default windows: %+v %+v ok=%v", older, newer, ok)
+	}
+}
+
+// TestQueryHTTP drives the JSON endpoints end to end.
+func TestQueryHTTP(t *testing.T) {
+	s := growStore(t, 6, 10)
+	api := NewQueryAPI(s)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	get := func(path string, out any) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rr := httptest.NewRecorder()
+		api.ServeHTTP(rr, req)
+		if out != nil && rr.Code == 200 {
+			if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+				t.Fatalf("%s: bad JSON: %v\n%s", path, err, rr.Body.String())
+			}
+		}
+		return rr
+	}
+
+	var topk struct {
+		By    string `json:"by"`
+		Flows []struct {
+			Flow  string  `json:"flow"`
+			ID    string  `json:"id"`
+			Pkts  float64 `json:"pkts"`
+			Bytes float64 `json:"bytes"`
+		} `json:"flows"`
+	}
+	if rr := get("/flows/topk?k=3&from=2&to=4", &topk); rr.Code != 200 {
+		t.Fatalf("topk: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(topk.Flows) != 3 || topk.Flows[0].Pkts != 10*3 {
+		t.Fatalf("topk response: %+v", topk)
+	}
+
+	// Timeline via the flow id returned by topk.
+	var tl struct {
+		Flow   string `json:"flow"`
+		Points []struct {
+			Epoch int64   `json:"Epoch"`
+			Pkts  float64 `json:"Pkts"`
+		} `json:"points"`
+	}
+	if rr := get("/flows/timeline?flow="+topk.Flows[0].ID, &tl); rr.Code != 200 {
+		t.Fatalf("timeline: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(tl.Points) != 6 {
+		t.Fatalf("timeline points: %+v", tl)
+	}
+
+	// Timeline via the 5-tuple.
+	if rr := get("/flows/timeline?src=10.0.0.7&dst=192.168.0.1&sport=1007&dport=443&proto=tcp", &tl); rr.Code != 200 {
+		t.Fatalf("tuple timeline: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(tl.Points) != 6 || tl.Points[5].Pkts != 7*6 {
+		t.Fatalf("tuple timeline points: %+v", tl)
+	}
+
+	var ch struct {
+		Newer Window `json:"newer"`
+		Older Window `json:"older"`
+		Flows []struct {
+			Pkts float64 `json:"pkts"`
+		} `json:"flows"`
+	}
+	if rr := get("/flows/changers?k=2", &ch); rr.Code != 200 {
+		t.Fatalf("changers: %d %s", rr.Code, rr.Body.String())
+	}
+	if ch.Newer != (Window{From: 6, To: 6}) || len(ch.Flows) != 2 {
+		t.Fatalf("changers response: %+v", ch)
+	}
+	// Every flow gains id pkts per epoch regardless of the epoch, so the
+	// change between consecutive single-epoch windows is zero.
+	if ch.Flows[0].Pkts != 0 {
+		t.Fatalf("changers delta: %+v", ch.Flows[0])
+	}
+
+	var stats StoreStats
+	if rr := get("/flows/stats", &stats); rr.Code != 200 {
+		t.Fatal("stats failed")
+	}
+	if stats.Epochs != 6 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	// Parameter validation.
+	for _, bad := range []string{
+		"/flows/topk?k=0",
+		"/flows/topk?by=weight",
+		"/flows/topk?from=5&to=2",
+		"/flows/timeline",
+		"/flows/timeline?flow=zz",
+		"/flows/timeline?src=10.0.0.1&dst=bad&sport=1&dport=2&proto=tcp",
+		fmt.Sprintf("/flows/timeline?src=10.0.0.1&dst=10.0.0.2&sport=1&dport=2&proto=%d", 999),
+	} {
+		if rr := get(bad, nil); rr.Code != 400 {
+			t.Errorf("%s: code %d, want 400", bad, rr.Code)
+		}
+	}
+	if rr := get("/flows/nope", nil); rr.Code != 404 {
+		t.Errorf("unknown path: %d, want 404", rr.Code)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instameasure/internal/core"
+	"instameasure/internal/export"
+	"instameasure/internal/trace"
+)
+
+// TestStoreSmoke is the write → crash-recover → query drill that
+// `make store-smoke` runs: a real engine meters a Zipf trace, every epoch's
+// snapshot is appended to a store, the process "dies" mid-append (the tail
+// segment loses its last half-written record), and the reopened store must
+// answer top-k, timeline, and heavy-changer queries — over HTTP too — from
+// what survived.
+func TestStoreSmoke(t *testing.T) {
+	tr, err := trace.GenerateZipf(trace.ZipfConfig{Flows: 2_000, TotalPackets: 60_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.Config{WSAFEntries: 1 << 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{})
+	const epochPkts = 10_000
+	epoch := int64(0)
+	commit := func() {
+		epoch++
+		snap := eng.Snapshot()
+		recs := make([]export.Record, len(snap))
+		for i, e := range snap {
+			recs[i] = export.FromEntry(e)
+		}
+		ts := eng.Table().Stats()
+		mustAppend(t, s, epoch, recs, export.TableStats{
+			Updates: ts.Updates, Inserts: ts.Inserts,
+			Expirations: ts.Reclaims, Evictions: ts.Evictions, Drops: ts.Drops,
+		})
+	}
+	for i, p := range tr.Packets {
+		eng.Process(p)
+		if (i+1)%epochPkts == 0 {
+			commit()
+		}
+	}
+	refs, err := s.snapshotRefs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if epoch < 4 {
+		t.Fatalf("workload only produced %d epochs", epoch)
+	}
+
+	// Crash: the final append only half reached the disk.
+	last := refs[len(refs)-1]
+	segPath := filepath.Join(dir, segName(last.seg))
+	if err := os.Truncate(segPath, last.off+last.size/2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, Options{})
+	st := s2.Stats()
+	if st.Truncations != 1 || st.MaxEpoch != epoch-1 {
+		t.Fatalf("recovery stats: %+v (want 1 truncation, max epoch %d)", st, epoch-1)
+	}
+
+	// Top-k by bytes over everything that survived: k flows, sorted, all
+	// with positive traffic.
+	top, err := s2.TopK(Window{}, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("topk returned %d flows", len(top))
+	}
+	for i, f := range top {
+		if f.Bytes <= 0 || (i > 0 && f.Bytes > top[i-1].Bytes) {
+			t.Fatalf("topk order broken at %d: %+v", i, top)
+		}
+	}
+
+	// The heaviest flow has a timeline ending at the surviving max epoch,
+	// and its last point agrees with the top-k value.
+	pts, err := s2.Timeline(top[0].Key, Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || pts[len(pts)-1].Epoch != epoch-1 || pts[len(pts)-1].Bytes != top[0].Bytes {
+		t.Fatalf("timeline disagrees with topk: %+v vs %+v", pts, top[0])
+	}
+
+	// Heavy changers across the default (last two) windows run clean.
+	if _, err := s2.HeavyChangers(Window{From: 1, To: 1}, Window{From: epoch - 1, To: epoch - 1}, 5, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the same answers over HTTP.
+	api := NewQueryAPI(s2)
+	rr := httptest.NewRecorder()
+	api.ServeHTTP(rr, httptest.NewRequest("GET", "/flows/topk?k=10&by=bytes", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/flows/topk: %d %s", rr.Code, rr.Body.String())
+	}
+	var out struct {
+		Flows []struct {
+			Bytes float64 `json:"bytes"`
+		} `json:"flows"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flows) != 10 || out.Flows[0].Bytes != top[0].Bytes {
+		t.Fatalf("HTTP topk disagrees: %+v vs %+v", out.Flows, top[0])
+	}
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+)
+
+// rec builds a deterministic flow record from a small id.
+func rec(id int) export.Record {
+	return export.Record{
+		Key:        packet.V4Key(0x0a000000+uint32(id), 0xc0a80001, uint16(1000+id), 443, packet.ProtoTCP),
+		Pkts:       float64(10 * id),
+		Bytes:      float64(1500 * id),
+		FirstSeen:  int64(id),
+		LastUpdate: int64(100 + id),
+	}
+}
+
+// epochRecords builds an epoch's table: flows 1..n with counters scaled by
+// the epoch (cumulative counters grow epoch over epoch, like the WSAF's).
+func epochRecords(epoch int64, n int) []export.Record {
+	out := make([]export.Record, n)
+	for i := range out {
+		out[i] = rec(i + 1)
+		out[i].Pkts *= float64(epoch)
+		out[i].Bytes *= float64(epoch)
+		out[i].LastUpdate = epoch * 1_000_000
+	}
+	return out
+}
+
+func epochStats(epoch int64) export.TableStats {
+	return export.TableStats{Updates: uint64(epoch) * 100, Inserts: uint64(epoch)}
+}
+
+func openTestStore(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustAppend(t *testing.T, s *Store, epoch int64, recs []export.Record, stats export.TableStats) {
+	t.Helper()
+	if err := s.Append(epoch, recs, stats); err != nil {
+		t.Fatalf("append epoch %d: %v", epoch, err)
+	}
+}
+
+func sameRecords(a, b []export.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key ||
+			math.Float64bits(a[i].Pkts) != math.Float64bits(b[i].Pkts) ||
+			math.Float64bits(a[i].Bytes) != math.Float64bits(b[i].Bytes) ||
+			a[i].FirstSeen != b[i].FirstSeen || a[i].LastUpdate != b[i].LastUpdate {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrameBoundsMatchExportCodec pins the outer frame's length
+// cross-check constants against the real export encoder: if the snapshot
+// framing or record encoding ever changes size, this fails before any
+// stored data silently stops validating.
+func TestFrameBoundsMatchExportCodec(t *testing.T) {
+	var empty bytes.Buffer
+	if err := export.WriteSnapshotStats(&empty, 1, nil, export.TableStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != snapOverhead {
+		t.Fatalf("snapshot overhead is %d bytes, constant says %d", empty.Len(), snapOverhead)
+	}
+
+	var one bytes.Buffer
+	v4 := rec(1)
+	if err := export.WriteSnapshotStats(&one, 1, []export.Record{v4}, export.TableStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Len() - snapOverhead; got != recordMinBytes {
+		t.Fatalf("encoded v4 record is %d bytes, recordMinBytes says %d", got, recordMinBytes)
+	}
+
+	v6 := v4
+	v6.Key.IsV6 = true
+	var six bytes.Buffer
+	if err := export.WriteSnapshotStats(&six, 1, []export.Record{v6}, export.TableStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := six.Len() - snapOverhead; got != recordMaxBytes {
+		t.Fatalf("encoded v6 record is %d bytes, recordMaxBytes says %d", got, recordMaxBytes)
+	}
+}
+
+// TestAppendReadBack round-trips epochs through close and reopen: every
+// appended table reads back bit-identically, stats trailer included.
+func TestAppendReadBack(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{})
+	const epochs = 5
+	for e := int64(1); e <= epochs; e++ {
+		mustAppend(t, s, e, epochRecords(e, 50), epochStats(e))
+	}
+	check := func(s *Store) {
+		t.Helper()
+		for e := int64(1); e <= epochs; e++ {
+			got, stats, ok, err := s.EpochRecords(e)
+			if err != nil {
+				t.Fatalf("epoch %d: %v", e, err)
+			}
+			if !ok {
+				t.Fatalf("epoch %d missing", e)
+			}
+			if !sameRecords(got, epochRecords(e, 50)) {
+				t.Fatalf("epoch %d records changed in round trip", e)
+			}
+			if stats != epochStats(e) {
+				t.Fatalf("epoch %d stats %+v != %+v", e, stats, epochStats(e))
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, Options{})
+	check(s2)
+	// The reopened store keeps appending where it left off.
+	mustAppend(t, s2, epochs+1, epochRecords(epochs+1, 50), epochStats(epochs+1))
+	if _, _, ok, _ := s2.EpochRecords(epochs + 1); !ok {
+		t.Fatal("append after reopen not visible")
+	}
+}
+
+// TestSegmentRolling drives the store past its segment size so appends
+// span several files, and verifies the index covers them all.
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{SegmentBytes: 4 << 10})
+	const epochs = 20
+	for e := int64(1); e <= epochs; e++ {
+		mustAppend(t, s, e, epochRecords(e, 20), epochStats(e))
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+	if got := s.Epochs(); len(got) != epochs {
+		t.Fatalf("expected %d epochs, got %d", epochs, len(got))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, Options{SegmentBytes: 4 << 10})
+	if got := s2.Epochs(); len(got) != epochs {
+		t.Fatalf("after reopen: expected %d epochs, got %d", epochs, len(got))
+	}
+}
+
+// TestRetention caps the store at MaxSegments and checks the oldest
+// sealed segments (and their epochs) are retired.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{SegmentBytes: 4 << 10, MaxSegments: 3})
+	for e := int64(1); e <= 40; e++ {
+		mustAppend(t, s, e, epochRecords(e, 20), epochStats(e))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.Segments <= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention never trimmed to 3 segments: %+v", s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	epochs := s.Epochs()
+	if len(epochs) == 0 || epochs[len(epochs)-1] != 40 {
+		t.Fatalf("latest epoch lost by retention: %v", epochs)
+	}
+	if epochs[0] == 1 {
+		t.Fatalf("oldest epoch survived retention that should have retired it")
+	}
+	if s.Stats().Retired == 0 {
+		t.Fatal("no segments reported retired")
+	}
+}
+
+// TestCompaction rolls old segments into a per-flow rollup and verifies
+// windowed queries still answer over the compacted history.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{SegmentBytes: 4 << 10, CompactSegments: 2})
+	const epochs = 30
+	for e := int64(1); e <= epochs; e++ {
+		mustAppend(t, s, e, epochRecords(e, 20), epochStats(e))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The newest epoch's exact read-back must be unaffected.
+	got, _, ok, err := s.EpochRecords(epochs)
+	if err != nil || !ok {
+		t.Fatalf("epoch %d after compaction: ok=%v err=%v", epochs, ok, err)
+	}
+	if !sameRecords(got, epochRecords(epochs, 20)) {
+		t.Fatal("newest epoch corrupted by compaction")
+	}
+	// Absolute top-k still sees cumulative totals at the latest epoch.
+	top, err := s.TopK(Window{}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Pkts != float64(10*20*epochs) {
+		t.Fatalf("topk over compacted store: %+v", top)
+	}
+	// And the compacted region still resolves "table at epoch ≤ X" at
+	// rollup granularity: a window ending inside history answers.
+	if _, err := s.TopK(Window{From: 1, To: epochs / 2}, 5, true); err != nil {
+		t.Fatalf("windowed topk over rollup: %v", err)
+	}
+
+	// Reopen after compaction: the rollup segment must scan cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, Options{SegmentBytes: 4 << 10, CompactSegments: 2})
+	if got := s2.Epochs(); got[len(got)-1] != epochs {
+		t.Fatalf("epochs after reopen: %v", got)
+	}
+}
+
+// TestAppendAfterCloseFails pins the ErrClosed contract.
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{})
+	mustAppend(t, s, 1, epochRecords(1, 3), epochStats(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(2, epochRecords(2, 3), epochStats(2)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if _, err := s.TopK(Window{}, 1, false); err == nil {
+		t.Fatal("query after close succeeded")
+	}
+}
+
+// TestSameEpochUnion verifies multi-exporter semantics: records sharing
+// an epoch union per flow, later appends winning.
+func TestSameEpochUnion(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), Options{})
+	a := []export.Record{rec(1), rec(2)}
+	b := []export.Record{rec(3)}
+	override := rec(1)
+	override.Pkts = 999
+	c := []export.Record{override}
+	mustAppend(t, s, 7, a, export.TableStats{})
+	mustAppend(t, s, 7, b, export.TableStats{})
+	mustAppend(t, s, 7, c, export.TableStats{})
+	top, err := s.TopK(Window{From: 7, To: 7}, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("union of same-epoch appends has %d flows, want 3", len(top))
+	}
+	if top[0].Pkts != 999 {
+		t.Fatalf("later append did not win: %+v", top[0])
+	}
+}
+
+// TestTornTailTruncatedOnOpen writes garbage after valid records and
+// checks open truncates it and keeps appending cleanly.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{})
+	mustAppend(t, s, 1, epochRecords(1, 10), epochStats(1))
+	mustAppend(t, s, 2, epochRecords(2, 10), epochStats(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("IMR1 partial garbage that looks like a header start")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir, Options{})
+	if got := s2.Stats().Truncations; got != 1 {
+		t.Fatalf("expected 1 truncation, got %d", got)
+	}
+	for e := int64(1); e <= 2; e++ {
+		if _, _, ok, err := s2.EpochRecords(e); !ok || err != nil {
+			t.Fatalf("epoch %d lost to truncation: ok=%v err=%v", e, ok, err)
+		}
+	}
+	mustAppend(t, s2, 3, epochRecords(3, 10), epochStats(3))
+	if _, _, ok, _ := s2.EpochRecords(3); !ok {
+		t.Fatal("append after truncation not visible")
+	}
+}

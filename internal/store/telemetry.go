@@ -1,0 +1,76 @@
+package store
+
+import (
+	"time"
+
+	"instameasure/internal/telemetry"
+)
+
+// queryKind indexes the per-query-latency histograms.
+type queryKind int
+
+const (
+	queryTopK queryKind = iota
+	queryTimeline
+	queryChangers
+	queryKinds
+)
+
+// storeMetrics holds the store's registered metric handles.
+type storeMetrics struct {
+	appends     telemetry.CounterShard
+	appendBytes telemetry.CounterShard
+	appendNanos telemetry.HistogramShard
+	compactions telemetry.CounterShard
+	retired     telemetry.CounterShard
+	queryNanos  [queryKinds]telemetry.HistogramShard
+}
+
+// Instrument registers the store metric family on reg: append counts,
+// bytes, and latency, compaction/retention activity, on-disk gauges, and
+// per-query latency histograms. Safe to call once per store.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	tm := &storeMetrics{
+		appends: reg.Counter("store_appends_total",
+			"Epoch records appended to the history store.").Shard(0),
+		appendBytes: reg.Counter("store_append_bytes_total",
+			"Bytes written to the history store (framing included).").Shard(0),
+		appendNanos: reg.Histogram("store_append_nanos",
+			"Append latency in nanoseconds (encode, write, and fsync when enabled).", 0).Shard(0),
+		compactions: reg.Counter("store_compactions_total",
+			"Background merges of sealed segments into rollup records.").Shard(0),
+		retired: reg.Counter("store_retired_segments_total",
+			"Segments deleted by size/age retention.").Shard(0),
+	}
+	for kind, name := range map[queryKind]string{
+		queryTopK:     "topk",
+		queryTimeline: "timeline",
+		queryChangers: "changers",
+	} {
+		tm.queryNanos[kind] = reg.Histogram("store_query_nanos",
+			"History query latency in nanoseconds.", 0, "query", name).Shard(0)
+	}
+	reg.GaugeFunc("store_segments", "Segment files in the history store.", func() float64 {
+		return float64(s.Stats().Segments)
+	})
+	reg.GaugeFunc("store_bytes", "On-disk size of the history store.", func() float64 {
+		return float64(s.Stats().Bytes)
+	})
+	reg.GaugeFunc("store_epochs", "Distinct epochs queryable in the history store.", func() float64 {
+		return float64(s.Stats().Epochs)
+	})
+
+	s.mu.Lock()
+	s.tm = tm
+	s.mu.Unlock()
+}
+
+// observeQuery records one query's latency, when instrumented.
+func (s *Store) observeQuery(kind queryKind, start time.Time) {
+	s.mu.Lock()
+	tm := s.tm
+	s.mu.Unlock()
+	if tm != nil {
+		tm.queryNanos[kind].Observe(uint64(time.Since(start)))
+	}
+}

@@ -25,6 +25,7 @@ func (r *Registry) Handler() http.Handler {
 // side effects is unnecessary.
 type Server struct {
 	srv *http.Server
+	mux *http.ServeMux
 	ln  net.Listener
 }
 
@@ -56,10 +57,18 @@ func NewServer(addr string, r *Registry) (*Server, error) {
 
 	s := &Server{
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		mux: mux,
 		ln:  ln,
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
+}
+
+// Handle mounts handler on the server's mux, letting subsystems (the
+// epoch store's /flows endpoints, for one) publish alongside /metrics.
+// Mounting a pattern twice panics, like http.ServeMux.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.mux.Handle(pattern, handler)
 }
 
 // Addr returns the bound listen address (resolving ":0").

@@ -50,12 +50,22 @@ func (t *Telemetry) Serve(addr string) (*TelemetryServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
-	return &TelemetryServer{s: s}, nil
+	return &TelemetryServer{s: s, reg: t.reg}, nil
 }
 
 // TelemetryServer is a running observability endpoint.
 type TelemetryServer struct {
-	s *telemetry.Server
+	s   *telemetry.Server
+	reg *telemetry.Registry
+}
+
+// ServeFlows mounts fs's JSON query API on this endpoint — /flows/topk,
+// /flows/timeline, /flows/changers, /flows/stats — and registers the
+// store's metrics (including query latency histograms) on the same
+// registry /metrics serves. Call it at most once per server.
+func (s *TelemetryServer) ServeFlows(fs *FlowStore) {
+	fs.st.Instrument(s.reg)
+	s.s.Handle("/flows/", fs.Handler())
 }
 
 // Addr returns the bound listen address.
