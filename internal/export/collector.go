@@ -308,6 +308,10 @@ func (c *Collector) serve(conn net.Conn) {
 		// it; if Close fires after, its SetDeadline overrides this one.
 		if d := c.frameTimeout.Load(); d > 0 {
 			conn.SetReadDeadline(time.Now().Add(time.Duration(d)))
+		} else {
+			// Timeout disabled after a deadline was armed: clear it, or the
+			// stale deadline still fires and drops the connection.
+			conn.SetReadDeadline(time.Time{})
 		}
 		select {
 		case <-c.closing:

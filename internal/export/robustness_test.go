@@ -62,6 +62,47 @@ func TestCollectorFrameDeadline(t *testing.T) {
 	waitOn(t, "batch merge", func() bool { b, _ := c.Stats(); return b == 1 })
 }
 
+// TestFrameTimeoutDisableClearsDeadline verifies SetFrameTimeout(0)
+// actually disables the deadline on connections that already had one
+// armed: a frame arriving long after the previously armed deadline would
+// have fired must still be merged, not dropped.
+func TestFrameTimeoutDisableClearsDeadline(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetFrameTimeout(200 * time.Millisecond)
+
+	e, err := Dial(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	batch := Batch{Epoch: 1, Records: []Record{{Key: packet.V4Key(1, 2, 3, 4, packet.ProtoTCP), Pkts: 1, Bytes: 64}}}
+	if err := e.Export(batch); err != nil {
+		t.Fatal(err)
+	}
+	waitOn(t, "first merge", func() bool { b, _ := c.Stats(); return b == 1 })
+
+	// Disable, then send another frame so the serve loop's next iteration
+	// observes the zero timeout and clears the deadline it armed after the
+	// first frame.
+	c.SetFrameTimeout(0)
+	if err := e.Export(batch); err != nil {
+		t.Fatal(err)
+	}
+	waitOn(t, "second merge", func() bool { b, _ := c.Stats(); return b == 2 })
+
+	// Idle well past where the old deadline would have fired: the
+	// connection must survive and the next frame merge.
+	time.Sleep(600 * time.Millisecond)
+	if err := e.Export(batch); err != nil {
+		t.Fatalf("export after disabled timeout: %v", err)
+	}
+	waitOn(t, "third merge", func() bool { b, _ := c.Stats(); return b == 3 })
+}
+
 // TestExporterBackoffBounds pins the jittered exponential schedule:
 // base·2^(n-1) capped at max, scaled into [0.75, 1.25].
 func TestExporterBackoffBounds(t *testing.T) {

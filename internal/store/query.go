@@ -248,8 +248,12 @@ func windowDelta(refs []recordRef, sr *segReader, w Window) (map[packet.FlowKey]
 	if !found {
 		return map[packet.FlowKey]FlowDelta{}, nil
 	}
+	// A baseline exists only for From > 1: From-1 == 0 would hit tableAt's
+	// "latest" sentinel and subtract the newest table from itself, zeroing
+	// every flow that stopped growing before the window end. Epochs are
+	// positive, so a window starting at 1 (or unbounded) has an empty base.
 	var base map[packet.FlowKey]export.Record
-	if w.From > 0 {
+	if w.From > 1 {
 		base, _, _, err = tableAt(refs, sr, w.From-1)
 		if err != nil {
 			return nil, err

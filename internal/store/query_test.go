@@ -87,6 +87,54 @@ func TestTopKCounterRestart(t *testing.T) {
 	}
 }
 
+// TestTopKWindowFromFirstEpoch pins the From==1 baseline: a window
+// starting at the first epoch has no "before" snapshot, so deltas are the
+// end-of-window values outright. A From-1 of 0 must not fall into
+// tableAt's "latest" sentinel — that would subtract the newest table and
+// silently drop every flow whose counters stopped growing after the
+// window end.
+func TestTopKWindowFromFirstEpoch(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), Options{})
+	idle := packet.V4Key(1, 1, 1, 1, packet.ProtoTCP) // stops growing after epoch 2
+	busy := packet.V4Key(2, 2, 2, 2, packet.ProtoTCP) // grows every epoch
+	idleCum := []float64{50, 100, 100, 100}
+	busyCum := []float64{10, 20, 30, 40}
+	for e := int64(1); e <= 4; e++ {
+		recs := []export.Record{
+			{Key: idle, Pkts: idleCum[e-1], Bytes: idleCum[e-1] * 10},
+			{Key: busy, Pkts: busyCum[e-1], Bytes: busyCum[e-1] * 10},
+		}
+		mustAppend(t, s, e, recs, export.TableStats{})
+	}
+
+	top, err := s.TopK(Window{From: 1, To: 2}, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("topk from first epoch has %d flows, want 2: %+v", len(top), top)
+	}
+	if top[0].Key != idle || top[0].Pkts != 100 {
+		t.Fatalf("idle flow delta wrong: %+v", top[0])
+	}
+	if top[1].Key != busy || top[1].Pkts != 20 {
+		t.Fatalf("busy flow delta wrong: %+v", top[1])
+	}
+
+	// The same baseline feeds heavy changers: idle did 100 in [1,2] and 0
+	// in [3,4] — a -100 change, not the 0 a latest-table baseline yields.
+	changes, err := s.HeavyChangers(Window{From: 1, To: 2}, Window{From: 3, To: 4}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 || changes[0].Key != idle || changes[0].Pkts != -100 || changes[0].OlderPkts != 100 {
+		t.Fatalf("idle changer wrong: %+v", changes)
+	}
+	if changes[1].Key != busy || changes[1].Pkts != 0 || changes[1].OlderPkts != 20 || changes[1].NewerPkts != 20 {
+		t.Fatalf("busy changer wrong: %+v", changes[1])
+	}
+}
+
 func TestTimeline(t *testing.T) {
 	s := growStore(t, 8, 5)
 	key := packet.V4Key(0x0a000000+3, 0xc0a80001, 1003, 443, packet.ProtoTCP)

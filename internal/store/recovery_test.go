@@ -1,6 +1,8 @@
 package store
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -98,6 +100,43 @@ func TestCrashRecovery(t *testing.T) {
 			t.Fatalf("cut@%d: re-append after recovery failed", cut)
 		}
 		s2.Close()
+	}
+}
+
+// TestBitRotLyingLengthAfterOpen corrupts a record's payloadLen in place
+// while the store is open — bit rot after the open-time scan. The forged
+// length stays inside the count-band cross-check (which has ~count·24
+// bytes of slack for v4 flows), so readFrame must catch the mismatch
+// against the indexed frame size and return ErrChecksum rather than
+// slicing past the buffer and panicking.
+func TestBitRotLyingLengthAfterOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{})
+	mustAppend(t, s, 1, epochRecords(1, 10), epochStats(1))
+	refs, err := s.snapshotRefs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refs[0]
+
+	f, err := os.OpenFile(filepath.Join(dir, segName(ref.seg)), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lenBuf [4]byte
+	lenOff := ref.off + headerLen - 4
+	if _, err := f.ReadAt(lenBuf[:], lenOff); err != nil {
+		t.Fatal(err)
+	}
+	forged := binary.BigEndian.Uint32(lenBuf[:]) + 100 // within the band for 10 v4 records
+	binary.BigEndian.PutUint32(lenBuf[:], forged)
+	if _, err := f.WriteAt(lenBuf[:], lenOff); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, _, _, err := s.EpochRecords(1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("lying payloadLen: got err=%v, want ErrChecksum", err)
 	}
 }
 

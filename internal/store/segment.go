@@ -248,6 +248,11 @@ func readFrame(f *os.File, ref recordRef) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The indexed ref sized buf; a header whose payloadLen no longer
+	// matches it is bit rot, not a framing we should slice by.
+	if h.frameLen() != ref.size {
+		return nil, ErrChecksum
+	}
 	payload := buf[headerLen : headerLen+int64(h.payloadLen)]
 	crc := binary.BigEndian.Uint32(buf[headerLen+int64(h.payloadLen):])
 	if crc32.ChecksumIEEE(payload) != crc {

@@ -227,6 +227,14 @@ func (s *Store) Append(epoch int64, records []export.Record, stats export.TableS
 	}
 	if s.opt.Sync == SyncEach {
 		if err := s.act.Sync(); err != nil {
+			// The frame bytes are already in the file; without a rollback
+			// the next append's recordRef would point at prevSize while
+			// O_APPEND writes after the orphaned frame, desyncing the index
+			// from disk for every subsequent epoch.
+			if terr := s.act.Truncate(prevSize); terr != nil {
+				s.err = fmt.Errorf("store: sync failed (%v) and rollback failed: %w", err, terr)
+				return s.err
+			}
 			return fmt.Errorf("store: sync: %w", err)
 		}
 	}

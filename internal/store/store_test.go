@@ -264,6 +264,49 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestSyncFailureDoesNotDesyncIndex swaps the active segment for a pipe:
+// writes land (buffered) but fsync fails with EINVAL, driving the
+// SyncEach failure path. The frame bytes are already "in the file", so
+// the append must either roll them back or — when the rollback also
+// fails, as it does on a pipe — wedge the store with a sticky error. What
+// it must never do is return an error while leaving the orphaned frame in
+// place with the index unaware of it: every later append would then be
+// recorded at the wrong offset.
+func TestSyncFailureDoesNotDesyncIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, Options{Sync: SyncEach})
+	mustAppend(t, s, 1, epochRecords(1, 5), epochStats(1))
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	s.mu.Lock()
+	realAct := s.act
+	s.act = w
+	s.mu.Unlock()
+
+	if err := s.Append(2, epochRecords(2, 5), epochStats(2)); err == nil {
+		t.Fatal("append with failing sync succeeded")
+	}
+	s.mu.Lock()
+	sticky := s.err
+	nrefs := len(s.refs)
+	s.act = realAct
+	s.mu.Unlock()
+	if sticky == nil {
+		t.Fatal("failed sync + failed rollback did not wedge the store")
+	}
+	if nrefs != 1 {
+		t.Fatalf("index grew to %d refs despite failed sync", nrefs)
+	}
+	if err := s.Append(3, epochRecords(3, 5), epochStats(3)); err == nil {
+		t.Fatal("append after wedge succeeded")
+	}
+}
+
 // TestSameEpochUnion verifies multi-exporter semantics: records sharing
 // an epoch union per flow, later appends winning.
 func TestSameEpochUnion(t *testing.T) {
