@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet-race fuzz-smoke store-smoke bench bench-guard bench-json clean
+.PHONY: all build test tier1 lint vet-race fuzz-smoke store-smoke bench bench-guard bench-json clean
 
 all: build test
 
@@ -11,12 +11,20 @@ build:
 # pass — including the differential-oracle suite under the race detector
 # (the concurrent pipeline leg is the racy surface; the oracle shrinks its
 # workload automatically under -race via the raceEnabled build tag).
-tier1: build store-smoke
+tier1: build store-smoke lint
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -run 'TestDifferential' ./internal/oracle/... ./internal/pipeline/...
 
 test: tier1
+
+# lint runs imvet, the repo's domain-specific static-analysis gate
+# (cmd/imvet + internal/analysis): hot-path allocation discipline,
+# single-hash-per-packet, atomic-field hygiene, store/export error
+# checking, and wall-clock bans in the deterministic packages. Exits
+# non-zero with file:line:col diagnostics on any violation.
+lint:
+	$(GO) run ./cmd/imvet ./...
 
 # store-smoke is the epoch-store drill: meter a trace into a store, tear
 # the tail segment mid-record (a simulated kill -9), reopen, and query —
@@ -29,7 +37,7 @@ store-smoke:
 # vet-race is the observability gate: static checks plus the telemetry
 # and pipeline packages under the race detector (lock-free counters and
 # the drop-when-full manager are the racy surfaces).
-vet-race:
+vet-race: lint
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry/... ./internal/pipeline/...
 

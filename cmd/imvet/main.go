@@ -1,0 +1,84 @@
+// Command imvet runs instameasure's domain-specific static analyzers —
+// hotalloc, hashonce, atomicfield, errclose, wallclock — over the module
+// and prints vet-style file:line:col diagnostics to stderr, exiting
+// non-zero if any invariant is violated.
+//
+// The analyzers are whole-program by design (hot-path annotations
+// propagate through the cross-package call graph; atomic-field discipline
+// spans packages), so any package pattern argument analyzes the entire
+// enclosing module:
+//
+//	go run ./cmd/imvet ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"instameasure/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: imvet [-list] [packages]\n\nruns the module's invariant analyzers; any package pattern analyzes the whole module\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imvet:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imvet:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAnalyzers(prog, analysis.Suite()...)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, rerr := filepath.Rel(wd, name); rerr == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "imvet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

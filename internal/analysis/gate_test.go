@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+// TestModuleClean is the imvet self-gate: the full analyzer suite must be
+// diagnostic-free over the whole module. This is the test (alongside
+// `make lint`) that fails if the single-hash hot path regresses, an
+// //im:hotpath function grows an allocation, a store/export error check
+// is dropped, or a wall-clock read sneaks into a deterministic package.
+func TestModuleClean(t *testing.T) {
+	prog, err := Load(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAnalyzers(prog, Suite()...) {
+		t.Errorf("%s", d)
+	}
+}

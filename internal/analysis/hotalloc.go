@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc enforces the zero-allocation, bounded-latency contract of the
+// measurement fast path. Functions annotated //im:hotpath — and every
+// module function they statically call, transitively — may not contain:
+//
+//   - defer, go, select, channel operations (each costs a scheduler or
+//     runtime interaction the per-packet budget cannot absorb)
+//   - map/slice literals, make(map|slice|chan), new(T), &T{...}, or
+//     closures (heap allocations)
+//   - string concatenation and string<->[]byte conversions (allocations)
+//   - interface boxing of arguments (a concrete value passed to an
+//     interface parameter allocates)
+//   - calls into fmt (formatting allocates and reflects)
+//   - time.Now / time.Since (a wall-clock read is a latency hazard and a
+//     determinism leak; sampled seams carry //im:allow hotalloc)
+//
+// Propagation stops at dynamic calls (function values, interface
+// methods): those cannot be resolved statically and are the architectural
+// boundary where the hot path hands off (e.g. the OnPass callback).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-prone and latency-hazard constructs in //im:hotpath functions and their static callees",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(prog *Program, report func(token.Pos, string, ...any)) {
+	// Index every function declaration in the program by its object.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = fd
+				if hotpathAnnotated(fd) {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// Breadth-first propagation from the annotated roots through static
+	// calls. via[fn] records the annotated root that made fn hot, for the
+	// diagnostic message.
+	via := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		decl := decls[fn]
+		checkHotBody(prog, fn, via[fn], decl, report)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures are flagged, not traversed
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(prog.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, inModule := decls[callee]; !inModule {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+}
+
+// checkHotBody reports every forbidden construct in one hot function.
+func checkHotBody(prog *Program, fn, root *types.Func, decl *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	where := funcLabel(fn)
+	if fn != root {
+		where = fmt.Sprintf("%s (hot via %s)", where, funcLabel(root))
+	}
+	info := prog.Info
+	reported := make(map[ast.Node]bool)
+	flag := func(n ast.Node, format string, args ...any) {
+		if reported[n] {
+			return
+		}
+		reported[n] = true
+		report(n.Pos(), "hot path: "+format+" in %s", append(args, where)...)
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "closure allocation")
+			return false
+		case *ast.DeferStmt:
+			flag(n, "defer")
+		case *ast.GoStmt:
+			flag(n, "goroutine launch")
+		case *ast.SelectStmt:
+			flag(n, "select")
+			return false
+		case *ast.SendStmt:
+			flag(n, "channel send")
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					flag(n, "range over channel")
+				}
+			}
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				flag(n, "channel receive")
+			case token.AND:
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					reported[lit] = true // don't double-report the literal
+					flag(n, "heap-escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				flag(n, "map literal allocation")
+			case *types.Slice:
+				flag(n, "slice literal allocation")
+			}
+			// Value struct and array literals stay on the stack: allowed.
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					flag(n, "string concatenation allocation")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok && isString(tv.Type) {
+					flag(n, "string concatenation allocation")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(info, n, flag)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot function.
+func checkHotCall(info *types.Info, call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from, ok := info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		switch {
+		case isString(to) && isByteOrRuneSlice(from.Type):
+			flag(call, "string conversion allocation")
+		case isByteOrRuneSlice(to) && isString(from.Type):
+			flag(call, "byte-slice conversion allocation")
+		}
+		return
+	}
+
+	// Builtins: make of reference types and new allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				switch info.Types[call].Type.Underlying().(type) {
+				case *types.Map:
+					flag(call, "make(map) allocation")
+				case *types.Slice:
+					flag(call, "make(slice) allocation")
+				case *types.Chan:
+					flag(call, "make(chan) allocation")
+				}
+			case "new":
+				flag(call, "new(T) allocation")
+			}
+			return
+		}
+	}
+
+	callee := staticCallee(info, call)
+	if callee != nil {
+		if calleeIs(callee, "fmt",
+			"Sprintf", "Sprint", "Sprintln", "Errorf", "Printf", "Print", "Println",
+			"Fprintf", "Fprint", "Fprintln", "Sscanf", "Sscan", "Appendf", "Append") {
+			flag(call, "fmt call")
+		}
+		if calleeIs(callee, "time", "Now", "Since") {
+			flag(call, "wall-clock read (time."+callee.Name()+")")
+		}
+	}
+
+	// Interface boxing: a concrete argument bound to an interface
+	// parameter allocates. Resolved for static callees only.
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		flag(call, fmt.Sprintf("argument %d boxed into interface %s", i+1, pt))
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// funcLabel renders a function object for diagnostics: Pkg.Func or
+// (Recv).Method without the full import path noise.
+func funcLabel(fn *types.Func) string {
+	if r := recvNamed(fn); r != "" {
+		return fmt.Sprintf("(%s).%s", r, fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+	}
+	return fn.Name()
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// Suite returns the full imvet analyzer set in its canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Hotalloc,
+		Hashonce,
+		Atomicfield,
+		Errclose,
+		Wallclock,
+	}
+}

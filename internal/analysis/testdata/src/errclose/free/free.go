@@ -1,0 +1,10 @@
+// Package free sits outside the errclose scope (store, export); a bare
+// Close is legal here.
+package free
+
+import "os"
+
+func drop(f *os.File) {
+	defer f.Close()
+	f.Sync()
+}

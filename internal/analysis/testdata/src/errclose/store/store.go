@@ -1,0 +1,30 @@
+// Package store is the errclose golden fixture. Its synthetic import
+// path ends in "store", putting it in the analyzer's scope.
+package store
+
+import (
+	"bytes"
+	"os"
+)
+
+// flush drops durability errors on the floor — both forms the analyzer
+// catches: the bare expression statement and the defer.
+func flush(f *os.File) {
+	f.Sync()        // want `discarded error from \(File\)\.Sync; check it, or assign to _ to discard explicitly`
+	defer f.Close() // want `discarded \(deferred\) error from \(File\)\.Close`
+}
+
+// flushChecked handles or explicitly discards every error; bytes.Buffer
+// writes are exempt (documented to never fail).
+func flushChecked(f *os.File, p []byte) error {
+	var b bytes.Buffer
+	b.Write(p)
+	if _, err := f.Write(b.Bytes()); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close()
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package free sits outside the hashonce scope (wsaf, flowreg, core):
+// a query-layer function may legitimately hash a key even when it also
+// accepts a hash parameter (e.g. store.TimelineByHash).
+package free
+
+import "instameasure/internal/packet"
+
+func Recompute(k *packet.FlowKey, h uint64) uint64 {
+	return h ^ k.Hash64(0)
+}

@@ -1,0 +1,29 @@
+// Package wsaf is the hashonce golden fixture. Its synthetic import path
+// ends in "wsaf", so it lands in the analyzer's scope exactly like the
+// real table package, and it imports the real flowhash and packet
+// packages so the banned calls are the genuine articles.
+package wsaf
+
+import (
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// AccumulateHashed receives the precomputed hash: re-deriving it is the
+// double-hash regression the analyzer exists to catch.
+func AccumulateHashed(k *packet.FlowKey, h uint64) uint64 {
+	h2 := flowhash.SumFlowKeyV4(0, 0, 6, 0) // want `AccumulateHashed re-hashes the flow key via flowhash\.SumFlowKeyV4; the hash is already threaded in as "h"`
+	h3 := k.Hash64(0)                       // want `AccumulateHashed re-hashes the flow key via \(FlowKey\)\.Hash64`
+	return h ^ h2 ^ h3
+}
+
+// Accumulate has no hash parameter: deriving the hash here is its job.
+func Accumulate(k *packet.FlowKey) uint64 {
+	return k.Hash64(0)
+}
+
+// Mix takes a hash but only mixes it onward; Mix64 is a finalizer over
+// the already-computed hash, not a re-derivation, and is not banned.
+func Mix(h uint64) uint64 {
+	return flowhash.Mix64(h)
+}

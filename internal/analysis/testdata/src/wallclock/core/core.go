@@ -1,0 +1,22 @@
+// Package core is the wallclock golden fixture. Its synthetic import
+// path ends in "core", one of the deterministic packages.
+package core
+
+import "time"
+
+// Stamp reads the host clock outside any approved seam.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read \(time\.Now\) in deterministic package wallclock/core`
+}
+
+// Age reads the clock through time.Since, which is the same leak.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read \(time\.Since\) in deterministic package wallclock/core`
+}
+
+// Latency is an approved seam: the directive on its own line blesses the
+// statement below it.
+func Latency(start time.Time) time.Duration {
+	//im:allow wallclock — fixture: sampled latency seam
+	return time.Since(start)
+}

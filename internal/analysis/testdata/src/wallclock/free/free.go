@@ -1,0 +1,6 @@
+// Package free is outside the deterministic set; wall clocks are fine.
+package free
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Wallclock keeps the deterministic packages deterministic: the engine,
+// sketches, table, and store replay/query paths are driven by the trace
+// clock (packet timestamps and caller-assigned epochs), so every run of a
+// recorded trace is bit-reproducible. A bare time.Now (or time.Since)
+// call in those packages silently couples results to the host clock.
+//
+// The approved seams — latency telemetry sampling, wall-clock retention
+// stamps — carry //im:allow wallclock directives with their
+// justification; everything else must thread a timestamp or an injected
+// clock down from the caller.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid bare time.Now/time.Since in deterministic packages outside approved //im:allow wallclock seams",
+	Run:  runWallclock,
+}
+
+// wallclockScopes are the package-path tails the analyzer applies to.
+var wallclockScopes = []string{"core", "rcc", "flowreg", "wsaf", "store"}
+
+func runWallclock(prog *Program, report func(token.Pos, string, ...any)) {
+	for _, pkg := range prog.Pkgs {
+		if !inScope(pkg.Path, wallclockScopes...) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(prog.Info, call)
+				if calleeIs(callee, "time", "Now", "Since") {
+					report(call.Pos(), "wall-clock read (time.%s) in deterministic package %s; thread the trace clock, or annotate an approved seam with //im:allow wallclock",
+						callee.Name(), pkg.Path)
+				}
+				return true
+			})
+		}
+	}
+}

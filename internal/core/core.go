@@ -256,6 +256,8 @@ func (e *Engine) OnPass(fn func(PassEvent)) { e.onPass = fn }
 // FlowRegulator; roughly 1% reach the WSAF. It is the scalar wrapper
 // around the single-hash measurement path; bulk callers should prefer
 // ProcessBatch, which amortizes hashing, sampling, and publication.
+//
+//im:hotpath
 func (e *Engine) Process(p packet.Packet) {
 	e.packets++
 	e.bytes += uint64(p.Len)
@@ -266,12 +268,14 @@ func (e *Engine) Process(p packet.Packet) {
 	sampled := e.packets&(latencySampleEvery-1) == 0
 	var t0 time.Time
 	if sampled {
+		//im:allow hotalloc,wallclock — latency telemetry seam: 1-in-1024 packets pays one clock read
 		t0 = time.Now()
 	}
 
 	e.encode(&p, p.Key.Hash64(e.cfg.Seed))
 
 	if sampled {
+		//im:allow hotalloc,wallclock — latency telemetry seam: paired with the sampled time.Now above
 		e.tm.latency.Observe(uint64(time.Since(t0)))
 	}
 }
@@ -283,11 +287,14 @@ func (e *Engine) Process(p packet.Packet) {
 // latency sample and the telemetry publication — collapse to one of each
 // per batch. Sketch and table state advance exactly as len(batch) Process
 // calls would: same update order, same RNG stream, same outcomes.
+//
+//im:hotpath
 func (e *Engine) ProcessBatch(batch []packet.Packet) {
 	if len(batch) == 0 {
 		return
 	}
 	if cap(e.hashBuf) < len(batch) {
+		//im:allow hotalloc — amortized: the hash buffer grows to the high-water batch size once, then is reused
 		e.hashBuf = make([]uint64, len(batch))
 	}
 	hashes := e.hashBuf[:len(batch)]
@@ -296,6 +303,7 @@ func (e *Engine) ProcessBatch(batch []packet.Packet) {
 		hashes[i] = batch[i].Key.Hash64(seed)
 	}
 
+	//im:allow hotalloc,wallclock — latency telemetry seam: one clock read per batch
 	t0 := time.Now()
 	for i := range batch {
 		p := &batch[i]
@@ -306,6 +314,7 @@ func (e *Engine) ProcessBatch(batch []packet.Packet) {
 	}
 	// One mean per-packet latency observation and one counter publication
 	// per batch (versus 1-in-1024 and 1-in-64 packets on the scalar path).
+	//im:allow hotalloc,wallclock — latency telemetry seam: paired with the per-batch time.Now above
 	e.tm.latency.Observe(uint64(time.Since(t0)) / uint64(len(batch)))
 	e.publishTotals()
 }

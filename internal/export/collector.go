@@ -172,7 +172,8 @@ func (e *Exporter) Export(b Batch) error {
 	}
 	before := e.cw.n
 	if err := WriteBatch(&e.cw, b); err != nil {
-		e.conn.Close()
+		// The write already failed; a close error adds nothing.
+		_ = e.conn.Close()
 		e.conn = nil
 		e.noteFailureLocked()
 		if e.tm != nil {
@@ -289,7 +290,7 @@ func (c *Collector) acceptLoop() {
 
 func (c *Collector) serve(conn net.Conn) {
 	defer c.wg.Done()
-	defer conn.Close()
+	defer func() { _ = conn.Close() }() // read side is done with the conn either way
 
 	// Unblock the read when Close fires.
 	done := make(chan struct{})
@@ -297,7 +298,9 @@ func (c *Collector) serve(conn net.Conn) {
 	go func() {
 		select {
 		case <-c.closing:
-			conn.SetDeadline(immediateDeadline())
+			// Best effort: a conn that cannot take the deadline is dying
+			// anyway, which unblocks the read just the same.
+			_ = conn.SetDeadline(immediateDeadline())
 		case <-done:
 		}
 	}()
@@ -306,12 +309,18 @@ func (c *Collector) serve(conn net.Conn) {
 		// Arm the per-frame deadline, then re-check closing: if Close's
 		// immediate deadline fired before the re-arm, the check catches
 		// it; if Close fires after, its SetDeadline overrides this one.
+		// A connection that cannot arm its deadline has no slow-loris
+		// bound: drop it and let the exporter re-dial.
 		if d := c.frameTimeout.Load(); d > 0 {
-			conn.SetReadDeadline(time.Now().Add(time.Duration(d)))
+			if err := conn.SetReadDeadline(time.Now().Add(time.Duration(d))); err != nil {
+				return
+			}
 		} else {
 			// Timeout disabled after a deadline was armed: clear it, or the
 			// stale deadline still fires and drops the connection.
-			conn.SetReadDeadline(time.Time{})
+			if err := conn.SetReadDeadline(time.Time{}); err != nil {
+				return
+			}
 		}
 		select {
 		case <-c.closing:

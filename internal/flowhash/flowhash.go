@@ -18,6 +18,8 @@ const (
 )
 
 // Sum64 hashes b with the given seed using an xxHash64-style algorithm.
+//
+//im:hotpath
 func Sum64(b []byte, seed uint64) uint64 {
 	n := len(b)
 	var h uint64
@@ -83,6 +85,8 @@ const v4KeyLen = 13
 // final byte. The result is bit-identical to Sum64 over the same
 // FlowKey.AppendBytes encoding — the fixed-width path is an
 // evaluation-order specialization of the tail, not a different hash.
+//
+//im:hotpath
 func SumFlowKeyV4(addrs uint64, ports uint32, proto uint8, seed uint64) uint64 {
 	h := seed + prime5 + v4KeyLen
 	h ^= round(0, addrs)
@@ -97,6 +101,8 @@ func SumFlowKeyV4(addrs uint64, ports uint32, proto uint8, seed uint64) uint64 {
 // Mix64 applies a strong 64-bit finalizer (splitmix64) to x. It is used to
 // derive independent hash streams from a single flow hash, e.g. the bit
 // positions of a virtual vector.
+//
+//im:hotpath
 func Mix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9

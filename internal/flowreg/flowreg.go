@@ -137,6 +137,8 @@ func MustNew(cfg Config) *Regulator {
 // Process records one packet of the flow with hash h and wire length
 // pktLen. ok reports whether the packet passed through FlowRegulator; if
 // so, em carries the estimate to accumulate into the WSAF.
+//
+//im:hotpath
 func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
 	r.packets++
 

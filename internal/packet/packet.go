@@ -141,6 +141,8 @@ func HashCount() uint64 { return hashCount }
 // canonical encoding to the hash as three registers, skipping the staging
 // buffer and length-dispatch loop of the general byte-slice hash; the
 // result is identical to hashing AppendBytes output.
+//
+//im:hotpath
 func (k *FlowKey) Hash64(seed uint64) uint64 {
 	if hashCounting {
 		hashCount++

@@ -184,6 +184,8 @@ func (c *Counter) Saturations() uint64 { return c.saturations }
 
 // Locate resolves the virtual vector for flow hash h into loc. The vector
 // is confined within one span (WordBits bits) of one pool word.
+//
+//im:hotpath
 func (c *Counter) Locate(h uint64, loc *Location) {
 	span := h % c.nSpans
 	loc.Word = int(span / c.spansPerWord)
@@ -227,6 +229,8 @@ func (c *Counter) Encode(h uint64) (noise int, saturated bool) {
 }
 
 // EncodeLoc is Encode with a pre-resolved Location.
+//
+//im:hotpath
 func (c *Counter) EncodeLoc(loc *Location) (noise int, saturated bool) {
 	c.encodes++
 	w := &c.words[loc.Word]

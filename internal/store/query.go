@@ -146,10 +146,17 @@ func (sr *segReader) decode(ref recordRef) ([]export.Record, export.TableStats, 
 	return decodeFrameFrom(f, ref)
 }
 
-func (sr *segReader) close() {
+// close closes every opened segment file and returns the first failure: a
+// read-only descriptor that cannot close cleanly means the kernel flagged
+// a deferred I/O problem, and the query results it produced are suspect.
+func (sr *segReader) close() error {
+	var first error
 	for _, f := range sr.files {
-		f.Close()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // query runs fn against a consistent index snapshot, retrying once if a
@@ -165,7 +172,9 @@ func (s *Store) query(fn func(refs []recordRef, sr *segReader) error) error {
 		}
 		sr := newSegReader(s.dir)
 		err = fn(refs, sr)
-		sr.close()
+		if cerr := sr.close(); err == nil {
+			err = cerr
+		}
 		if err == nil {
 			return nil
 		}
@@ -280,6 +289,7 @@ func windowDelta(refs []recordRef, sr *segReader, w Window) (map[packet.FlowKey]
 // window, largest first. A zero window ranks absolute totals at the
 // latest epoch.
 func (s *Store) TopK(w Window, k int, byBytes bool) ([]FlowDelta, error) {
+	//im:allow wallclock — latency telemetry seam: query timing, not result content
 	start := time.Now()
 	var out []FlowDelta
 	err := s.query(func(refs []recordRef, sr *segReader) error {
@@ -336,6 +346,7 @@ func (s *Store) TimelineByHash(h uint64) ([]TimelinePoint, packet.FlowKey, error
 }
 
 func (s *Store) timeline(w Window, match func(*packet.FlowKey) bool) ([]TimelinePoint, packet.FlowKey, error) {
+	//im:allow wallclock — latency telemetry seam: query timing, not result content
 	start := time.Now()
 	byEpoch := make(map[int64]TimelinePoint)
 	var matched packet.FlowKey
@@ -383,6 +394,7 @@ func (s *Store) timeline(w Window, match func(*packet.FlowKey) bool) ([]Timeline
 // heavy-hitter detection. Flows are ranked by the absolute change in the
 // chosen dimension, largest first.
 func (s *Store) HeavyChangers(older, newer Window, k int, byBytes bool) ([]FlowChange, error) {
+	//im:allow wallclock — latency telemetry seam: query timing, not result content
 	start := time.Now()
 	var out []FlowChange
 	err := s.query(func(refs []recordRef, sr *segReader) error {

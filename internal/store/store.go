@@ -192,6 +192,7 @@ func (s *Store) Dir() string { return s.dir }
 // are legal (multi-exporter stores); queries union them with later
 // appends winning per flow.
 func (s *Store) Append(epoch int64, records []export.Record, stats export.TableStats) error {
+	//im:allow wallclock — latency telemetry seam: append timing, not record content
 	start := time.Now()
 	var payload bytes.Buffer
 	payload.Grow(snapOverhead + len(records)*50)
@@ -254,6 +255,7 @@ func (s *Store) Append(epoch int64, records []export.Record, stats export.TableS
 	if s.tm != nil {
 		s.tm.appends.Inc()
 		s.tm.appendBytes.Add(uint64(frame))
+		//im:allow wallclock — latency telemetry seam: paired with Append's start stamp
 		s.tm.appendNanos.Observe(uint64(time.Since(start)))
 	}
 	if seg.size >= s.opt.SegmentBytes {
@@ -383,6 +385,7 @@ func (s *Store) overLimitLocked() bool {
 		}
 	}
 	if s.opt.MaxAge > 0 {
+		//im:allow wallclock — retention policy is wall-clock by contract: MaxAge ages segments against real time
 		cutoff := time.Now().Add(-s.opt.MaxAge).UnixNano()
 		newest := int64(0)
 		for _, r := range s.refs {
@@ -592,8 +595,14 @@ func (s *Store) decodeRef(ref recordRef) ([]export.Record, export.TableStats, er
 	if err != nil {
 		return nil, export.TableStats{}, err
 	}
-	defer f.Close()
-	return decodeFrameFrom(f, ref)
+	recs, stats, err := decodeFrameFrom(f, ref)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, export.TableStats{}, err
+	}
+	return recs, stats, nil
 }
 
 // decodeFrameFrom decodes one record from an already-open segment file.

@@ -71,6 +71,7 @@ func (s *Store) observeQuery(kind queryKind, start time.Time) {
 	tm := s.tm
 	s.mu.Unlock()
 	if tm != nil {
+		//im:allow wallclock — latency telemetry seam: paired with each query's start stamp
 		tm.queryNanos[kind].Observe(uint64(time.Since(start)))
 	}
 }

@@ -217,6 +217,8 @@ func (t *Table) Accumulate(key packet.FlowKey, pkts, bytes float64, now int64) (
 // fields out before touching the table again. For Evicted, the displaced
 // entry is retained in the table's victim scratch until the next eviction;
 // read it through Victim (a copy) or use Accumulate, which surfaces it.
+//
+//im:hotpath
 func (t *Table) AccumulateHashed(h uint64, key packet.FlowKey, pkts, bytes float64, now int64) (Outcome, *Entry) {
 	id := uint32(h ^ (h >> 32))
 
@@ -356,6 +358,8 @@ func (t *Table) Lookup(key packet.FlowKey, now int64) (Entry, bool) {
 
 // LookupHashed is Lookup with the key's precomputed Hash64, for callers
 // that already paid for the hash (the engine computes it once per packet).
+//
+//im:hotpath
 func (t *Table) LookupHashed(h uint64, key packet.FlowKey, now int64) (Entry, bool) {
 	id := uint32(h ^ (h >> 32))
 	for i := 0; i < t.probeLimit; i++ {
