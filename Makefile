@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 lint vet-race fuzz-smoke store-smoke bench bench-guard bench-json clean
+.PHONY: all build test tier1 lint vet-race fuzz-smoke store-smoke flight-smoke bench bench-guard bench-json clean
 
 all: build test
 
@@ -11,7 +11,7 @@ build:
 # pass — including the differential-oracle suite under the race detector
 # (the concurrent pipeline leg is the racy surface; the oracle shrinks its
 # workload automatically under -race via the raceEnabled build tag).
-tier1: build store-smoke lint
+tier1: build store-smoke flight-smoke lint
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -run 'TestDifferential' ./internal/oracle/... ./internal/pipeline/...
@@ -33,6 +33,14 @@ lint:
 store-smoke:
 	$(GO) test ./internal/store/ -run 'TestStoreSmoke|TestCrashRecovery' -count=1
 	$(GO) test ./internal/oracle/ -run 'TestStoreDifferential' -count=1
+
+# flight-smoke is the flight-recorder drill: a live exporter→collector→
+# store run with the always-on recorder, after which /debug/flight must
+# reconstruct the epoch's complete cut→encode→send→receive→commit
+# timeline. The concurrent scrape test rides along under the race
+# detector — the metrics/flight/health surface is lock-free by contract.
+flight-smoke:
+	$(GO) test -race -run 'TestFlightSmoke|TestConcurrentTelemetryServer' -count=1 .
 
 # vet-race is the observability gate: static checks plus the telemetry
 # and pipeline packages under the race detector (lock-free counters and

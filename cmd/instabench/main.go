@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"instameasure/internal/experiments"
+	"instameasure/internal/flight"
 	"instameasure/internal/telemetry"
 )
 
@@ -34,12 +35,15 @@ func run() error {
 			"csm, iblt, deleg, evict, probe, shard, apps, onset, layers, oracle); empty = all")
 		scale   = flag.String("scale", "default", "workload scale: small, default, large")
 		seed    = flag.Uint64("seed", 0, "override workload seed (0 = scale default)")
-		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on host:port while benchmarking")
+		metrics = flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/flight and /healthz on host:port while benchmarking")
+		flightTL = flag.Bool("flight", false, "print the flight recorder's text timeline after the run (sampled hot-path spans from every experiment engine)")
 	)
 	flag.Parse()
 
 	if *metrics != "" {
 		// Runtime gauges plus pprof: profile a long experiment run live.
+		// The experiment engines record into the process-wide flight
+		// recorder, so /debug/flight shows their sampled spans too.
 		reg := telemetry.NewRegistry("instameasure", 1)
 		telemetry.RegisterRuntimeMetrics(reg)
 		srv, err := telemetry.NewServer(*metrics, reg)
@@ -47,7 +51,11 @@ func run() error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("metrics at http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+		health := flight.NewHealth()
+		srv.Handle("/debug/flight", flight.NewHandler(flight.Default()))
+		srv.Handle("/healthz", health.LiveHandler())
+		srv.Handle("/readyz", health.ReadyHandler())
+		fmt.Printf("metrics at http://%s/metrics (pprof at /debug/pprof/, flight at /debug/flight)\n", srv.Addr())
 	}
 
 	s, err := pickScale(*scale)
@@ -78,6 +86,12 @@ func run() error {
 		}
 	}
 	fmt.Printf("total time: %s\n", time.Since(start).Round(time.Millisecond))
+	if *flightTL {
+		fmt.Println()
+		if err := flight.WriteTimeline(os.Stdout, flight.Snapshot(flight.Default())); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,11 +49,17 @@ func run() error {
 		interval = flag.Duration("epoch-interval", 0, "cut an epoch every D of trace time (capture timestamps), e.g. 500ms; combines with -epoch — whichever fires first cuts")
 		snapshot = flag.String("snapshot", "", "write the final flow table to this snapshot file")
 		exportTo = flag.String("export", "", "export each epoch's flow table to a collector at host:port")
-		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on host:port")
+		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/flight, /healthz and /readyz on host:port")
 		storeDir = flag.String("store", "", "append each epoch's flow table to the epoch store in this directory (query with /flows or wsafdump -store)")
 		storeSyn = flag.Bool("store-sync", false, "fsync the store after every epoch append")
+		sloBudget = flag.Duration("slo-budget", 0, "detection-delay budget: p99 epoch cut-to-commit latency the run promises (0 = no SLO); burn state is the instameasure_slo_burn gauge")
+		flightOut = flag.String("flight-dump", "", "write the flight recorder's JSON dump to this file at exit (re-render with wsafdump -flight)")
 	)
 	flag.Parse()
+
+	if *sloBudget > 0 {
+		instameasure.SetDetectionDelayBudget(*sloBudget)
+	}
 
 	cfg := instameasure.Config{
 		SketchMemoryBytes: *sketchKB << 10,
@@ -116,10 +123,39 @@ func run() error {
 		store:     *storeDir,
 		storeSync: *storeSyn,
 	}
+	var err error
 	if *workers > 1 {
-		return runCluster(cfg, *workers, *batch, src, opts)
+		err = runCluster(cfg, *workers, *batch, src, opts)
+	} else {
+		err = runMeter(cfg, src, opts)
 	}
-	return runMeter(cfg, src, opts)
+	if err != nil {
+		return err
+	}
+	return writeFlightDump(*flightOut)
+}
+
+// writeFlightDump saves the flight recorder's state as JSON, for offline
+// re-rendering with wsafdump -flight.
+func writeFlightDump(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(instameasure.FlightSnapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote flight dump to %s\n", path)
+	return nil
 }
 
 type meterOpts struct {
@@ -153,7 +189,7 @@ func serveMetrics(t *instameasure.Telemetry, addr string) (*instameasure.Telemet
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("metrics at %s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.URL())
+	fmt.Printf("metrics at %s/metrics (expvar at /debug/vars, pprof at /debug/pprof/, flight at /debug/flight, health at /healthz and /readyz)\n", srv.URL())
 	return srv, nil
 }
 
@@ -208,6 +244,15 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 		}
 		defer exporter.Close()
 		exporter.Instrument(meter.Telemetry())
+		if srv != nil {
+			exp := exporter
+			srv.RegisterHealth("exporter", func() error {
+				if !exp.Connected() {
+					return errors.New("collector connection down")
+				}
+				return nil
+			})
+		}
 	}
 
 	n, err := drain(meter, src, opts, exporter)
@@ -270,6 +315,9 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 	cut := func() error {
 		epochID++
 		sincePkts = 0
+		// Open the epoch's detection-delay interval in the flight recorder
+		// before the export/commit pipeline starts.
+		meter.MarkEpochCut(epochID)
 		st := meter.Stats()
 		// Interim ratios read back from the live telemetry registry —
 		// the same series a Prometheus scrape of -metrics would see.
@@ -304,6 +352,7 @@ func drain(meter *instameasure.Meter, src instameasure.PacketSource, opts meterO
 			// Commit whatever accumulated since the last cut as a final
 			// epoch, so the stored history covers the whole run.
 			if hasStore && sincePkts > 0 {
+				meter.MarkEpochCut(epochID + 1)
 				if err := meter.CommitEpoch(epochID + 1); err != nil {
 					return n, err
 				}
@@ -359,6 +408,7 @@ func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.Pa
 	}
 	if srv != nil {
 		defer srv.Close()
+		srv.RegisterHealth("pipeline", cluster.Saturated)
 	}
 	if opts.store != "" {
 		fs, err := instameasure.OpenFlowStore(opts.store, opts.storeOptions())
@@ -379,6 +429,7 @@ func runCluster(cfg instameasure.Config, workers, batch int, src instameasure.Pa
 	if cluster.Store() != nil {
 		// The cluster drains the whole source in one go; its history is a
 		// single epoch holding the merged final table.
+		cluster.MarkEpochCut(1)
 		if err := cluster.CommitEpoch(1); err != nil {
 			return err
 		}

@@ -11,9 +11,12 @@
 //	wsafdump -store ./history -from 3 -to 7 -top 10  # over epochs [3,7]
 //	wsafdump -store ./history -timeline 1a2b3c4d5e6f7890
 //	wsafdump -store ./history -changers 10
+//	wsafdump -flight flight.json                     # re-render a saved flight dump
+//	wsafdump -flight meter.json collector.json       # stitch two processes' dumps
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +25,7 @@ import (
 	"strconv"
 
 	"instameasure"
+	"instameasure/internal/flight"
 )
 
 func main() {
@@ -40,10 +44,17 @@ func run() error {
 		to       = flag.Int64("to", 0, "store query: window end epoch (0 = open)")
 		timeline = flag.String("timeline", "", "store query: per-epoch history of one flow (16-hex flow id)")
 		changers = flag.Int("changers", 0, "store query: print the K heaviest changers between the last two epochs")
+		flightTL = flag.Bool("flight", false, "treat FILE args as saved flight-recorder JSON dumps (from /debug/flight or instameasure -flight-dump) and print the merged text timeline")
 	)
 	flag.Parse()
 	if *by != "packets" && *by != "bytes" {
 		return fmt.Errorf("unknown -by %q (want packets or bytes)", *by)
+	}
+	if *flightTL {
+		if flag.NArg() == 0 {
+			return errors.New("-flight needs one or more dump files (the JSON from /debug/flight or -flight-dump)")
+		}
+		return runFlight(flag.Args())
 	}
 	if *storeDir != "" {
 		if flag.NArg() != 0 {
@@ -108,6 +119,38 @@ func run() error {
 			i+1, rec.Key, rec.Pkts, rec.Bytes/1e6)
 	}
 	return nil
+}
+
+// runFlight re-renders saved flight-recorder dumps offline. Several files
+// merge into one stream keyed by epoch id, so a meter-side dump and a
+// collector-side dump reconstruct the cross-process cut→commit timeline.
+func runFlight(paths []string) error {
+	dumps := make([]flight.Dump, 0, len(paths))
+	var merged flight.Dump
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var d flight.Dump
+		if err := json.Unmarshal(data, &d); err != nil {
+			return fmt.Errorf("%s: not a flight dump: %w", path, err)
+		}
+		if d.TakenUnixNS > merged.TakenUnixNS {
+			merged.TakenUnixNS = d.TakenUnixNS
+		}
+		// Keep the SLO view with the most observed epochs — typically the
+		// store-side process, which sees the commits.
+		if d.SLO.Epochs > merged.SLO.Epochs {
+			merged.SLO = d.SLO
+		}
+		dumps = append(dumps, d)
+	}
+	// JSON carries stage names, not the internal Stage codes; MergeEvents
+	// re-parses them and sorts, then the epochs are rebuilt from scratch.
+	merged.Events = flight.MergeEvents(dumps...)
+	merged.Epochs = flight.Reconstruct(merged.Events)
+	return flight.WriteTimeline(os.Stdout, merged)
 }
 
 // runStore answers queries over an epoch store directory.

@@ -2,8 +2,10 @@ package instameasure
 
 import (
 	"fmt"
+	"time"
 
 	"instameasure/internal/export"
+	"instameasure/internal/flight"
 )
 
 // Collector receives flow batches exported by remote meters over TCP and
@@ -37,6 +39,9 @@ func NewCollector(addr string, onBatch func(epoch int64, flows []FlowRecord)) (*
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
+	// Every merged frame lands in the flight recorder under the batch's
+	// epoch id — the collector half of the cross-process epoch timeline.
+	c.SetFlight(flight.Default().Control())
 	return &Collector{c: c}, nil
 }
 
@@ -76,16 +81,25 @@ func DialCollector(addr string) (*Exporter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
+	// Sends, send errors, backoff skips, and redials all land in the
+	// flight recorder under the batch's epoch id.
+	e.SetFlight(flight.Default().Control())
 	return &Exporter{e: e}, nil
 }
 
 // ExportMeter sends the meter's current flow table tagged with epoch.
+// The snapshot walk and wire encoding are recorded as the epoch's encode
+// stage; the send itself (and any reconnect/backoff) records separately
+// inside the exporter.
 func (e *Exporter) ExportMeter(m *Meter, epoch int64) error {
+	start := time.Now()
 	snap := m.eng.Snapshot()
 	records := make([]export.Record, len(snap))
 	for i, entry := range snap {
 		records[i] = export.FromEntry(entry)
 	}
+	m.eng.Flight().EventAt(start, flight.StageEncode, epoch,
+		uint32(len(records)), 0, uint64(time.Since(start)))
 	if err := e.e.Export(export.Batch{Epoch: epoch, Records: records}); err != nil {
 		return fmt.Errorf("instameasure: %w", err)
 	}

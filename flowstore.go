@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"instameasure/internal/export"
+	"instameasure/internal/flight"
 	"instameasure/internal/store"
 )
 
@@ -54,6 +55,9 @@ func OpenFlowStore(dir string, opt StoreOptions) (*FlowStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
+	// Commits, compactions, and queries land in the flight recorder;
+	// commits carry the epoch id that closes the cut→commit interval.
+	st.SetFlight(flight.Default().Control())
 	return &FlowStore{st: st}, nil
 }
 

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Flightrec enforces the flight recorder's hot-seam contract. The recorder
+// is always on: Engine.Process/ProcessBatch call Handle.Span on sampled
+// packets, so every flight-package function reachable from an //im:hotpath
+// root is part of the measurement fast path and must stay alloc-free,
+// hash-free, and lock-free — a recording seam that allocates, hashes, or
+// blocks silently re-introduces the per-packet costs the recorder exists
+// to observe. Banned inside such functions:
+//
+//   - allocations: closures, map/slice literals, &T{...}, make, new(T),
+//     string concatenation and string<->[]byte conversions, fmt calls
+//   - map operations of any kind — index, assignment, range, delete —
+//     because every one hashes its key at runtime
+//   - explicit hashing: calls into flowhash- or maphash-scoped packages,
+//     stdlib hash/* constructors, and FlowKey.Hash64/Hash32
+//   - lock acquisition: sync Lock/RLock/Do/Wait (atomics are the
+//     recorder's only admissible synchronization)
+//
+// Cold flight-package code — ring snapshots, timeline reconstruction, the
+// HTTP handler — is out of scope: only functions the static call graph
+// reaches from an annotated root are held to the contract. Propagation
+// stops at dynamic calls, exactly like hotalloc.
+var Flightrec = &Analyzer{
+	Name: "flightrec",
+	Doc:  "hold flight-recorder record paths reachable from //im:hotpath roots to the alloc-free, hash-free, lock-free contract",
+	Run:  runFlightrec,
+}
+
+func runFlightrec(prog *Program, report func(token.Pos, string, ...any)) {
+	// Index every function declaration and collect the annotated roots —
+	// the same whole-module view hotalloc propagates over.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = fd
+				if hotpathAnnotated(fd) {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// Breadth-first reachability from the roots through static calls.
+	// via[fn] records the root that made fn hot, for the diagnostic.
+	via := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures break the static graph
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(prog.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, inModule := decls[callee]; !inModule {
+				return true
+			}
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range via {
+		if fn.Pkg() == nil || !inScope(fn.Pkg().Path(), "flight") {
+			continue
+		}
+		checkFlightBody(prog, fn, root, decls[fn], report)
+	}
+}
+
+// checkFlightBody reports every contract violation in one hot
+// flight-package function.
+func checkFlightBody(prog *Program, fn, root *types.Func, decl *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	where := funcLabel(fn)
+	if fn != root {
+		where = fmt.Sprintf("%s (hot via %s)", where, funcLabel(root))
+	}
+	info := prog.Info
+	reported := make(map[ast.Node]bool)
+	flag := func(n ast.Node, format string, args ...any) {
+		if reported[n] {
+			return
+		}
+		reported[n] = true
+		report(n.Pos(), "flight record path: "+format+" in %s", append(args, where)...)
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "closure allocation")
+			return false
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					flag(n, "map access (runtime key hash)")
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					flag(n, "range over map (runtime key hash)")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					reported[lit] = true // don't double-report the literal
+					flag(n, "heap-escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				flag(n, "map literal allocation")
+			case *types.Slice:
+				flag(n, "slice literal allocation")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					flag(n, "string concatenation allocation")
+				}
+			}
+		case *ast.CallExpr:
+			checkFlightCall(info, n, flag)
+		}
+		return true
+	})
+}
+
+// checkFlightCall classifies one call inside a hot flight function.
+func checkFlightCall(info *types.Info, call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from, ok := info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		switch {
+		case isString(to) && isByteOrRuneSlice(from.Type):
+			flag(call, "string conversion allocation")
+		case isByteOrRuneSlice(to) && isString(from.Type):
+			flag(call, "byte-slice conversion allocation")
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete":
+				flag(call, "map delete (runtime key hash)")
+			case "make":
+				flag(call, "make allocation")
+			case "new":
+				flag(call, "new(T) allocation")
+			}
+			return
+		}
+	}
+
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	switch {
+	case inScope(path, "flowhash", "maphash") || path == "hash" || strings.HasPrefix(path, "hash/"):
+		flag(call, "hash call (%s)", funcLabel(callee))
+	case (callee.Name() == "Hash64" || callee.Name() == "Hash32") && recvNamed(callee) == "FlowKey":
+		flag(call, "hash call (%s)", funcLabel(callee))
+	case path == "sync" && isLockAcquire(callee.Name()):
+		flag(call, "lock acquisition (%s)", funcLabel(callee))
+	case calleeIs(callee, "fmt",
+		"Sprintf", "Sprint", "Sprintln", "Errorf", "Printf", "Print", "Println",
+		"Fprintf", "Fprint", "Fprintln", "Appendf", "Append"):
+		flag(call, "fmt call")
+	}
+}
+
+// isLockAcquire reports whether a sync-package method blocks or serializes:
+// the recorder's only admissible synchronization is sync/atomic.
+func isLockAcquire(name string) bool {
+	switch name {
+	case "Lock", "RLock", "Do", "Wait":
+		return true
+	}
+	return false
+}

@@ -118,6 +118,12 @@ func TestHotallocGolden(t *testing.T) {
 	runGolden(t, Hotalloc, "hotalloc")
 }
 
+func TestFlightrecGolden(t *testing.T) {
+	// Order matters: fixture imports resolve against already-loaded dirs,
+	// so dependencies come first.
+	runGolden(t, Flightrec, "flightrec/flowhash", "flightrec/flight", "flightrec/hot")
+}
+
 func TestHashonceGolden(t *testing.T) {
 	runGolden(t, Hashonce, "hashonce/wsaf", "hashonce/free")
 }

@@ -4,6 +4,7 @@ package analysis
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Hotalloc,
+		Flightrec,
 		Hashonce,
 		Atomicfield,
 		Errclose,

@@ -1,0 +1,17 @@
+// Package hot holds the //im:hotpath root that pulls the fixture flight
+// package's record seam into the hot call graph. The root itself is not
+// flight-scoped, so flightrec reports nothing here — the diagnostics land
+// in flightrec/flight, labeled "hot via hot.Process".
+package hot
+
+import "flightrec/flight"
+
+var rec flight.Ring
+
+// Process is the annotated root: its static call into Ring.Record makes
+// the record seam (and everything it calls inside flight) hot.
+//
+//im:hotpath
+func Process(v uint64) {
+	rec.Record(flight.FlowKey{A: v, B: v >> 1}, v)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"instameasure/internal/flight"
 	"instameasure/internal/flowreg"
 	"instameasure/internal/hll"
 	"instameasure/internal/packet"
@@ -53,6 +54,10 @@ type Config struct {
 	// Worker selects the registry shard this engine writes (its worker
 	// index); engines sharing a registry must use distinct shards.
 	Worker int
+	// Flight, if non-nil, is the flight recorder the engine's sampled
+	// hot-path spans record into; nil uses the process-wide
+	// flight.Default() — the recorder is always on.
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +115,7 @@ type Engine struct {
 	onPass    func(PassEvent)
 	telemetry *telemetry.Registry
 	tm        engineMetrics
+	fl        flight.Handle
 
 	packets uint64
 	bytes   uint64
@@ -155,6 +161,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, reg: reg, table: table, card: card}
 	e.instrument()
+	rec := cfg.Flight
+	if rec == nil {
+		rec = flight.Default()
+	}
+	e.fl = rec.Handle(cfg.Worker)
+	rec.Instrument(e.telemetry)
 	return e, nil
 }
 
@@ -169,6 +181,7 @@ func (e *Engine) instrument() {
 		reg = telemetry.NewRegistry("instameasure", 1)
 	}
 	e.telemetry = reg
+	telemetry.RegisterBuildInfo(reg)
 	w := e.cfg.Worker
 
 	e.tm.packets = reg.Counter("packets_total",
@@ -238,6 +251,9 @@ func (e *Engine) instrument() {
 // Telemetry returns the registry the engine publishes into.
 func (e *Engine) Telemetry() *telemetry.Registry { return e.telemetry }
 
+// Flight returns the engine's flight-recorder handle (its span ring).
+func (e *Engine) Flight() flight.Handle { return e.fl }
+
 // MustNew is New for statically-known-good configs; it panics on error.
 func MustNew(cfg Config) *Engine {
 	e, err := New(cfg)
@@ -276,7 +292,11 @@ func (e *Engine) Process(p packet.Packet) {
 
 	if sampled {
 		//im:allow hotalloc,wallclock — latency telemetry seam: paired with the sampled time.Now above
-		e.tm.latency.Observe(uint64(time.Since(t0)))
+		lat := uint64(time.Since(t0))
+		e.tm.latency.Observe(lat)
+		// Flight span reuses the sample's own clock reads — Span is held
+		// alloc- and hash-free by the imvet flightrec gate.
+		e.fl.Span(t0, 1, lat)
 	}
 }
 
@@ -315,7 +335,11 @@ func (e *Engine) ProcessBatch(batch []packet.Packet) {
 	// One mean per-packet latency observation and one counter publication
 	// per batch (versus 1-in-1024 and 1-in-64 packets on the scalar path).
 	//im:allow hotalloc,wallclock — latency telemetry seam: paired with the per-batch time.Now above
-	e.tm.latency.Observe(uint64(time.Since(t0)) / uint64(len(batch)))
+	perPkt := uint64(time.Since(t0)) / uint64(len(batch))
+	e.tm.latency.Observe(perPkt)
+	// Flight span reuses the batch's own clock reads — Span is held
+	// alloc- and hash-free by the imvet flightrec gate.
+	e.fl.Span(t0, uint32(len(batch)), perPkt)
 	e.publishTotals()
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"instameasure/internal/flight"
 	"instameasure/internal/packet"
 	"instameasure/internal/telemetry"
 )
@@ -89,6 +90,7 @@ type Exporter struct {
 	max      time.Duration
 
 	tm *Telemetry
+	fl flight.Handle
 }
 
 // Dial connects an exporter to a collector address. The initial dial must
@@ -107,6 +109,24 @@ func Dial(addr string) (*Exporter, error) {
 // SetTelemetry attaches metric handles updated per exported batch. Pass
 // nil to detach.
 func (e *Exporter) SetTelemetry(tm *Telemetry) { e.tm = tm }
+
+// SetFlight attaches a flight-recorder handle; every send, send error,
+// backoff skip, and successful redial is recorded with the batch's epoch
+// id (the trace id the collector side records under too).
+func (e *Exporter) SetFlight(h flight.Handle) {
+	e.mu.Lock()
+	e.fl = h
+	e.mu.Unlock()
+}
+
+// Connected reports whether the exporter currently holds a live
+// connection — the /readyz probe. False between a torn-down send and the
+// successful redial.
+func (e *Exporter) Connected() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.conn != nil
+}
 
 // SetBackoff overrides the reconnect backoff bounds: the first retry
 // waits ~base (jittered), doubling per consecutive failure up to max.
@@ -164,12 +184,22 @@ func (e *Exporter) ensureConnLocked() error {
 func (e *Exporter) Export(b Batch) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	wasDown := e.conn == nil
 	if err := e.ensureConnLocked(); err != nil {
 		if e.tm != nil {
 			e.tm.Errors.Inc()
 		}
+		if errors.Is(err, ErrBackoff) {
+			e.fl.Event(flight.StageBackoff, b.Epoch, uint32(len(b.Records)), 0, 0)
+		} else {
+			e.fl.Event(flight.StageSendError, b.Epoch, uint32(len(b.Records)), 0, 0)
+		}
 		return err
 	}
+	if wasDown {
+		e.fl.Event(flight.StageReconnect, b.Epoch, 0, 0, 0)
+	}
+	start := time.Now()
 	before := e.cw.n
 	if err := WriteBatch(&e.cw, b); err != nil {
 		// The write already failed; a close error adds nothing.
@@ -180,6 +210,8 @@ func (e *Exporter) Export(b Batch) error {
 			e.tm.Errors.Inc()
 			e.tm.Bytes.Add(e.cw.n - before)
 		}
+		e.fl.EventAt(start, flight.StageSendError, b.Epoch,
+			uint32(len(b.Records)), e.cw.n-before, uint64(time.Since(start)))
 		return fmt.Errorf("export: %w", err)
 	}
 	e.attempts = 0
@@ -188,6 +220,8 @@ func (e *Exporter) Export(b Batch) error {
 		e.tm.Records.Add(uint64(len(b.Records)))
 		e.tm.Bytes.Add(e.cw.n - before)
 	}
+	e.fl.EventAt(start, flight.StageSend, b.Epoch,
+		uint32(len(b.Records)), e.cw.n-before, uint64(time.Since(start)))
 	return nil
 }
 
@@ -223,6 +257,7 @@ type Collector struct {
 	records uint64
 	onBatch func(Batch)
 	sink    func(Batch)
+	fl      flight.Handle
 
 	closing chan struct{}
 	wg      sync.WaitGroup
@@ -268,6 +303,27 @@ func (c *Collector) SetSink(fn func(Batch)) {
 	c.mu.Lock()
 	c.sink = fn
 	c.mu.Unlock()
+}
+
+// SetFlight attaches a flight-recorder handle; every merged frame is
+// recorded as a receive event carrying the batch's epoch id — the same
+// trace id the sending exporter recorded, which is what lets a dump
+// stitch one epoch's journey across the process boundary.
+func (c *Collector) SetFlight(h flight.Handle) {
+	c.mu.Lock()
+	c.fl = h
+	c.mu.Unlock()
+}
+
+// Listening reports whether the collector still accepts connections —
+// the /readyz probe. False once Close begins.
+func (c *Collector) Listening() bool {
+	select {
+	case <-c.closing:
+		return false
+	default:
+		return true
+	}
 }
 
 func (c *Collector) acceptLoop() {
@@ -341,6 +397,7 @@ func (c *Collector) serve(conn net.Conn) {
 }
 
 func (c *Collector) merge(b Batch) {
+	start := time.Now()
 	c.mu.Lock()
 	for _, rec := range b.Records {
 		cur, ok := c.flows[rec.Key]
@@ -360,9 +417,11 @@ func (c *Collector) merge(b Batch) {
 	}
 	c.batches++
 	c.records += uint64(len(b.Records))
-	onBatch, sink := c.onBatch, c.sink
+	onBatch, sink, fl := c.onBatch, c.sink, c.fl
 	c.mu.Unlock()
 
+	fl.EventAt(start, flight.StageReceive, b.Epoch,
+		uint32(len(b.Records)), 0, uint64(time.Since(start)))
 	if onBatch != nil {
 		onBatch(b)
 	}

@@ -1,0 +1,345 @@
+package flight
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"instameasure/internal/telemetry"
+)
+
+func TestStageRoundTrip(t *testing.T) {
+	for st := StageCut; st < numStages; st++ {
+		name := st.String()
+		if name == "unknown" || name == "invalid" {
+			t.Fatalf("stage %d renders as %q", st, name)
+		}
+		back, ok := ParseStage(name)
+		if !ok || back != st {
+			t.Errorf("ParseStage(%q) = %v, %v; want %v, true", name, back, ok, st)
+		}
+	}
+	if _, ok := ParseStage("nonsense"); ok {
+		t.Error("ParseStage accepted an unknown name")
+	}
+}
+
+func TestRecorderRecordAndEvents(t *testing.T) {
+	r := NewRecorder(2, 8)
+	h := r.Handle(0)
+	ctl := r.Control()
+
+	ctl.Event(StageCut, 5, 100, 0, 0)
+	ctl.Event(StageCommit, 5, 100, 4096, 1000)
+	h.Span(time.Now(), 64, 120)
+
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("Events() = %d events, want 3", len(events))
+	}
+	var stages []string
+	for _, ev := range events {
+		stages = append(stages, ev.StageName)
+	}
+	for _, want := range []string{"cut", "commit", "packet_span"} {
+		found := false
+		for _, s := range stages {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stages %v missing %q", stages, want)
+		}
+	}
+	for _, ev := range events {
+		if ev.Stage == StagePacketSpan {
+			if ev.Count != 64 || ev.Dur != 120 {
+				t.Errorf("span event = %+v, want count 64 dur 120", ev)
+			}
+			if ev.Worker != 0 {
+				t.Errorf("span recorded on worker %d, want 0", ev.Worker)
+			}
+		}
+		if ev.Stage == StageCommit && ev.Bytes != 4096 {
+			t.Errorf("commit bytes = %d, want 4096", ev.Bytes)
+		}
+	}
+}
+
+func TestRingWrapsAtCapacity(t *testing.T) {
+	r := NewRecorder(1, 4) // 4-slot rings
+	ctl := r.Control()
+	for i := int64(1); i <= 10; i++ {
+		ctl.Event(StageReceive, i, 1, 0, 0)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("wrapped ring holds %d events, want 4", len(events))
+	}
+	// The newest 4 epochs survive.
+	for _, ev := range events {
+		if ev.Epoch < 7 {
+			t.Errorf("stale epoch %d survived the wrap", ev.Epoch)
+		}
+	}
+}
+
+func TestZeroHandleIsNoOp(t *testing.T) {
+	var h Handle
+	h.Span(time.Now(), 1, 1) // must not panic
+	h.Event(StageCut, 1, 0, 0, 0)
+	h.EventAt(time.Now(), StageCommit, 1, 0, 0, 0)
+	if h.Recorder() != nil {
+		t.Error("zero Handle has a recorder")
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(4, 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Handle(w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Span(time.Now(), uint32(i), uint64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, ev := range r.Events() {
+			if ev.Stage != StagePacketSpan {
+				t.Errorf("torn read surfaced stage %v", ev.Stage)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSLOTracker(t *testing.T) {
+	r := NewRecorder(1, 16)
+	r.SetBudget(time.Millisecond)
+	ctl := r.Control()
+
+	base := r.now()
+	r.noteStage(StageCut, 42, base, 0)
+	r.noteStage(StageCommit, 42, base+500_000, 100_000) // 600µs cut→commit
+
+	s := r.SLO()
+	if s.Epochs != 1 {
+		t.Fatalf("epochs measured = %d, want 1", s.Epochs)
+	}
+	if s.LastNS != 600_000 {
+		t.Errorf("last cut→commit = %dns, want 600000", s.LastNS)
+	}
+	// p99 is bucketed to the next 2^k-1 boundary.
+	if s.P99NS < 600_000 || s.P99NS > 2*600_000 {
+		t.Errorf("p99 = %dns, want within [600µs, 1.2ms]", s.P99NS)
+	}
+	if s.BudgetNS != int64(time.Millisecond) {
+		t.Errorf("budget = %d, want 1ms", s.BudgetNS)
+	}
+	if s.Burn <= 0 {
+		t.Errorf("burn = %v, want positive with budget set", s.Burn)
+	}
+
+	// A commit with no remembered cut is ignored.
+	ctl.Event(StageCommit, 999, 1, 0, 0)
+	if got := r.SLO().Epochs; got != 1 {
+		t.Errorf("orphan commit counted: epochs = %d", got)
+	}
+}
+
+func TestReconstructCompleteTimeline(t *testing.T) {
+	r := NewRecorder(1, 32)
+	ctl := r.Control()
+	ctl.Event(StageCut, 7, 100, 0, 0)
+	ctl.Event(StageEncode, 7, 100, 0, 2000)
+	ctl.Event(StageSend, 7, 100, 8192, 3000)
+	ctl.Event(StageReceive, 7, 100, 0, 1000)
+	ctl.Event(StageCommit, 7, 100, 4096, 5000)
+	ctl.Event(StageCut, 8, 90, 0, 0) // epoch 8 never commits
+
+	d := Snapshot(r)
+	if len(d.Epochs) != 2 {
+		t.Fatalf("reconstructed %d epochs, want 2", len(d.Epochs))
+	}
+	e7, e8 := d.Epochs[0], d.Epochs[1]
+	if e7.Epoch != 7 || e8.Epoch != 8 {
+		t.Fatalf("epoch order = %d, %d; want 7, 8", e7.Epoch, e8.Epoch)
+	}
+	if !e7.Complete {
+		t.Error("epoch 7 saw cut and commit but is not Complete")
+	}
+	if e7.CutToCommitNS <= 0 {
+		t.Error("complete epoch has no cut→commit latency")
+	}
+	if len(e7.Stages) != 5 {
+		t.Errorf("epoch 7 has %d stages, want 5", len(e7.Stages))
+	}
+	if e8.Complete {
+		t.Error("epoch 8 never committed but is Complete")
+	}
+}
+
+func TestDumpJSONRoundTripAndMerge(t *testing.T) {
+	r := NewRecorder(1, 16)
+	ctl := r.Control()
+	ctl.Event(StageCut, 3, 10, 0, 0)
+	ctl.Event(StageCommit, 3, 10, 128, 500)
+
+	raw, err := json.Marshal(Snapshot(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Dump
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	// Stage is not serialized; MergeEvents re-derives it from StageName.
+	events := MergeEvents(decoded)
+	if len(events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Stage == stageInvalid {
+			t.Errorf("merge left stage unresolved for %q", ev.StageName)
+		}
+	}
+	tls := Reconstruct(events)
+	if len(tls) != 1 || !tls[0].Complete {
+		t.Fatalf("re-reconstruction = %+v, want one complete epoch", tls)
+	}
+}
+
+func TestWriteTimelinePropagatesWriterError(t *testing.T) {
+	r := NewRecorder(1, 16)
+	r.Control().Event(StageCut, 1, 1, 0, 0)
+	d := Snapshot(r)
+	werr := errors.New("pipe burst")
+	if err := WriteTimeline(failWriter{werr}, d); !errors.Is(err, werr) {
+		t.Errorf("WriteTimeline error = %v, want %v", err, werr)
+	}
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "epoch 1") {
+		t.Errorf("timeline missing epoch header:\n%s", sb.String())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestHandlerJSONAndText(t *testing.T) {
+	r := NewRecorder(1, 16)
+	ctl := r.Control()
+	ctl.Event(StageCut, 11, 5, 0, 0)
+	ctl.Event(StageCommit, 11, 5, 64, 300)
+	h := NewHandler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("JSON view does not decode: %v", err)
+	}
+	if len(d.Epochs) != 1 || d.Epochs[0].Epoch != 11 {
+		t.Errorf("JSON view epochs = %+v, want epoch 11", d.Epochs)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?fmt=text", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text view Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "epoch 11") {
+		t.Errorf("text view missing epoch 11:\n%s", rec.Body.String())
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	var fail error
+	h.Register("store", func() error { return fail })
+	h.Register("exporter", func() error { return nil })
+
+	rec := httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Errorf("all-healthy /readyz = %d, want 200", rec.Code)
+	}
+
+	fail = errors.New("disk full")
+	rec = httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Errorf("degraded /readyz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "disk full") {
+		t.Errorf("/readyz body lacks the probe error:\n%s", rec.Body.String())
+	}
+
+	// Liveness stays 200 while degraded.
+	rec = httptest.NewRecorder()
+	h.LiveHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("degraded /healthz = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "degraded") {
+		t.Errorf("/healthz body does not say degraded:\n%s", rec.Body.String())
+	}
+
+	if names := h.ComponentNames(); len(names) != 2 || names[0] != "exporter" || names[1] != "store" {
+		t.Errorf("ComponentNames = %v", names)
+	}
+}
+
+func TestInstrumentRegistersStageHistogramsAndSLOGauges(t *testing.T) {
+	r := NewRecorder(1, 16)
+	reg := telemetry.NewRegistry("instameasure", 1)
+	r.Instrument(reg)
+	r.Instrument(reg) // idempotent per registry
+
+	r.SetBudget(2 * time.Millisecond)
+	ctl := r.Control()
+	ctl.Event(StageCut, 1, 1, 0, 0)
+	ctl.Event(StageCommit, 1, 1, 64, uint64(time.Millisecond))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`instameasure_epoch_stage_seconds_bucket{stage="commit"`,
+		"instameasure_slo_epoch_commit_p99_seconds",
+		"instameasure_slo_detection_delay_budget_seconds",
+		"instameasure_slo_burn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented registry missing %q", want)
+		}
+	}
+	if got := reg.Value("instameasure_slo_detection_delay_budget_seconds"); got != 0.002 {
+		t.Errorf("budget gauge = %g, want 0.002", got)
+	}
+	if got := reg.Value("instameasure_slo_burn"); got <= 0 {
+		t.Errorf("burn gauge = %g, want positive (p99 ~1ms vs 2ms budget)", got)
+	}
+}

@@ -1,0 +1,24 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewHandler serves the recorders' merged state as /debug/flight: JSON by
+// default (a Dump, suitable for saving and re-rendering with wsafdump),
+// or a text timeline with ?fmt=text.
+func NewHandler(recs ...*Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := Snapshot(recs...)
+		if req.URL.Query().Get("fmt") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteTimeline(w, d)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d)
+	})
+}

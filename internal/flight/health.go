@@ -1,0 +1,105 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Probe reports one component's health: nil means healthy, an error
+// carries the reason it is not ready.
+type Probe func() error
+
+// Health is a named set of component probes backing /healthz and
+// /readyz. Components register as they come up (exporter, collector,
+// store, pipeline); probes run at request time.
+type Health struct {
+	mu     sync.Mutex
+	probes map[string]Probe
+}
+
+// NewHealth returns an empty probe set.
+func NewHealth() *Health { return &Health{probes: make(map[string]Probe)} }
+
+// Register adds (or replaces) the probe for a component name.
+func (h *Health) Register(name string, p Probe) {
+	h.mu.Lock()
+	h.probes[name] = p
+	h.mu.Unlock()
+}
+
+// Check runs every probe and returns overall readiness plus per-component
+// detail ("ok" or the error text), sorted by component name in keys.
+func (h *Health) Check() (ready bool, components map[string]string) {
+	h.mu.Lock()
+	probes := make(map[string]Probe, len(h.probes))
+	for name, p := range h.probes {
+		probes[name] = p
+	}
+	h.mu.Unlock()
+
+	ready = true
+	components = make(map[string]string, len(probes))
+	for name, p := range probes {
+		if err := p(); err != nil {
+			components[name] = err.Error()
+			ready = false
+		} else {
+			components[name] = "ok"
+		}
+	}
+	return ready, components
+}
+
+// healthBody is the JSON body both endpoints serve.
+type healthBody struct {
+	Status     string            `json:"status"`
+	Components map[string]string `json:"components,omitempty"`
+}
+
+func (h *Health) serve(w http.ResponseWriter, readiness bool) {
+	ready, components := h.Check()
+	status := "ok"
+	code := http.StatusOK
+	if !ready {
+		if readiness {
+			status = "unready"
+			code = http.StatusServiceUnavailable
+		} else {
+			// Liveness: degraded components do not mean the process
+			// should be restarted, so stay 200.
+			status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(healthBody{Status: status, Components: components})
+}
+
+// LiveHandler serves /healthz: 200 whenever the process can answer at
+// all, with per-component detail in the body (degraded components do not
+// flip the status code — liveness is "don't restart me").
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { h.serve(w, false) })
+}
+
+// ReadyHandler serves /readyz: 503 until every registered probe passes —
+// readiness is "route traffic to me".
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { h.serve(w, true) })
+}
+
+// ComponentNames returns the sorted registered component names.
+func (h *Health) ComponentNames() []string {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.probes))
+	for name := range h.probes {
+		names = append(names, name)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"instameasure/internal/core"
+	"instameasure/internal/flight"
 	"instameasure/internal/flowhash"
 	"instameasure/internal/packet"
 	"instameasure/internal/telemetry"
@@ -78,6 +79,9 @@ type Config struct {
 	// with every worker engine; nil creates a registry sharded by
 	// Workers, reachable via System.Telemetry().
 	Telemetry *telemetry.Registry
+	// Flight, if non-nil, is the flight recorder shared with every worker
+	// engine; nil uses flight.Default().
+	Flight *flight.Recorder
 }
 
 // QueueSample is one occupancy observation; depths are in packets
@@ -165,6 +169,7 @@ type System struct {
 	batch   int
 
 	telemetry     *telemetry.Registry
+	flight        *flight.Recorder
 	workerPackets []telemetry.CounterShard
 	workerDropped []telemetry.CounterShard
 }
@@ -192,8 +197,13 @@ func New(cfg Config) (*System, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry("instameasure", cfg.Workers)
 	}
+	rec := cfg.Flight
+	if rec == nil {
+		rec = flight.Default()
+	}
 	s := &System{
 		cfg:           cfg,
+		flight:        rec,
 		engines:       make([]*core.Engine, cfg.Workers),
 		queues:        make([]chan []packet.Packet, cfg.Workers),
 		recycle:       make([]chan []packet.Packet, cfg.Workers),
@@ -210,6 +220,7 @@ func New(cfg Config) (*System, error) {
 		engCfg.Seed = cfg.Engine.Seed + uint64(i)*0x9E3779B97F4A7C15
 		engCfg.Telemetry = reg
 		engCfg.Worker = i
+		engCfg.Flight = rec
 		eng, err := core.New(engCfg)
 		if err != nil {
 			return nil, fmt.Errorf("worker %d engine: %w", i, err)
@@ -258,6 +269,22 @@ func New(cfg Config) (*System, error) {
 // Telemetry returns the registry shared by the manager and every worker
 // engine.
 func (s *System) Telemetry() *telemetry.Registry { return s.telemetry }
+
+// Flight returns the recorder shared by every worker engine.
+func (s *System) Flight() *flight.Recorder { return s.flight }
+
+// Saturated is the pipeline's readiness probe: it errors when any worker
+// queue is at or above 90% of its batch capacity — sustained saturation
+// means the detection-delay bound is at risk (queueing delay is invisible
+// to per-stage timers).
+func (s *System) Saturated() error {
+	for i, q := range s.queues {
+		if c := cap(q); c > 0 && len(q)*10 >= c*9 {
+			return fmt.Errorf("worker %d queue saturated: %d/%d batches in flight", i, len(q), c)
+		}
+	}
+	return nil
+}
 
 // Workers returns the worker count.
 func (s *System) Workers() int { return len(s.engines) }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"instameasure/internal/export"
+	"instameasure/internal/flight"
 	"instameasure/internal/packet"
 )
 
@@ -83,6 +84,7 @@ type Store struct {
 	stats storeCounters
 
 	tm *storeMetrics // nil until Instrument
+	fl flight.Handle
 
 	kick   chan struct{}
 	closed chan struct{}
@@ -187,6 +189,27 @@ func (s *Store) openActive() error {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SetFlight attaches a flight-recorder handle; every epoch commit,
+// compaction, and query is recorded with its duration (commits carry the
+// epoch id, closing the cut→commit detection-delay interval).
+func (s *Store) SetFlight(h flight.Handle) {
+	s.mu.Lock()
+	s.fl = h
+	s.mu.Unlock()
+}
+
+// Healthy is the store's readiness probe: nil while the store can accept
+// appends, ErrClosed after Close, and the sticky append-path error once
+// the store is wedged (failed rollback or unopenable next segment).
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.act == nil {
+		return ErrClosed
+	}
+	return s.err
+}
+
 // Append persists one epoch: the flow records and table stats become one
 // framed snapshot record in the active segment. Records sharing an epoch
 // are legal (multi-exporter stores); queries union them with later
@@ -252,12 +275,14 @@ func (s *Store) Append(epoch int64, records []export.Record, stats export.TableS
 	})
 	s.stats.appends++
 	s.stats.appendBytes += uint64(frame)
+	//im:allow wallclock — latency telemetry seam: paired with Append's start stamp
+	elapsed := uint64(time.Since(start))
 	if s.tm != nil {
 		s.tm.appends.Inc()
 		s.tm.appendBytes.Add(uint64(frame))
-		//im:allow wallclock — latency telemetry seam: paired with Append's start stamp
-		s.tm.appendNanos.Observe(uint64(time.Since(start)))
+		s.tm.appendNanos.Observe(elapsed)
 	}
+	s.fl.EventAt(start, flight.StageCommit, epoch, h.count, uint64(frame), elapsed)
 	if seg.size >= s.opt.SegmentBytes {
 		if err := s.rollLocked(); err != nil {
 			return err
@@ -446,6 +471,8 @@ func (s *Store) compact() {
 	}
 	s.mu.Unlock()
 
+	//im:allow wallclock — compaction timing seam, not record content
+	start := time.Now()
 	ref, size, err := s.writeRollup(victims, victimRefs)
 	if err != nil {
 		return // leave the originals in place; retry on the next kick
@@ -486,7 +513,10 @@ func (s *Store) compact() {
 	if s.tm != nil {
 		s.tm.compactions.Inc()
 	}
+	fl := s.fl
 	s.mu.Unlock()
+	//im:allow wallclock — compaction timing seam: paired with the start stamp above
+	fl.EventAt(start, flight.StageCompact, 0, uint32(len(victimRefs)), uint64(size), uint64(time.Since(start)))
 
 	// Delete the now-superseded originals. A crash before these unlinks
 	// leaves duplicates on disk; reopen tolerates that (queries are

@@ -3,6 +3,7 @@ package store
 import (
 	"time"
 
+	"instameasure/internal/flight"
 	"instameasure/internal/telemetry"
 )
 
@@ -65,13 +66,16 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 	s.mu.Unlock()
 }
 
-// observeQuery records one query's latency, when instrumented.
+// observeQuery records one query's latency, when instrumented, and
+// leaves a query event in the flight recorder.
 func (s *Store) observeQuery(kind queryKind, start time.Time) {
 	s.mu.Lock()
-	tm := s.tm
+	tm, fl := s.tm, s.fl
 	s.mu.Unlock()
+	//im:allow wallclock — latency telemetry seam: paired with each query's start stamp
+	elapsed := uint64(time.Since(start))
 	if tm != nil {
-		//im:allow wallclock — latency telemetry seam: paired with each query's start stamp
-		tm.queryNanos[kind].Observe(uint64(time.Since(start)))
+		tm.queryNanos[kind].Observe(elapsed)
 	}
+	fl.EventAt(start, flight.StageQuery, 0, uint32(kind), 0, elapsed)
 }

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo adds the conventional <namespace>_build_info gauge to
+// r: constant value 1 with version, goversion, and goarch labels, so a
+// dashboard can join any series against the binary that produced it.
+// Idempotent (the labels are stable for the life of the process).
+func RegisterBuildInfo(r *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		} else {
+			// Un-tagged builds: fall back to the VCS revision stamped by
+			// the go tool, truncated to the short form.
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+					version = s.Value[:12]
+					break
+				}
+			}
+		}
+	}
+	r.Gauge("build_info",
+		"Build metadata; constant 1 with version, goversion, and goarch labels.",
+		"version", version,
+		"goversion", runtime.Version(),
+		"goarch", runtime.GOARCH,
+	).Set(1)
+}

@@ -15,7 +15,7 @@ import (
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		_ = r.WritePrometheus(w) // a scraper hanging up mid-body is its problem
 	})
 }
 

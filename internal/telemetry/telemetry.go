@@ -175,8 +175,19 @@ func (g *gaugeFunc) value() float64 {
 // probe-length distributions equally.
 type Histogram struct {
 	family
-	nBuckets int // finite buckets, excluding +Inf
+	nBuckets int           // finite buckets, excluding +Inf
+	scaleBits atomic.Uint64 // render-time multiplier (float64 bits) for bounds and sum; 0 = raw integers
 	shards   []histShard
+}
+
+// renderScale returns the multiplier applied to bounds and sum at render
+// time (1 when unscaled).
+func (h *Histogram) renderScale() float64 {
+	s := math.Float64frombits(h.scaleBits.Load())
+	if s <= 0 {
+		return 1
+	}
+	return s
 }
 
 // histShard is one worker's histogram state. count and sum lead the
@@ -247,6 +258,31 @@ func (h *Histogram) snapshot() (buckets []uint64, count, sum uint64) {
 
 // upperBound returns bucket i's inclusive upper bound, 2^i - 1.
 func upperBound(i int) uint64 { return 1<<uint(i) - 1 }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed distribution — the upper bound of the first bucket whose
+// cumulative count reaches q, in the histogram's rendered unit (bounds
+// are multiplied by the scale of a scaled histogram). Returns 0 with no
+// observations; the overflow bucket reports +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(count))
+	if target < 1 {
+		target = 1
+	}
+	scale := h.renderScale()
+	var cum uint64
+	for i := 0; i < len(buckets)-1; i++ {
+		cum += buckets[i]
+		if cum >= target {
+			return float64(upperBound(i)) * scale
+		}
+	}
+	return math.Inf(1)
+}
 
 // Registry holds a namespace's metrics and renders them.
 type Registry struct {
@@ -417,6 +453,19 @@ func (r *Registry) Histogram(name, help string, buckets int, labels ...string) *
 	return h
 }
 
+// HistogramScaled registers (or returns the existing) power-of-two
+// histogram whose rendered bucket bounds and sum are multiplied by scale.
+// Observe still takes raw integers (e.g. nanoseconds) so the hot path
+// stays a bits.Len64; with scale 1e-9 the exposition reads in
+// Prometheus-conventional seconds. scale <= 0 means 1 (raw).
+func (r *Registry) HistogramScaled(name, help string, buckets int, scale float64, labels ...string) *Histogram {
+	h := r.Histogram(name, help, buckets, labels...)
+	if scale > 0 && scale != 1 {
+		h.scaleBits.Store(math.Float64bits(scale))
+	}
+	return h
+}
+
 // Value returns the summed value of every counter or gauge child sharing
 // the fully qualified name (labels included and excluded alike);
 // histograms and gauge funcs contribute nothing. It is the programmatic
@@ -463,10 +512,33 @@ func (r *Registry) Each(fn func(series string, value float64)) {
 	}
 }
 
+// errWriter latches the first write error and suppresses all subsequent
+// writes, so a render path built from many Fprintf calls needs a single
+// error check at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4): families grouped with one HELP/TYPE header,
-// histogram buckets cumulative with le labels.
-func (r *Registry) WritePrometheus(w io.Writer) {
+// histogram buckets cumulative with le labels. The first error returned
+// by w stops the render and is returned (a scraper hanging up mid-body
+// is an error the caller decides about, not one to swallow).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ew := &errWriter{w: w}
+	w = ew
 	r.mu.RLock()
 	snapshot := make([]interface{}, len(r.ordered))
 	copy(snapshot, r.ordered)
@@ -508,14 +580,18 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case *Histogram:
 				writeHistogram(w, v)
 			}
+			if ew.err != nil {
+				return ew.err
+			}
 		}
 	}
+	return ew.err
 }
 
 // RenderPrometheus returns WritePrometheus output as a string.
 func (r *Registry) RenderPrometheus() string {
 	var b strings.Builder
-	r.WritePrometheus(&b)
+	_ = r.WritePrometheus(&b) // strings.Builder writes cannot fail
 	return b.String()
 }
 
@@ -553,14 +629,23 @@ func writeHistogram(w io.Writer, h *Histogram) {
 	if inner != "" {
 		inner += ","
 	}
+	scale := math.Float64frombits(h.scaleBits.Load())
 	var cum uint64
 	for i := 0; i < len(buckets)-1; i++ {
 		cum += buckets[i]
-		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", h.name, inner, upperBound(i), cum)
+		if scale > 0 {
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", h.name, inner, float64(upperBound(i))*scale, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", h.name, inner, upperBound(i), cum)
+		}
 	}
 	cum += buckets[len(buckets)-1]
 	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, inner, cum)
-	fmt.Fprintf(w, "%s_sum%s %d\n", h.name, h.labels, sum)
+	if scale > 0 {
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, h.labels, float64(sum)*scale)
+	} else {
+		fmt.Fprintf(w, "%s_sum%s %d\n", h.name, h.labels, sum)
+	}
 	fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, count)
 }
 

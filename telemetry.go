@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"instameasure/internal/export"
+	"instameasure/internal/flight"
 	"instameasure/internal/telemetry"
 )
 
@@ -20,10 +21,11 @@ type Telemetry struct {
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition
-// format (the same payload /metrics serves).
+// format (the same payload /metrics serves). Errors from w propagate: a
+// short or broken write means the caller does not hold a complete
+// exposition and must not treat it as one.
 func (t *Telemetry) WritePrometheus(w io.Writer) error {
-	t.reg.WritePrometheus(w)
-	return nil
+	return t.reg.WritePrometheus(w)
 }
 
 // Handler returns an http.Handler serving the Prometheus text format,
@@ -43,29 +45,52 @@ func (t *Telemetry) MetricNames() []string { return t.reg.SeriesNames() }
 
 // Serve starts the observability endpoint on addr ("host:port"; ":0"
 // picks an ephemeral port): /metrics (Prometheus text), /debug/vars
-// (expvar), and /debug/pprof/*.
+// (expvar), /debug/pprof/*, /debug/flight (the flight recorder's epoch
+// timelines; ?fmt=text for the human view), and /healthz + /readyz
+// (component health — register probes with RegisterHealth; ServeFlows
+// registers the store's automatically).
 func (t *Telemetry) Serve(addr string) (*TelemetryServer, error) {
 	telemetry.RegisterRuntimeMetrics(t.reg)
 	s, err := telemetry.NewServer(addr, t.reg)
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
-	return &TelemetryServer{s: s, reg: t.reg}, nil
+	health := flight.NewHealth()
+	s.Handle("/debug/flight", flight.NewHandler(flight.Default()))
+	s.Handle("/healthz", health.LiveHandler())
+	s.Handle("/readyz", health.ReadyHandler())
+	return &TelemetryServer{s: s, reg: t.reg, health: health}, nil
 }
 
 // TelemetryServer is a running observability endpoint.
 type TelemetryServer struct {
-	s   *telemetry.Server
-	reg *telemetry.Registry
+	s      *telemetry.Server
+	reg    *telemetry.Registry
+	health *flight.Health
+}
+
+// RegisterHealth adds (or replaces) a named component probe backing
+// /healthz and /readyz: return nil when healthy, an error carrying the
+// reason otherwise. Probes run at request time. Conventional components:
+//
+//	srv.RegisterHealth("exporter", func() error {
+//		if !exp.Connected() { return errors.New("collector connection down") }
+//		return nil
+//	})
+//	srv.RegisterHealth("pipeline", cluster.Saturated)
+func (s *TelemetryServer) RegisterHealth(name string, probe func() error) {
+	s.health.Register(name, probe)
 }
 
 // ServeFlows mounts fs's JSON query API on this endpoint — /flows/topk,
-// /flows/timeline, /flows/changers, /flows/stats — and registers the
-// store's metrics (including query latency histograms) on the same
-// registry /metrics serves. Call it at most once per server.
+// /flows/timeline, /flows/changers, /flows/stats — registers the store's
+// metrics (including query latency histograms) on the same registry
+// /metrics serves, and registers the store's health probe on /readyz.
+// Call it at most once per server.
 func (s *TelemetryServer) ServeFlows(fs *FlowStore) {
 	fs.st.Instrument(s.reg)
 	s.s.Handle("/flows/", fs.Handler())
+	s.health.Register("store", fs.st.Healthy)
 }
 
 // Addr returns the bound listen address.
