@@ -9,6 +9,12 @@
 // document is carried over verbatim — and if FILE has no baseline section,
 // its results become the baseline — so a single output file records the
 // before/after pair across a change.
+//
+// With -guard, the run becomes a regression gate: after writing the
+// document, the tool exits non-zero if any benchmark's Mpps fell more than
+// -mpps-drop below its baseline, or any reported scaling efficiency is
+// below -eff-floor. Benchmarks absent from the baseline pass (first run
+// establishes them).
 package main
 
 import (
@@ -31,6 +37,7 @@ type Result struct {
 	BytesOp    *float64 `json:"bytes_per_op,omitempty"`
 	MBPerSec   *float64 `json:"mb_per_s,omitempty"`
 	MPPS       *float64 `json:"mpps,omitempty"`
+	ScalingEff *float64 `json:"scaling_eff,omitempty"`
 }
 
 // Document is the file layout: results keyed by benchmark name (CPU
@@ -55,6 +62,9 @@ func run() error {
 	var (
 		out      = flag.String("o", "", "output file (default stdout)")
 		baseline = flag.String("baseline", "", "earlier benchjson document whose results become (or carry over as) the baseline")
+		guard    = flag.Bool("guard", false, "fail on Mpps regression vs baseline or scaling efficiency below the floor")
+		mppsDrop = flag.Float64("mpps-drop", 0.10, "with -guard: max allowed fractional Mpps drop vs baseline")
+		effFloor = flag.Float64("eff-floor", 0.60, "with -guard: minimum allowed scaling efficiency")
 	)
 	flag.Parse()
 
@@ -102,10 +112,50 @@ func run() error {
 	}
 	blob = append(blob, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(blob)
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, blob, 0o644)
+	if *guard {
+		return checkGuard(doc, *mppsDrop, *effFloor)
+	}
+	return nil
+}
+
+// checkGuard enforces the throughput gate: every benchmark with an Mpps
+// metric in both sections must hold at least (1-mppsDrop)× its baseline,
+// and every reported scaling efficiency must clear effFloor.
+func checkGuard(doc Document, mppsDrop, effFloor float64) error {
+	var fails []string
+	names := make([]string, 0, len(doc.Results))
+	for n := range doc.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res := doc.Results[n]
+		if res.MPPS != nil {
+			if base, ok := doc.Baseline[n]; ok && base.MPPS != nil {
+				floor := *base.MPPS * (1 - mppsDrop)
+				if *res.MPPS < floor {
+					fails = append(fails, fmt.Sprintf(
+						"%s: %.2f Mpps below guard %.2f (baseline %.2f, max drop %.0f%%)",
+						n, *res.MPPS, floor, *base.MPPS, mppsDrop*100))
+				}
+			}
+		}
+		if res.ScalingEff != nil && *res.ScalingEff < effFloor {
+			fails = append(fails, fmt.Sprintf(
+				"%s: scaling efficiency %.3f below floor %.2f",
+				n, *res.ScalingEff, effFloor))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("guard failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
 }
 
 // parseLine parses one `go test -bench` result line:
@@ -146,6 +196,8 @@ func parseLine(line string) (string, Result, error) {
 			res.MBPerSec = &v
 		case "Mpps":
 			res.MPPS = &v
+		case "scaling_eff":
+			res.ScalingEff = &v
 		}
 	}
 	if !sawNs {

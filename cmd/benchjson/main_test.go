@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func TestParseLineMetrics(t *testing.T) {
+	name, res, err := parseLine(
+		"BenchmarkPipelineScaling/w8-8   \t 3\t 41234567 ns/op\t 52.60 Mpps\t 0.7363 scaling_eff\t 12 B/op\t 0 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkPipelineScaling/w8" {
+		t.Errorf("name = %q", name)
+	}
+	if res.MPPS == nil || *res.MPPS != 52.60 {
+		t.Errorf("MPPS = %v, want 52.60", res.MPPS)
+	}
+	if res.ScalingEff == nil || *res.ScalingEff != 0.7363 {
+		t.Errorf("ScalingEff = %v, want 0.7363", res.ScalingEff)
+	}
+	if res.AllocsOp == nil || *res.AllocsOp != 0 {
+		t.Errorf("AllocsOp = %v, want 0", res.AllocsOp)
+	}
+}
+
+func TestGuardPassesWithinBand(t *testing.T) {
+	doc := Document{
+		Results: map[string]Result{
+			"BenchmarkPipelineScaling/w8": {MPPS: fp(48.0), ScalingEff: fp(0.70)},
+			"BenchmarkNoBaseline":         {MPPS: fp(1.0)},
+		},
+		Baseline: map[string]Result{
+			"BenchmarkPipelineScaling/w8": {MPPS: fp(52.0)},
+		},
+	}
+	if err := checkGuard(doc, 0.10, 0.60); err != nil {
+		t.Fatalf("guard failed inside the band: %v", err)
+	}
+}
+
+func TestGuardFailsOnMppsRegression(t *testing.T) {
+	doc := Document{
+		Results:  map[string]Result{"B": {MPPS: fp(40.0)}},
+		Baseline: map[string]Result{"B": {MPPS: fp(52.0)}},
+	}
+	err := checkGuard(doc, 0.10, 0.60)
+	if err == nil || !strings.Contains(err.Error(), "below guard") {
+		t.Fatalf("want Mpps guard failure, got %v", err)
+	}
+}
+
+func TestGuardFailsOnLowEfficiency(t *testing.T) {
+	doc := Document{
+		Results: map[string]Result{"B": {ScalingEff: fp(0.41)}},
+	}
+	err := checkGuard(doc, 0.10, 0.60)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("want efficiency guard failure, got %v", err)
+	}
+}

@@ -432,7 +432,23 @@ type ClusterConfig struct {
 	// and the workers (default 256). Larger batches amortize handoff and
 	// hashing further at the cost of detection granularity.
 	BatchSize int
+	// Shard selects how flows map to workers.
+	Shard ShardPolicy
 }
+
+// ShardPolicy names a flow-to-worker mapping for a Cluster.
+type ShardPolicy int
+
+const (
+	// ShardByHash (the default) scales the per-packet flow hash — already
+	// computed for the sketches — into a worker index. Load-balanced
+	// regardless of address structure.
+	ShardByHash ShardPolicy = iota
+	// ShardByPopcount dispatches on the source-IP popcount, the paper's
+	// policy. Kept for Fig. 9 fidelity; it concentrates load on the
+	// workers owning middling bit counts.
+	ShardByPopcount
+)
 
 // ClusterReport summarizes a cluster run.
 type ClusterReport struct {
@@ -443,9 +459,12 @@ type ClusterReport struct {
 	RegulationRate float64
 }
 
-// Cluster is the multi-worker measurement system: a manager goroutine
-// shards packets to workers by source-IP popcount; each worker runs an
-// independent Meter engine over exclusive memory.
+// Cluster is the multi-worker measurement system. Each worker runs an
+// independent Meter engine over exclusive memory; sources that support
+// splitting (all of this package's trace sources do) are ingested
+// shared-nothing — every worker reads its own stripe and exchanges
+// cross-shard packets over lock-free rings — so ingest capacity scales
+// with workers instead of bottlenecking on a manager goroutine.
 type Cluster struct {
 	sys   *pipeline.System
 	store *FlowStore
@@ -453,10 +472,15 @@ type Cluster struct {
 
 // NewCluster builds a Cluster from cfg.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	var policy pipeline.HashShardFunc
+	if cfg.Shard == ShardByPopcount {
+		policy = pipeline.PopcountHashShard
+	}
 	sys, err := pipeline.New(pipeline.Config{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
 		BatchSize:  cfg.BatchSize,
+		HashPolicy: policy,
 		Engine:     cfg.Meter.engineConfig(),
 	})
 	if err != nil {

@@ -218,6 +218,43 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestClusterShardPolicies: both policies conserve packets, and they
+// produce different worker loads on the same trace — i.e. the knob is
+// actually wired through to the pipeline.
+func TestClusterShardPolicies(t *testing.T) {
+	tr := testTrace(t)
+	run := func(p ShardPolicy) ClusterReport {
+		t.Helper()
+		cluster, err := NewCluster(ClusterConfig{
+			Workers: 4,
+			Shard:   p,
+			Meter:   Config{SketchMemoryBytes: 16 << 10, WSAFEntries: 1 << 14, Seed: 9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cluster.Run(tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Packets != uint64(len(tr.Packets)) {
+			t.Errorf("policy %d processed %d packets, want %d", p, rep.Packets, len(tr.Packets))
+		}
+		return rep
+	}
+	byHash := run(ShardByHash)
+	byPop := run(ShardByPopcount)
+	same := true
+	for w := range byHash.PerWorker {
+		if byHash.PerWorker[w] != byPop.PerWorker[w] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("hash and popcount policies split the trace identically; knob not wired")
+	}
+}
+
 func TestPcapRoundTripThroughPublicAPI(t *testing.T) {
 	tr, err := GenerateZipfTrace(ZipfTraceConfig{Flows: 200, TotalPackets: 3000, Seed: 2})
 	if err != nil {

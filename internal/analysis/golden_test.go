@@ -125,7 +125,7 @@ func TestFlightrecGolden(t *testing.T) {
 }
 
 func TestHashonceGolden(t *testing.T) {
-	runGolden(t, Hashonce, "hashonce/wsaf", "hashonce/free")
+	runGolden(t, Hashonce, "hashonce/wsaf", "hashonce/free", "hashonce/pipeline")
 }
 
 func TestAtomicfieldGolden(t *testing.T) {

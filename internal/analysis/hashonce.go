@@ -7,12 +7,13 @@ import (
 )
 
 // Hashonce enforces the single-hash-per-packet design: a function in the
-// hash-threading packages (wsaf, flowreg, core) that receives a
-// precomputed flow hash — a uint64 parameter named "h" or "hash" — must
-// never hash the flow key again. Re-deriving the hash inside such a
-// function is exactly the double-hash regression the batched hot path
-// removed: the caller already paid for flowhash once and threads the
-// value down.
+// hash-threading packages (wsaf, flowreg, core, pipeline) that receives a
+// precomputed flow hash — a uint64 parameter named "h" or "hash", or a
+// batch of them as a []uint64 parameter named "hashes" — must never hash
+// the flow key again. Re-deriving the hash inside such a function is
+// exactly the double-hash regression the batched hot path removed: the
+// caller already paid for flowhash once and threads the value down, per
+// packet or per batch, across queues and SPSC rings alike.
 //
 // Banned inside hash-taking functions (closures included):
 //
@@ -25,7 +26,7 @@ var Hashonce = &Analyzer{
 }
 
 // hashonceScopes are the package-path tails the analyzer applies to.
-var hashonceScopes = []string{"wsaf", "flowreg", "core"}
+var hashonceScopes = []string{"wsaf", "flowreg", "core", "pipeline"}
 
 func runHashonce(prog *Program, report func(token.Pos, string, ...any)) {
 	for _, pkg := range prog.Pkgs {
@@ -48,24 +49,34 @@ func runHashonce(prog *Program, report func(token.Pos, string, ...any)) {
 	}
 }
 
-// hashParam returns the name of fd's precomputed-hash parameter, or "".
+// hashParam returns the name of fd's precomputed-hash parameter — scalar
+// ("h"/"hash" uint64) or batched ("hashes" []uint64) — or "".
 func hashParam(info *types.Info, fd *ast.FuncDecl) string {
 	for _, field := range fd.Type.Params.List {
 		tv, ok := info.Types[field.Type]
 		if !ok {
 			continue
 		}
-		b, ok := tv.Type.Underlying().(*types.Basic)
-		if !ok || b.Kind() != types.Uint64 {
-			continue
+		scalar := isUint64(tv.Type)
+		batch := false
+		if s, ok := tv.Type.Underlying().(*types.Slice); ok {
+			batch = isUint64(s.Elem())
 		}
 		for _, name := range field.Names {
-			if name.Name == "h" || name.Name == "hash" {
+			if scalar && (name.Name == "h" || name.Name == "hash") {
+				return name.Name
+			}
+			if batch && name.Name == "hashes" {
 				return name.Name
 			}
 		}
 	}
 	return ""
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
 }
 
 func checkHashonceBody(prog *Program, fd *ast.FuncDecl, hp string, report func(token.Pos, string, ...any)) {

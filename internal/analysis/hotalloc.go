@@ -21,6 +21,9 @@ import (
 //   - calls into fmt (formatting allocates and reflects)
 //   - time.Now / time.Since (a wall-clock read is a latency hazard and a
 //     determinism leak; sampled seams carry //im:allow hotalloc)
+//   - sync lock acquisition (Lock/RLock/Do/Wait): the shared-nothing
+//     design's per-packet budget admits only sync/atomic — a mutex on the
+//     hot path is a scalability regression even when uncontended
 //
 // Propagation stops at dynamic calls (function values, interface
 // methods): those cannot be resolved statically and are the architectural
@@ -214,6 +217,9 @@ func checkHotCall(info *types.Info, call *ast.CallExpr, flag func(ast.Node, stri
 		}
 		if calleeIs(callee, "time", "Now", "Since") {
 			flag(call, "wall-clock read (time."+callee.Name()+")")
+		}
+		if callee.Pkg() != nil && callee.Pkg().Path() == "sync" && isLockAcquire(callee.Name()) {
+			flag(call, "lock acquisition (%s)", funcLabel(callee))
 		}
 	}
 

@@ -7,11 +7,14 @@ package hotalloc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
 // Sink keeps fixture results observable.
 var Sink string
+
+var mu sync.Mutex
 
 type entry struct{ v uint64 }
 
@@ -30,6 +33,8 @@ func Process(v uint64, name string) int {
 	t0 := time.Now()               // want `hot path: wall-clock read \(time\.Now\) in hotalloc\.Process`
 	msg := fmt.Sprintf("%d", v)    // want `hot path: fmt call in hotalloc\.Process`
 	clo := func() {}               // want `hot path: closure allocation in hotalloc\.Process`
+	mu.Lock()                      // want `hot path: lock acquisition \(\(Mutex\)\.Lock\) in hotalloc\.Process`
+	mu.Unlock()
 	box(v)                         // want `hot path: argument 1 boxed into interface`
 	clo()
 	helper(v)
@@ -57,6 +62,8 @@ func helper(v uint64) {
 // constructs are legal here.
 func cold(v uint64) string {
 	defer cleanup()
+	mu.Lock()
+	defer mu.Unlock()
 	m := map[uint64]int{v: 1}
 	return fmt.Sprintf("%d@%s", len(m), time.Now())
 }

@@ -177,3 +177,55 @@ func TestProcessBatchEmpty(t *testing.T) {
 		t.Errorf("empty batches counted %d packets", eng.Packets())
 	}
 }
+
+// TestHashSeedDecouplesSketchRandomness pins the shared-nothing pipeline's
+// cross-worker hash contract: two engines with the same HashSeed but
+// different Seeds accept the same externally computed hashes (via
+// ProcessBatchHashed) and agree with their own internal hashing, while
+// their sketch randomness stays independent.
+func TestHashSeedDecouplesSketchRandomness(t *testing.T) {
+	tr := batchTrace(t, 1500, 80_000, 21)
+	const hashSeed = 0xABCDEF12345
+	cfgA := Config{SketchMemoryBytes: 8 << 10, WSAFEntries: 1 << 14, Seed: 100, HashSeed: hashSeed}
+	cfgB := cfgA
+	cfgB.Seed = 200
+
+	// Engine A fed externally computed hashes must match a twin hashing
+	// internally — the zero-rehash threading is lossless.
+	ext := testEngine(t, cfgA)
+	twin := testEngine(t, cfgA)
+	hashes := make([]uint64, 256)
+	for i := 0; i < len(tr.Packets); i += 256 {
+		end := min(i+256, len(tr.Packets))
+		chunk := tr.Packets[i:end]
+		for j := range chunk {
+			hashes[j] = chunk[j].Key.Hash64(hashSeed)
+		}
+		ext.ProcessBatchHashed(chunk, hashes[:len(chunk)])
+		twin.ProcessBatch(chunk)
+	}
+	if ext.Table().Stats() != twin.Table().Stats() {
+		t.Fatalf("external hashing diverged from internal: %+v vs %+v",
+			ext.Table().Stats(), twin.Table().Stats())
+	}
+
+	// Engine B shares the hash seed, so the same hashes are valid for its
+	// table probes — but its different sketch Seed must actually change
+	// the regulator's behaviour (independent random mappings).
+	b := testEngine(t, cfgB)
+	for i := 0; i < len(tr.Packets); i += 256 {
+		end := min(i+256, len(tr.Packets))
+		chunk := tr.Packets[i:end]
+		for j := range chunk {
+			hashes[j] = chunk[j].Key.Hash64(hashSeed)
+		}
+		b.ProcessBatchHashed(chunk, hashes[:len(chunk)])
+	}
+	if b.Regulator().Emissions() == ext.Regulator().Emissions() &&
+		b.Table().Stats() == ext.Table().Stats() {
+		t.Fatal("different sketch Seeds produced identical regulator+table activity — HashSeed failed to decouple")
+	}
+	if b.Packets() != ext.Packets() {
+		t.Fatalf("packet totals differ: %d vs %d", b.Packets(), ext.Packets())
+	}
+}

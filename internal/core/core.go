@@ -47,6 +47,13 @@ type Config struct {
 	WSAFTTL int64
 	// Seed drives all hashing and sketch randomness.
 	Seed uint64
+	// HashSeed, when non-zero, overrides Seed for flow-key hashing and the
+	// WSAF probe sequence while Seed keeps driving sketch randomness. The
+	// shared-nothing pipeline sets one HashSeed across all workers so a
+	// hash computed at ingest (to shard the packet) is valid on whichever
+	// worker's engine and table it lands on; sketch seeds stay per-worker
+	// so independent engines explore independent random mappings.
+	HashSeed uint64
 	// Telemetry, if non-nil, is the metrics registry the engine's hot-path
 	// instrumentation publishes into; the multi-core pipeline passes one
 	// shared registry to every worker. nil creates a private registry.
@@ -69,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WSAFEntries == 0 {
 		c.WSAFEntries = 1 << 20
+	}
+	if c.HashSeed == 0 {
+		c.HashSeed = c.Seed
 	}
 	return c
 }
@@ -121,8 +131,15 @@ type Engine struct {
 	bytes   uint64
 	lastTS  int64
 	// hashBuf is the pre-hash scratch for ProcessBatch, sized to the
-	// largest batch seen so the steady state allocates nothing.
+	// largest batch seen so the steady state allocates nothing. The
+	// remaining buffers are the batched path's per-burst scratch, grown
+	// the same way: per-packet lengths, regulator results, and the indices
+	// of packets that passed through to the WSAF.
 	hashBuf []uint64
+	lenBuf  []int
+	emBuf   []flowreg.Emission
+	okBuf   []bool
+	passBuf []int32
 	// tmPacketsBase/tmBytesBase keep the published counters cumulative
 	// across window Resets (Prometheus counters must not move backwards).
 	tmPacketsBase uint64
@@ -148,7 +165,7 @@ func New(cfg Config) (*Engine, error) {
 		Entries:    cfg.WSAFEntries,
 		ProbeLimit: cfg.ProbeLimit,
 		TTL:        cfg.WSAFTTL,
-		Seed:       cfg.Seed,
+		Seed:       cfg.HashSeed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wsaf table: %w", err)
@@ -288,7 +305,7 @@ func (e *Engine) Process(p packet.Packet) {
 		t0 = time.Now()
 	}
 
-	e.encode(&p, p.Key.Hash64(e.cfg.Seed))
+	e.encode(&p, p.Key.Hash64(e.cfg.HashSeed))
 
 	if sampled {
 		//im:allow hotalloc,wallclock — latency telemetry seam: paired with the sampled time.Now above
@@ -303,10 +320,7 @@ func (e *Engine) Process(p packet.Packet) {
 // ProcessBatch encodes a burst of packets — the pipeline workers' hot
 // path. The whole batch is pre-hashed in a tight loop before any sketch is
 // touched (one bounds-checked pass over the packets, then one over the
-// hashes), and the per-packet amortized costs of the scalar path — the
-// latency sample and the telemetry publication — collapse to one of each
-// per batch. Sketch and table state advance exactly as len(batch) Process
-// calls would: same update order, same RNG stream, same outcomes.
+// hashes); everything else is ProcessBatchHashed.
 //
 //im:hotpath
 func (e *Engine) ProcessBatch(batch []packet.Packet) {
@@ -318,20 +332,93 @@ func (e *Engine) ProcessBatch(batch []packet.Packet) {
 		e.hashBuf = make([]uint64, len(batch))
 	}
 	hashes := e.hashBuf[:len(batch)]
-	seed := e.cfg.Seed
+	seed := e.cfg.HashSeed
 	for i := range batch {
 		hashes[i] = batch[i].Key.Hash64(seed)
 	}
+	e.ProcessBatchHashed(batch, hashes)
+}
+
+// ProcessBatchHashed is ProcessBatch for callers that already hashed every
+// packet with this engine's HashSeed — the shared-nothing pipeline hashes
+// at ingest to shard, then threads the values here so no packet is ever
+// hashed twice. The burst runs as staged passes so DRAM misses overlap
+// instead of serializing:
+//
+//	pass 1: totals + cardinality sketch (pure arithmetic, no misses)
+//	pass 2: batched FlowRegulator — Locate+prefetch then encode (flowreg)
+//	pass 3: prefetch the WSAF first probe slot of every passthrough
+//	pass 4: WSAF accumulates + pass events, in packet order
+//
+// Sketch and table state advance exactly as len(batch) Process calls
+// would: same update order, same RNG stream, same outcomes. The staging is
+// invisible because the components are independent — the regulator never
+// reads the table, and both consume only the packet and its hash. Pass
+// events fire in packet order but after the whole burst's regulator pass;
+// callbacks observing final state per event see the same values either
+// way. The amortized per-packet costs of the scalar path — the latency
+// sample and the telemetry publication — collapse to one of each per
+// batch.
+//
+//im:hotpath
+func (e *Engine) ProcessBatchHashed(batch []packet.Packet, hashes []uint64) {
+	if len(batch) == 0 {
+		return
+	}
+	hashes = hashes[:len(batch)]
+	if cap(e.lenBuf) < len(batch) {
+		//im:allow hotalloc — amortized: batch scratch grows to the high-water batch size once, then is reused
+		e.lenBuf = make([]int, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.emBuf = make([]flowreg.Emission, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.okBuf = make([]bool, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.passBuf = make([]int32, len(batch))
+	}
+	lens := e.lenBuf[:len(batch)]
+	ems := e.emBuf[:len(batch)]
+	oks := e.okBuf[:len(batch)]
 
 	//im:allow hotalloc,wallclock — latency telemetry seam: one clock read per batch
 	t0 := time.Now()
+
 	for i := range batch {
 		p := &batch[i]
 		e.packets++
 		e.bytes += uint64(p.Len)
 		e.lastTS = p.TS
-		e.encode(p, hashes[i])
+		e.card.Add(hashes[i])
+		lens[i] = int(p.Len)
 	}
+
+	e.reg.ProcessBatch(hashes, lens, ems, oks)
+
+	// Collect the ~1% of packets that passed through, prefetching each
+	// one's first WSAF probe slot so pass 4 finds the lines in flight.
+	pass := e.passBuf[:0]
+	for i := range oks {
+		if oks[i] {
+			e.table.PrefetchHashed(hashes[i])
+			pass = append(pass, int32(i))
+		}
+	}
+
+	for _, pi := range pass {
+		i := int(pi)
+		p := &batch[i]
+		em := ems[i]
+		outcome, entry := e.table.AccumulateHashed(hashes[i], p.Key, em.EstPkts, em.EstBytes, p.TS)
+		if e.onPass != nil {
+			ev := PassEvent{Key: p.Key, TS: p.TS, Est: em, Outcome: outcome}
+			if entry != nil {
+				ev.Pkts = entry.Pkts
+				ev.Bytes = entry.Bytes
+			}
+			e.onPass(ev)
+		}
+	}
+
 	// One mean per-packet latency observation and one counter publication
 	// per batch (versus 1-in-1024 and 1-in-64 packets on the scalar path).
 	//im:allow hotalloc,wallclock — latency telemetry seam: paired with the per-batch time.Now above
@@ -370,8 +457,8 @@ func (e *Engine) encode(p *packet.Packet, h uint64) {
 // inside the FlowRegulator.
 func (e *Engine) Estimate(key packet.FlowKey) (pkts, bytes float64) {
 	// One hash serves both the table probe and the sketch residual; the
-	// engine and its table share a seed by construction (see New).
-	h := key.Hash64(e.cfg.Seed)
+	// engine and its table share a hash seed by construction (see New).
+	h := key.Hash64(e.cfg.HashSeed)
 	if entry, ok := e.table.LookupHashed(h, key, e.lastTS); ok {
 		pkts = entry.Pkts
 		bytes = entry.Bytes
@@ -438,6 +525,10 @@ func (e *Engine) Bytes() uint64 {
 
 // LastTS returns the most recent packet timestamp.
 func (e *Engine) LastTS() int64 { return e.lastTS }
+
+// HashSeed returns the resolved flow-key hash seed — what a caller must
+// hash with for ProcessBatchHashed to be a zero-rehash path.
+func (e *Engine) HashSeed() uint64 { return e.cfg.HashSeed }
 
 // Regulator exposes the FlowRegulator for regulation-rate metrics.
 func (e *Engine) Regulator() *flowreg.Regulator { return e.reg }

@@ -63,11 +63,24 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics carries machine-readable headline numbers alongside the
+	// formatted rows; the benchmark harness forwards them into the
+	// archived benchmark JSON via b.ReportMetric.
+	Metrics map[string]float64
 }
 
 // AddRow appends a formatted row.
 func (r *Report) AddRow(cols ...string) {
 	r.Rows = append(r.Rows, cols)
+}
+
+// SetMetric records one headline number under a bench-metric unit name
+// (e.g. "mpps", "scaling_eff").
+func (r *Report) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
 }
 
 // AddNote appends a free-form note line.

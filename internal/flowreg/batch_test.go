@@ -1,0 +1,77 @@
+package flowreg
+
+import (
+	"testing"
+
+	"instameasure/internal/flowhash"
+)
+
+// TestProcessBatchMatchesScalar pins the batched regulator's contract:
+// identical state transitions to sequential Process calls. This is the
+// strong form — the RCC encode consumes a sequential RNG per packet, so
+// any reordering inside ProcessBatch would diverge immediately.
+func TestProcessBatchMatchesScalar(t *testing.T) {
+	batched := MustNew(testConfig(4<<10, 11))
+	scalar := MustNew(testConfig(4<<10, 11))
+
+	rng := flowhash.NewRand(33)
+	const total, burst = 200_000, 256
+	hashes := make([]uint64, burst)
+	lens := make([]int, burst)
+	ems := make([]Emission, burst)
+	oks := make([]bool, burst)
+
+	done := 0
+	for done < total {
+		n := min(burst, total-done)
+		if n > 2 {
+			n -= rng.Intn(3) // ragged bursts: exercise partial windows
+		}
+		for i := 0; i < n; i++ {
+			hashes[i] = flowhash.Mix64(uint64(rng.Intn(5_000))) // ~5k flows
+			lens[i] = 64 + rng.Intn(1400)
+		}
+		batched.ProcessBatch(hashes[:n], lens[:n], ems[:n], oks[:n])
+		for i := 0; i < n; i++ {
+			wantEm, wantOK := scalar.Process(hashes[i], lens[i])
+			if oks[i] != wantOK || ems[i] != wantEm {
+				t.Fatalf("packet %d: batch (%+v,%v) != scalar (%+v,%v)",
+					done+i, ems[i], oks[i], wantEm, wantOK)
+			}
+		}
+		done += n
+	}
+
+	if batched.Packets() != scalar.Packets() ||
+		batched.L1Saturations() != scalar.L1Saturations() ||
+		batched.Emissions() != scalar.Emissions() {
+		t.Fatalf("counters diverged: batch (%d,%d,%d) scalar (%d,%d,%d)",
+			batched.Packets(), batched.L1Saturations(), batched.Emissions(),
+			scalar.Packets(), scalar.L1Saturations(), scalar.Emissions())
+	}
+	if batched.Emissions() == 0 {
+		t.Fatal("degenerate run: no emissions — equivalence never exercised the full chain")
+	}
+}
+
+// TestProcessBatchZeroAllocSteadyState: after the location buffer reaches
+// its high-water size, bursts must not allocate.
+func TestProcessBatchZeroAllocSteadyState(t *testing.T) {
+	r := MustNew(testConfig(4<<10, 5))
+	const burst = 256
+	hashes := make([]uint64, burst)
+	lens := make([]int, burst)
+	ems := make([]Emission, burst)
+	oks := make([]bool, burst)
+	for i := range hashes {
+		hashes[i] = flowhash.Mix64(uint64(i))
+		lens[i] = 100
+	}
+	r.ProcessBatch(hashes, lens, ems, oks) // warm the buffer
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.ProcessBatch(hashes, lens, ems, oks)
+	}); allocs != 0 {
+		t.Fatalf("steady-state ProcessBatch allocates: %.2f allocs/run", allocs)
+	}
+}

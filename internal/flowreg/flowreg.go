@@ -86,6 +86,8 @@ type Regulator struct {
 	packets   uint64
 	l1Sats    uint64
 	emissions uint64
+
+	locBuf []rcc.Location // reused across ProcessBatch calls to avoid per-burst allocation
 }
 
 // New builds a Regulator: one L1 counter plus (Layers−1) banks of
@@ -140,12 +142,59 @@ func MustNew(cfg Config) *Regulator {
 //
 //im:hotpath
 func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
-	r.packets++
-
 	l1 := r.layers[0][0]
 	var loc rcc.Location
 	l1.Locate(h, &loc)
-	z, sat := l1.EncodeLoc(&loc)
+	return r.processLoc(&loc, pktLen)
+}
+
+// batchWindow bounds how many L1 pool words are prefetched ahead of their
+// encodes in ProcessBatch: 64 lines stay resident in a 32 KiB L1D while
+// comfortably exceeding the hardware's outstanding-miss capacity.
+const batchWindow = 64
+
+// ProcessBatch is Process over a burst of packets with precomputed hashes:
+// state transitions are bit-identical to len(hashes) sequential Process
+// calls (same RNG stream, same recycle order — TestProcessBatchMatchesScalar
+// enforces this). Within a window it first resolves every packet's L1
+// Location and prefetches the pool word, then encodes in packet order with
+// the lines already in flight. ems[i], oks[i] receive packet i's result;
+// pktLens, ems, and oks must be at least as long as hashes.
+//
+//im:hotpath
+func (r *Regulator) ProcessBatch(hashes []uint64, pktLens []int, ems []Emission, oks []bool) {
+	pktLens = pktLens[:len(hashes)]
+	ems = ems[:len(hashes)]
+	oks = oks[:len(hashes)]
+	if cap(r.locBuf) < len(hashes) {
+		//im:allow hotalloc — amortized: the location buffer grows to the high-water batch size once, then is reused
+		r.locBuf = make([]rcc.Location, len(hashes))
+	}
+	locs := r.locBuf[:len(hashes)]
+	l1 := r.layers[0][0]
+	for base := 0; base < len(hashes); base += batchWindow {
+		end := min(base+batchWindow, len(hashes))
+		for i := base; i < end; i++ {
+			l1.Locate(hashes[i], &locs[i])
+			l1.PrefetchLoc(&locs[i])
+		}
+		for i := base; i < end; i++ {
+			ems[i], oks[i] = r.processLoc(&locs[i], pktLens[i])
+		}
+	}
+}
+
+// processLoc runs the layer chain for one packet whose L1 Location is
+// already resolved. loc is valid for every layer: the banks share L1's
+// geometry by construction (see New), which is also the paper's hash-reuse
+// trick — one Locate serves the whole chain.
+//
+//im:hotpath
+func (r *Regulator) processLoc(loc *rcc.Location, pktLen int) (em Emission, ok bool) {
+	r.packets++
+
+	l1 := r.layers[0][0]
+	z, sat := l1.EncodeLoc(loc)
 	if !sat {
 		return Emission{}, false
 	}
@@ -159,7 +208,7 @@ func (r *Regulator) Process(h uint64, pktLen int) (em Emission, ok bool) {
 	count := 1.0
 	for k := 1; k < r.depth; k++ {
 		counter := r.layers[k][z-r.noiseMin]
-		z, sat = counter.EncodeLoc(&loc)
+		z, sat = counter.EncodeLoc(loc)
 		if !sat {
 			return Emission{}, false
 		}

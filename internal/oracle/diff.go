@@ -80,8 +80,9 @@ func (r *Report) violatef(format string, args ...any) {
 }
 
 // Run replays tr through (a) the exact Reference, (b) a scalar Process
-// engine, (c) a ProcessBatch engine, and (d) a concurrent multi-worker
-// pipeline paired with a synchronously-fed twin, then cross-checks:
+// engine, (c) a ProcessBatch engine, (d) a concurrent multi-worker
+// pipeline paired with a synchronously-fed twin, and (e) the
+// shared-nothing sharded pipeline, then cross-checks:
 //
 //   - batch ≡ scalar: identical table state, statistics, and per-flow
 //     estimates (bit-exact — same seed, same update order).
@@ -89,11 +90,17 @@ func (r *Report) violatef(format string, args ...any) {
 //     the same shard sequence synchronously (bit-exact).
 //   - conservation: Σ outcome counters = delegations, occupancy =
 //     fresh-slot inserts, per-worker queued packets sum to the trace.
+//   - sharded conservation: each shared-nothing worker's packet total
+//     equals the shard truth computed from the trace (bit-exact counts;
+//     worker-local packet order is scheduling-dependent, so state is
+//     checked structurally and through the envelope, not bit-exactly).
 //   - no phantom flows: every WSAF entry's key appeared in the trace.
 //   - TTL hygiene: no snapshot entry is older than the TTL.
 //   - export fidelity: snapshot → codec → snapshot round-trips exactly.
 //   - envelope (TTL=0 runs only): per-flow relative error within the
-//     analytic bound for every flow above the retention floor.
+//     analytic bound for every flow above the retention floor — held by
+//     the scalar engine, the manager-pipeline worker, and the
+//     shared-nothing worker owning each flow.
 func Run(tr *trace.Trace, cfg Config) (*Report, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -210,6 +217,55 @@ func Run(tr *trace.Trace, cfg Config) (*Report, error) {
 		}
 	})
 
+	// (e) Shared-nothing ingest: the same engine config through the
+	// per-worker sharded architecture (hash-shard policy, ring exchange).
+	// Worker-local packet order is scheduling-dependent there, so no
+	// bit-exact twin exists: the checks are structural — conservation,
+	// shard-truth per-worker totals, no phantom flows, TTL hygiene — plus
+	// the accuracy envelope below.
+	sysS, err := pipeline.New(pipeline.Config{
+		Workers:   cfg.Workers,
+		BatchSize: cfg.BatchSize,
+		Engine:    cfg.Engine,
+		Ingest:    pipeline.IngestSharded,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: sharded pipeline: %w", err)
+	}
+	shardRep, err := sysS.Run(tr.Source())
+	if err != nil {
+		return nil, fmt.Errorf("oracle: sharded run: %w", err)
+	}
+	if shardRep.Packets != rep.Packets {
+		rep.violatef("sharded report packets %d != trace %d", shardRep.Packets, rep.Packets)
+	}
+	// Shard truth: the policy is a pure function of the flow key, so the
+	// exact per-worker load is computable from the trace alone. Any
+	// mismatch means a packet was routed, dropped, or double-counted
+	// somewhere in the ring exchange.
+	wantPer := make([]uint64, cfg.Workers)
+	for i := range tr.Packets {
+		wantPer[sysS.ShardOf(tr.Packets[i].Key)]++
+	}
+	var shardDropped uint64
+	for w := 0; w < cfg.Workers; w++ {
+		shardDropped += shardRep.Dropped[w]
+		if shardRep.PerWorker[w] != wantPer[w] {
+			rep.violatef("sharded worker %d processed %d packets, shard truth %d",
+				w, shardRep.PerWorker[w], wantPer[w])
+		}
+	}
+	if shardDropped != 0 {
+		rep.violatef("lossless sharded pipeline dropped %d packets", shardDropped)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		label := fmt.Sprintf("sharded worker %d", w)
+		e := sysS.Engines()[w]
+		checkConservation(rep, label, e, e.Packets())
+		checkNoPhantoms(rep, label, e, ref)
+		checkTTLHygiene(rep, label, e, ttl)
+	}
+
 	checkExportRoundTrip(rep, scalar)
 
 	// Envelope checks need the whole-trace truth; a non-zero TTL makes the
@@ -259,6 +315,15 @@ func Run(tr *trace.Trace, cfg Config) (*Report, error) {
 			if rel := math.Abs(pEst-truth) / truth; rel > check.Bound {
 				rep.violatef("flow %v (truth %.0f): pipeline worker %d error %.4f exceeds bound %.4f",
 					k, truth, w, rel, check.Bound)
+			}
+			// The shared-nothing worker owning this flow is yet another
+			// independent sample — different ingest order, different
+			// derived seed — and must satisfy the same envelope.
+			ws := sysS.ShardOf(k)
+			sEst, _ := sysS.Engines()[ws].Estimate(k)
+			if rel := math.Abs(sEst-truth) / truth; rel > check.Bound {
+				rep.violatef("flow %v (truth %.0f): sharded worker %d error %.4f exceeds bound %.4f",
+					k, truth, ws, rel, check.Bound)
 			}
 		})
 		if rep.Checked > 0 {

@@ -1,13 +1,29 @@
 // Package pipeline implements the paper's multi-core measurement system
-// (Section IV.C): a manager core distributes packets to per-worker FIFO
-// queues by the popcount of the source IP address, and each worker core
-// runs an independent FlowRegulator + WSAF engine over its exclusive memory
-// block. Workers never share mutable state, so the design scales with
-// cores exactly as the prototype did.
+// (Section IV.C): packets are distributed to per-worker engines by a
+// flow-affine shard policy, and each worker core runs an independent
+// FlowRegulator + WSAF engine over its exclusive memory block. Workers
+// never share mutable state, so the design scales with cores exactly as
+// the prototype did.
 //
-// Packets travel in bursts (the DPDK idiom the prototype was built on):
-// the manager accumulates BatchSize packets per worker before handing the
-// batch over, which keeps the per-packet synchronization cost negligible.
+// Two ingest architectures share the System type:
+//
+//   - Shared-nothing (the default for splittable sources): every worker
+//     pulls bursts from its own slice of the trace, hashes each packet
+//     once, keeps the packets its shard owns, and hands the rest to their
+//     owners over lock-free SPSC rings — no goroutine touches every
+//     packet, so ingest capacity grows with workers.
+//   - Manager funnel (the paper's Section IV.C layout, and the fallback
+//     for plain sources, queue sampling, and legacy ShardFuncs): one
+//     manager goroutine reads the source and dispatches batches to
+//     per-worker FIFO queues. Dispatch order is the trace order, which
+//     makes this mode deterministic — the differential oracle pins its
+//     bit-exact pipeline≡scalar comparison to it.
+//
+// Packets travel in bursts either way (the DPDK idiom the prototype was
+// built on), which keeps the per-packet synchronization cost negligible.
+// In both modes the flow hash computed at ingest travels with the packet
+// — across queues and rings alike — so no packet is ever hashed twice
+// (the hashonce invariant is enforced across these seams by imvet).
 package pipeline
 
 import (
@@ -28,13 +44,38 @@ import (
 	"instameasure/internal/wsaf"
 )
 
-// ShardFunc maps a packet to a worker index in [0, workers).
+// ShardFunc maps a packet to a worker index in [0, workers). Legacy
+// policies of this shape may be stateful (RoundRobinShard), so setting
+// one forces the single-manager funnel, where exactly one goroutine
+// shards.
 type ShardFunc func(p *packet.Packet, workers int) int
+
+// HashShardFunc maps a packet to a worker index using the packet's
+// precomputed flow hash. Policies of this shape must be pure functions of
+// (h, p.Key, workers) — every ingesting worker of the shared-nothing mode
+// shards independently and all must agree where a flow lives.
+type HashShardFunc func(h uint64, p *packet.Packet, workers int) int
+
+// HashShard is the load-balanced default policy: the flow hash's high 32
+// bits, already computed for the sketches, are scaled into [0, workers)
+// by fixed-point multiplication (no modulo bias, no re-hash). Flows land
+// uniformly regardless of address structure, unlike popcount's binomial
+// pileup on middling bit counts.
+func HashShard(h uint64, _ *packet.Packet, workers int) int {
+	return int((h >> 32) * uint64(workers) >> 32)
+}
 
 // PopcountShard is the paper's policy: the number of 1 bits in the source
 // IP address selects the queue.
 func PopcountShard(p *packet.Packet, workers int) int {
 	return flowhash.PopCount32(p.Key.SrcIPv4()) % workers
+}
+
+// PopcountHashShard is PopcountShard in HashShardFunc shape: Fig-series
+// experiments keep the paper's policy while running the shared-nothing
+// ingest. The hash is ignored — popcount needs only the source address.
+func PopcountHashShard(_ uint64, p *packet.Packet, workers int) int {
+	return PopcountShard(p, workers)
 }
 
 // RoundRobinShard cycles through workers regardless of flow identity —
@@ -48,6 +89,25 @@ func RoundRobinShard() ShardFunc {
 		return w
 	}
 }
+
+// IngestMode selects the pipeline architecture.
+type IngestMode int
+
+// Ingest modes.
+const (
+	// IngestAuto picks shared-nothing when the source supports it (it
+	// implements trace.SplittableSource, no legacy Shard is set, and
+	// queue sampling is off) and the manager funnel otherwise.
+	IngestAuto IngestMode = iota
+	// IngestManager forces the single-manager funnel: deterministic
+	// trace-order dispatch, required by the bit-exact differential
+	// oracle and by Fig. 12's queue-occupancy sampling.
+	IngestManager
+	// IngestSharded forces shared-nothing per-worker ingest; New errors
+	// at Run time if the source cannot be split or the config demands a
+	// manager (legacy Shard, SampleEvery).
+	IngestSharded
+)
 
 // Config parameterizes a System.
 type Config struct {
@@ -63,17 +123,27 @@ type Config struct {
 	// per worker; to match the paper's fixed 2^20 total, divide by
 	// Workers before calling New.
 	Engine core.Config
-	// Shard selects the dispatch policy; nil means PopcountShard.
+	// Shard, when set, selects a legacy (possibly stateful) dispatch
+	// policy and forces the manager funnel. nil (the default) uses
+	// HashPolicy instead.
 	Shard ShardFunc
+	// HashPolicy selects the flow-affine policy used when Shard is nil;
+	// nil means HashShard (the load-balanced default). Paper-faithful
+	// runs pass PopcountHashShard.
+	HashPolicy HashShardFunc
+	// Ingest selects the architecture; the zero value (IngestAuto) uses
+	// shared-nothing ingest whenever the source supports it.
+	Ingest IngestMode
 	// SampleEvery controls queue-occupancy sampling: the manager records
 	// every worker's queue length each SampleEvery packets. 0 disables
 	// sampling.
 	SampleEvery int
-	// DropWhenFull makes the manager drop a worker's batch instead of
-	// blocking when that worker's queue is full — the lossy head-of-line
-	// policy of a real NIC ring. Dropped packets are counted per worker
-	// in Report.Dropped and the telemetry registry. Default false
-	// (lossless back-pressure).
+	// DropWhenFull makes ingest drop packets instead of blocking when the
+	// destination worker's queue (manager mode) or exchange ring (sharded
+	// mode) is full — the lossy head-of-line policy of a real NIC ring.
+	// Dropped packets are counted against the destination worker in
+	// Report.Dropped and the telemetry registry. Default false (lossless
+	// back-pressure).
 	DropWhenFull bool
 	// Telemetry, if non-nil, receives per-worker metrics and is shared
 	// with every worker engine; nil creates a registry sharded by
@@ -143,6 +213,25 @@ func (r Report) MPPS() float64 {
 	return float64(r.Packets) / r.WallTime.Seconds() / 1e6
 }
 
+// AggregateMPPS models the pipeline's throughput with one core per
+// worker: total packets over the bottleneck worker's busy time. On a host
+// with fewer cores than workers the scheduler serializes the workers, so
+// MPPS() (wall-clock) understates what the shared-nothing design delivers
+// on real hardware; dividing by the busiest worker's CPU time instead
+// recovers the as-if-parallel rate — the Fig. 9a methodology.
+func (r Report) AggregateMPPS() float64 {
+	var max time.Duration
+	for _, bt := range r.BusyTime {
+		if bt > max {
+			max = bt
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / max.Seconds() / 1e6
+}
+
 // Utilization returns each worker's busy fraction (processing time over
 // wall time) — the per-core CPU-usage proxy for the Fig. 12 experiment.
 func (r Report) Utilization() []float64 {
@@ -155,18 +244,31 @@ func (r Report) Utilization() []float64 {
 	return out
 }
 
+// workBatch is one queued burst: the packets plus, when the shard policy
+// is hash-based, their precomputed flow hashes (index-aligned; nil under
+// a legacy ShardFunc, where workers hash for themselves).
+type workBatch struct {
+	pkts   []packet.Packet
+	hashes []uint64
+}
+
 // System is a multi-core measurement pipeline. Build one per run.
 type System struct {
 	cfg     Config
 	engines []*core.Engine
-	queues  []chan []packet.Packet
+	queues  []chan workBatch
 	// recycle[w] is worker w's buffer free list: the worker pushes each
-	// spent batch slice back (non-blocking) and the manager prefers a
-	// recycled buffer over a fresh allocation, so the steady state moves a
-	// fixed set of buffers around instead of allocating one per flush.
-	recycle []chan []packet.Packet
-	shard   ShardFunc
-	batch   int
+	// spent batch back (non-blocking) and the manager prefers a recycled
+	// buffer over a fresh allocation, so the steady state moves a fixed
+	// set of buffers around instead of allocating one per flush.
+	recycle []chan workBatch
+	shard   ShardFunc // nil in hash-policy mode
+	policy  HashShardFunc
+	// hashSeed is the flow-key hash seed shared by every worker engine:
+	// a hash computed at ingest shards the packet and then probes
+	// whichever worker's sketches and table it lands on.
+	hashSeed uint64
+	batch    int
 
 	telemetry     *telemetry.Registry
 	flight        *flight.Recorder
@@ -186,8 +288,19 @@ func New(cfg Config) (*System, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
 	}
-	if cfg.Shard == nil {
-		cfg.Shard = PopcountShard
+	if cfg.HashPolicy == nil {
+		cfg.HashPolicy = HashShard
+	}
+	// One hash seed across all workers (see System.hashSeed). Seed zero
+	// still needs a concrete shared value — worker engines derive
+	// distinct sketch seeds from it, and HashSeed==0 would fall back to
+	// each worker's own derived seed.
+	hashSeed := cfg.Engine.HashSeed
+	if hashSeed == 0 {
+		hashSeed = cfg.Engine.Seed
+	}
+	if hashSeed == 0 {
+		hashSeed = 0x1A57A4EA5EED // default shared hash seed
 	}
 	chanCap := cfg.QueueDepth / cfg.BatchSize
 	if chanCap < 1 {
@@ -205,9 +318,11 @@ func New(cfg Config) (*System, error) {
 		cfg:           cfg,
 		flight:        rec,
 		engines:       make([]*core.Engine, cfg.Workers),
-		queues:        make([]chan []packet.Packet, cfg.Workers),
-		recycle:       make([]chan []packet.Packet, cfg.Workers),
+		queues:        make([]chan workBatch, cfg.Workers),
+		recycle:       make([]chan workBatch, cfg.Workers),
 		shard:         cfg.Shard,
+		policy:        cfg.HashPolicy,
+		hashSeed:      hashSeed,
 		batch:         cfg.BatchSize,
 		telemetry:     reg,
 		workerPackets: make([]telemetry.CounterShard, cfg.Workers),
@@ -218,6 +333,7 @@ func New(cfg Config) (*System, error) {
 	for i := range s.engines {
 		engCfg := cfg.Engine
 		engCfg.Seed = cfg.Engine.Seed + uint64(i)*0x9E3779B97F4A7C15
+		engCfg.HashSeed = hashSeed
 		engCfg.Telemetry = reg
 		engCfg.Worker = i
 		engCfg.Flight = rec
@@ -226,11 +342,11 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("worker %d engine: %w", i, err)
 		}
 		s.engines[i] = eng
-		s.queues[i] = make(chan []packet.Packet, chanCap)
+		s.queues[i] = make(chan workBatch, chanCap)
 		// +2: every in-flight batch plus the one being processed and the
 		// one being filled can be parked here, so neither side ever blocks
 		// on the free list.
-		s.recycle[i] = make(chan []packet.Packet, chanCap+2)
+		s.recycle[i] = make(chan workBatch, chanCap+2)
 
 		label := strconv.Itoa(i)
 		packetCounters[i] = reg.Counter("worker_packets_total",
@@ -289,6 +405,18 @@ func (s *System) Saturated() error {
 // Workers returns the worker count.
 func (s *System) Workers() int { return len(s.engines) }
 
+// ShardOf returns the worker index the system's shard policy assigns to
+// flow key k: the legacy ShardFunc when one is set, otherwise the hash
+// policy over the shared hash seed. Callers use it to locate the engine
+// owning a flow.
+func (s *System) ShardOf(k packet.FlowKey) int {
+	p := packet.Packet{Key: k}
+	if s.shard != nil {
+		return s.shard(&p, len(s.engines))
+	}
+	return s.policy(k.Hash64(s.hashSeed), &p, len(s.engines))
+}
+
 // Engines exposes the per-worker engines for post-run inspection. Do not
 // call while Run is in flight.
 func (s *System) Engines() []*core.Engine { return s.engines }
@@ -300,11 +428,51 @@ func (s *System) Run(src trace.Source) (Report, error) {
 	return s.RunContext(context.Background(), src)
 }
 
-// RunContext is Run with cancellation: when ctx is cancelled the manager
-// stops reading the source, flushes pending batches, and waits for the
-// workers to drain what was already queued. The report covers the packets
+// RunContext is Run with cancellation: when ctx is cancelled ingest stops
+// reading the source, flushes pending batches, and waits for the workers
+// to drain what was already queued. The report covers the packets
 // dispatched before cancellation and the returned error wraps ctx.Err().
+//
+// The ingest architecture follows Config.Ingest: shared-nothing when the
+// source is splittable (each worker reads its own stripe and exchanges
+// cross-shard packets over SPSC rings), the manager funnel otherwise.
 func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, error) {
+	sharded, err := s.useSharded(src)
+	if err != nil {
+		return Report{}, err
+	}
+	if sharded {
+		return s.runSharded(ctx, src.(trace.SplittableSource))
+	}
+	return s.runManager(ctx, src)
+}
+
+// useSharded resolves the ingest mode for this source, erroring when a
+// forced mode's requirements are unmet.
+func (s *System) useSharded(src trace.Source) (bool, error) {
+	_, splittable := src.(trace.SplittableSource)
+	compatible := s.shard == nil && s.cfg.SampleEvery == 0
+	switch s.cfg.Ingest {
+	case IngestManager:
+		return false, nil
+	case IngestSharded:
+		if !splittable {
+			return false, errors.New("pipeline: IngestSharded needs a trace.SplittableSource")
+		}
+		if !compatible {
+			return false, errors.New("pipeline: IngestSharded excludes legacy Shard and SampleEvery (manager-only features)")
+		}
+		return true, nil
+	default:
+		return splittable && compatible, nil
+	}
+}
+
+// runManager is the funnel architecture: this goroutine reads the source
+// in trace order and dispatches batches to per-worker FIFO queues. With a
+// hash policy (Config.Shard nil) each packet is hashed here, once, and
+// the hash travels with it.
+func (s *System) runManager(ctx context.Context, src trace.Source) (Report, error) {
 	var wg sync.WaitGroup
 	nw := len(s.engines)
 	perWorker := make([]uint64, nw)
@@ -320,16 +488,24 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 			defer wg.Done()
 			var n uint64
 			var b time.Duration
-			for batch := range q {
+			for wb := range q {
 				start := time.Now()
-				eng.ProcessBatch(batch)
+				if wb.hashes != nil {
+					eng.ProcessBatchHashed(wb.pkts, wb.hashes)
+				} else {
+					eng.ProcessBatch(wb.pkts)
+				}
 				b += time.Since(start)
-				n += uint64(len(batch))
+				n += uint64(len(wb.pkts))
 				counter.Set(n)
 				// Hand the spent buffer back to the manager; if the free
 				// list is somehow full, let the GC have it.
+				wb.pkts = wb.pkts[:0]
+				if wb.hashes != nil {
+					wb.hashes = wb.hashes[:0]
+				}
 				select {
-				case recycle <- batch[:0]:
+				case recycle <- wb:
 				default:
 				}
 			}
@@ -340,41 +516,55 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 		}()
 	}
 
-	pending := make([][]packet.Packet, nw)
+	hashMode := s.shard == nil
+	pending := make([]workBatch, nw)
 	for i := range pending {
-		pending[i] = make([]packet.Packet, 0, s.batch)
+		pending[i].pkts = make([]packet.Packet, 0, s.batch)
+		if hashMode {
+			pending[i].hashes = make([]uint64, 0, s.batch)
+		}
 	}
 	queued := make([]uint64, nw)
 	dropped := make([]uint64, nw)
 	// nextBuf prefers a buffer the worker has finished with over a fresh
 	// allocation; with the free lists primed after the first QueueDepth
 	// packets, the steady state allocates nothing per flush.
-	nextBuf := func(w int) []packet.Packet {
+	nextBuf := func(w int) workBatch {
 		select {
-		case buf := <-s.recycle[w]:
-			return buf
+		case wb := <-s.recycle[w]:
+			if hashMode && wb.hashes == nil {
+				wb.hashes = make([]uint64, 0, s.batch)
+			}
+			return wb
 		default:
-			return make([]packet.Packet, 0, s.batch)
+			wb := workBatch{pkts: make([]packet.Packet, 0, s.batch)}
+			if hashMode {
+				wb.hashes = make([]uint64, 0, s.batch)
+			}
+			return wb
 		}
 	}
 	flush := func(w int) {
-		if len(pending[w]) == 0 {
+		if len(pending[w].pkts) == 0 {
 			return
 		}
 		if s.cfg.DropWhenFull {
 			select {
 			case s.queues[w] <- pending[w]:
-				queued[w] += uint64(len(pending[w]))
+				queued[w] += uint64(len(pending[w].pkts))
 				pending[w] = nextBuf(w)
 			default:
-				dropped[w] += uint64(len(pending[w]))
-				s.workerDropped[w].Add(uint64(len(pending[w])))
+				dropped[w] += uint64(len(pending[w].pkts))
+				s.workerDropped[w].Add(uint64(len(pending[w].pkts)))
 				// The batch never left the manager; reuse it in place.
-				pending[w] = pending[w][:0]
+				pending[w].pkts = pending[w].pkts[:0]
+				if pending[w].hashes != nil {
+					pending[w].hashes = pending[w].hashes[:0]
+				}
 			}
 		} else {
 			s.queues[w] <- pending[w]
-			queued[w] += uint64(len(pending[w]))
+			queued[w] += uint64(len(pending[w].pkts))
 			pending[w] = nextBuf(w)
 		}
 	}
@@ -391,7 +581,7 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 		depths := depthArena[:nw:nw]
 		depthArena = depthArena[nw:]
 		for j, q := range s.queues {
-			depths[j] = len(q)*s.batch + len(pending[j])
+			depths[j] = len(q)*s.batch + len(pending[j].pkts)
 		}
 		report.QueueSamples = append(report.QueueSamples, QueueSample{
 			PacketIndex: report.Packets,
@@ -402,9 +592,17 @@ func (s *System) RunContext(ctx context.Context, src trace.Source) (Report, erro
 	dispatch := func(p *packet.Packet) {
 		report.Packets++
 		report.Bytes += uint64(p.Len)
-		w := s.shard(p, nw)
-		pending[w] = append(pending[w], *p)
-		if len(pending[w]) >= s.batch {
+		var w int
+		if hashMode {
+			h := p.Key.Hash64(s.hashSeed)
+			w = s.policy(h, p, nw)
+			pending[w].pkts = append(pending[w].pkts, *p)
+			pending[w].hashes = append(pending[w].hashes, h)
+		} else {
+			w = s.shard(p, nw)
+			pending[w].pkts = append(pending[w].pkts, *p)
+		}
+		if len(pending[w].pkts) >= s.batch {
 			flush(w)
 		}
 		if s.cfg.SampleEvery > 0 && report.Packets%uint64(s.cfg.SampleEvery) == 0 {

@@ -82,7 +82,11 @@ func TestBatchIngestMatchesScalarIngest(t *testing.T) {
 
 	run := func(src trace.Source) (*System, Report) {
 		t.Helper()
-		sys, err := New(testConfig(3))
+		cfg := testConfig(3)
+		// Pin the funnel: this test compares the manager's two ingest
+		// loops, and only manager dispatch is order-deterministic.
+		cfg.Ingest = IngestManager
+		sys, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

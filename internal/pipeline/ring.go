@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"instameasure/internal/packet"
+)
+
+// hpkt is the unit of cross-worker exchange in the shared-nothing
+// pipeline: a packet plus its precomputed flow hash, so the receiving
+// worker never re-hashes (the hashonce invariant crosses the ring).
+type hpkt struct {
+	p packet.Packet
+	h uint64
+}
+
+// ring is a bounded single-producer/single-consumer queue of hpkt — the
+// lock-free lane worker A uses to hand worker B the packets A ingested
+// but B's shard owns. The Lamport layout: the producer owns tail, the
+// consumer owns head, each side reads the other's index with one atomic
+// load per burst and publishes its own with one atomic store, so a
+// full-burst exchange costs two atomics instead of a channel's
+// mutex+scheduler round trip. Index fields sit on their own cache lines;
+// without the padding every push would false-share with every pop
+// (imvet's atomicfield gate checks the cell sizing).
+//
+// Close-while-full semantics: close only publishes the closed flag — the
+// consumer drains whatever is buffered first and drained() turns true
+// only once the ring is both closed and empty, so no packet is lost at
+// shutdown.
+type ring struct {
+	buf  []hpkt
+	mask uint64
+	_    [32]byte // pad the header (24-byte slice + 8-byte mask) to one cache line
+
+	head atomic.Uint64 // consumer cursor: next slot to pop
+	_    [56]byte
+
+	tail atomic.Uint64 // producer cursor: next slot to fill
+	_    [56]byte
+
+	closed atomic.Uint32
+	_      [60]byte
+}
+
+// newRing builds a ring holding at least capacity elements (rounded up to
+// a power of two).
+func newRing(capacity int) *ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	return &ring{buf: make([]hpkt, n), mask: uint64(n - 1)}
+}
+
+// pushBatch appends up to len(src) elements and returns how many fit; it
+// never blocks. One atomic load of the consumer cursor and one atomic
+// publish of the producer cursor per call, regardless of burst size.
+// Producer side only.
+//
+//im:hotpath
+func (r *ring) pushBatch(src []hpkt) int {
+	t := r.tail.Load() // own cursor: plain value, atomic for the gauge side
+	free := uint64(len(r.buf)) - (t - r.head.Load())
+	n := uint64(len(src))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = src[i]
+	}
+	r.tail.Store(t + n)
+	return int(n)
+}
+
+// popBatch removes up to len(dst) elements and returns how many were
+// copied; it never blocks. Consumer side only.
+//
+//im:hotpath
+func (r *ring) popBatch(dst []hpkt) int {
+	h := r.head.Load()
+	avail := r.tail.Load() - h
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.buf[(h+i)&r.mask]
+	}
+	r.head.Store(h + n)
+	return int(n)
+}
+
+// close marks the producer done. Buffered elements stay poppable.
+func (r *ring) close() { r.closed.Store(1) }
+
+// drained reports closed-and-empty — the consumer's termination test.
+// The closed flag is read before the cursors: racing the producer's final
+// push-then-close can only err toward "not drained yet", never toward
+// losing a packet.
+//
+//im:hotpath
+func (r *ring) drained() bool {
+	if r.closed.Load() == 0 {
+		return false
+	}
+	return r.tail.Load() == r.head.Load()
+}
+
+// len reports the buffered element count (approximate under concurrency;
+// used by occupancy telemetry only).
+func (r *ring) len() int {
+	return int(r.tail.Load() - r.head.Load())
+}

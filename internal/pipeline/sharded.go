@@ -1,0 +1,358 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instameasure/internal/core"
+	"instameasure/internal/packet"
+	"instameasure/internal/telemetry"
+	"instameasure/internal/trace"
+)
+
+// runSharded is the shared-nothing architecture: no manager. Each worker
+// reads bursts from its own stripe of the source, hashes every packet
+// once, keeps the packets its shard owns, and stages the rest into
+// per-destination SPSC rings. Cross-shard packets carry their hash across
+// the ring, so the receiving engine never re-hashes. Ingest capacity
+// scales with workers because no goroutine touches every packet — the
+// funnel's serial hash-and-dispatch loop, the old scaling ceiling, is
+// gone.
+//
+// Per-engine packet order is not deterministic here: a worker interleaves
+// its own stripe with ring arrivals as scheduling dictates. Flow totals
+// and conservation are exact regardless (each packet is processed exactly
+// once, on the worker owning its flow); only the sketches' packet-order-
+// dependent randomness varies run to run, within the same accuracy
+// envelope. Runs needing bit-reproducibility use IngestManager.
+func (s *System) runSharded(ctx context.Context, src trace.SplittableSource) (Report, error) {
+	nw := len(s.engines)
+	parts := src.Split(nw)
+
+	// rings[f][t] carries packets ingested by worker f but owned by
+	// worker t. Depth is QueueDepth packets per lane, mirroring the
+	// funnel's per-worker FIFO budget.
+	rings := make([][]*ring, nw)
+	for f := 0; f < nw; f++ {
+		rings[f] = make([]*ring, nw)
+		for t := 0; t < nw; t++ {
+			if t != f {
+				rings[f][t] = newRing(s.cfg.QueueDepth)
+			}
+		}
+	}
+
+	var cancelled atomic.Bool
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cancelled.Store(true)
+		case <-stop:
+		}
+	}()
+
+	workers := make([]*shardWorker, nw)
+	for i := 0; i < nw; i++ {
+		w := &shardWorker{
+			id:        i,
+			sys:       s,
+			eng:       s.engines[i],
+			part:      parts[i],
+			in:        make([]*ring, nw),
+			out:       rings[i],
+			outBuf:    make([][]hpkt, nw),
+			popBuf:    make([]hpkt, s.batch),
+			readBuf:   make([]packet.Packet, s.batch),
+			drops:     make([]uint64, nw),
+			counter:   s.workerPackets[i],
+			dropCount: s.workerDropped[i],
+			cancelled: &cancelled,
+			yield:     nw > runtime.NumCPU(),
+		}
+		w.local.pkts = make([]packet.Packet, 0, s.batch)
+		w.local.hashes = make([]uint64, 0, s.batch)
+		for f := 0; f < nw; f++ {
+			w.in[f] = rings[f][i]
+			if f != i {
+				w.outBuf[f] = make([]hpkt, 0, outStage)
+			}
+		}
+		workers[i] = w
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+	wg.Wait()
+
+	report := Report{
+		PerWorker: make([]uint64, nw),
+		BusyTime:  make([]time.Duration, nw),
+		Queued:    make([]uint64, nw),
+		Dropped:   make([]uint64, nw),
+	}
+	var err error
+	for i, w := range workers {
+		// Packets/Bytes count everything read from the source: processed
+		// plus dropped, matching the manager funnel's accounting.
+		report.Packets += w.packets
+		report.Bytes += w.bytes + w.dropBytes
+		report.PerWorker[i] = w.packets
+		report.BusyTime[i] = w.busy - w.blocked
+		if report.BusyTime[i] < 0 {
+			report.BusyTime[i] = 0
+		}
+		report.Queued[i] = w.packets
+		for t, d := range w.drops {
+			report.Dropped[t] += d
+			report.Packets += d
+		}
+		if err == nil && w.err != nil {
+			err = w.err
+		}
+	}
+	report.WallTime = time.Since(start)
+
+	if cancelled.Load() {
+		return report, fmt.Errorf("pipeline cancelled: %w", ctx.Err())
+	}
+	if err != nil {
+		return report, fmt.Errorf("pipeline source: %w", err)
+	}
+	return report, nil
+}
+
+// outStage is the per-destination staging buffer: cross-shard packets
+// accumulate here so a ring push publishes a run of packets with one
+// atomic store instead of one per packet. Flushed at every burst end, so
+// staging never delays a packet by more than one read burst.
+const outStage = 64
+
+// shardWorker is one shared-nothing worker: reader, sharder, and engine
+// owner in a single goroutine.
+type shardWorker struct {
+	id   int
+	sys  *System
+	eng  *core.Engine
+	part trace.BatchSource
+
+	in     []*ring  // in[f]: packets worker f ingested for us (nil for f==id)
+	out    []*ring  // out[t]: our lane to worker t (nil for t==id)
+	outBuf [][]hpkt // staging per destination
+
+	local   workBatch // packets this shard owns, pending a ProcessBatchHashed
+	popBuf  []hpkt
+	readBuf []packet.Packet
+
+	packets   uint64
+	bytes     uint64
+	busy      time.Duration
+	blocked   time.Duration // time yielded away inside busy windows (full-ring waits)
+	drops     []uint64      // drops[t]: packets owned by t discarded at a full ring
+	dropBytes uint64
+	err       error
+
+	// yield makes the worker release the CPU at every loop top. With more
+	// workers than cores the scheduler would otherwise preempt a worker
+	// mid-burst and its busy-time window would absorb the other workers'
+	// whole time slices, poisoning the per-core model AggregateMPPS is
+	// built on; yielding at the window boundary keeps windows clean (a
+	// freshly scheduled goroutine isn't preempted for ~10ms, far longer
+	// than one burst).
+	yield bool
+
+	counter   telemetry.CounterShard
+	dropCount telemetry.CounterShard
+	cancelled *atomic.Bool
+}
+
+func (w *shardWorker) run() {
+	srcDone := false
+	for {
+		if w.yield {
+			runtime.Gosched()
+		}
+		t0 := time.Now()
+		did := w.drainIn()
+
+		if !srcDone {
+			n, err := w.part.NextBatch(w.readBuf)
+			if n > 0 {
+				did = true
+				w.ingest(w.readBuf[:n])
+			}
+			if err != nil || w.cancelled.Load() {
+				if err != nil && !errors.Is(err, io.EOF) {
+					w.err = err
+				}
+				srcDone = true
+				// Push staged leftovers, then close our lanes: consumers
+				// drain what is buffered and see drained() afterwards.
+				for t := range w.outBuf {
+					if w.out[t] != nil {
+						w.flushOut(t)
+						w.out[t].close()
+					}
+				}
+			}
+		}
+		if did {
+			w.busy += time.Since(t0)
+		}
+
+		if srcDone {
+			alive := false
+			for _, r := range w.in {
+				if r != nil && !r.drained() {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				// Producers are done and every lane is empty: whatever is
+				// in local is the final partial batch.
+				if len(w.local.pkts) > 0 {
+					t1 := time.Now()
+					w.process()
+					w.busy += time.Since(t1)
+				}
+				break
+			}
+		}
+		if !did {
+			// Nothing to do this pass — yield instead of burning the CPU
+			// other workers need (essential on small hosts).
+			runtime.Gosched()
+		}
+	}
+	w.eng.FlushTelemetry()
+}
+
+// ingest hashes and shards one read burst. Own packets accumulate in
+// local; foreign packets stage per destination and flush at burst end.
+//
+//im:hotpath
+func (w *shardWorker) ingest(pkts []packet.Packet) {
+	nw := len(w.sys.engines)
+	seed := w.sys.hashSeed
+	policy := w.sys.policy
+	for i := range pkts {
+		p := &pkts[i]
+		h := p.Key.Hash64(seed)
+		t := policy(h, p, nw)
+		if t == w.id {
+			w.local.pkts = append(w.local.pkts, *p)
+			w.local.hashes = append(w.local.hashes, h)
+			if len(w.local.pkts) >= w.sys.batch {
+				w.process()
+			}
+		} else {
+			w.outBuf[t] = append(w.outBuf[t], hpkt{p: *p, h: h})
+			if len(w.outBuf[t]) >= outStage {
+				w.flushOut(t)
+			}
+		}
+	}
+	for t := range w.outBuf {
+		if w.out[t] != nil && len(w.outBuf[t]) > 0 {
+			w.flushOut(t)
+		}
+	}
+}
+
+// flushOut publishes destination t's staged packets. When the ring is
+// full: lossless mode keeps draining our own inbound lanes (so the
+// blocked cycle always makes progress — the classic two-workers-pushing-
+// at-each-other deadlock resolves because both drain while they wait);
+// DropWhenFull discards the remainder, counted against the destination.
+func (w *shardWorker) flushOut(t int) {
+	b := w.outBuf[t]
+	r := w.out[t]
+	i := 0
+	for i < len(b) {
+		i += r.pushBatch(b[i:])
+		if i >= len(b) {
+			break
+		}
+		if w.sys.cfg.DropWhenFull {
+			n := uint64(len(b) - i)
+			w.drops[t] += n
+			for j := i; j < len(b); j++ {
+				w.dropBytes += uint64(b[j].p.Len)
+			}
+			// Published on the *producer's* shard (single-writer rule);
+			// Report.Dropped still attributes to the destination.
+			w.dropCount.Add(n)
+			break
+		}
+		w.drainIn()
+		// The wait for ring space runs inside the caller's busy window;
+		// time handed to other goroutines here is their work, not ours.
+		//im:allow hotalloc — blocked-time stamp on the ring-full wait, not per-packet
+		g0 := time.Now()
+		runtime.Gosched()
+		//im:allow hotalloc — paired with the start stamp above
+		w.blocked += time.Since(g0)
+	}
+	w.outBuf[t] = b[:0]
+}
+
+// drainIn pops every inbound lane into local, processing full batches as
+// they form. Reports whether any packet arrived.
+//
+//im:hotpath
+func (w *shardWorker) drainIn() bool {
+	did := false
+	for _, r := range w.in {
+		if r == nil {
+			continue
+		}
+		for {
+			n := r.popBatch(w.popBuf)
+			if n == 0 {
+				break
+			}
+			did = true
+			for i := 0; i < n; i++ {
+				hp := &w.popBuf[i]
+				w.local.pkts = append(w.local.pkts, hp.p)
+				w.local.hashes = append(w.local.hashes, hp.h)
+				if len(w.local.pkts) >= w.sys.batch {
+					w.process()
+				}
+			}
+			if n < len(w.popBuf) {
+				break
+			}
+		}
+	}
+	return did
+}
+
+// process runs the engine over the accumulated local batch.
+func (w *shardWorker) process() {
+	pkts := w.local.pkts
+	for i := range pkts {
+		w.bytes += uint64(pkts[i].Len)
+	}
+	w.packets += uint64(len(pkts))
+	w.eng.ProcessBatchHashed(pkts, w.local.hashes)
+	w.counter.Set(w.packets)
+	w.local.pkts = pkts[:0]
+	w.local.hashes = w.local.hashes[:0]
+}

@@ -65,6 +65,12 @@ func TestImbalanceRoundRobinVsPopcount(t *testing.T) {
 func TestDropWhenFullAccounting(t *testing.T) {
 	tr := testTrace(t, 2000, 200_000)
 	cfg := testConfig(2)
+	// Manager mode: its dispatch loop outruns the workers, so a 1-packet
+	// queue overflows deterministically. (Sharded workers drain their own
+	// rings between bursts, so whether an exchange ring ever fills is
+	// scheduling luck — TestShardedDropAccounting covers that side's
+	// conservation identity instead.)
+	cfg.Ingest = IngestManager
 	cfg.DropWhenFull = true
 	cfg.BatchSize = 1
 	cfg.QueueDepth = 1 // one batch in flight per worker

@@ -1,0 +1,23 @@
+// Package prefetch exposes the CPU's software-prefetch hint as a Go call.
+//
+// The WSAF table is sized to live in DRAM (§III: "large in-DRAM working
+// set"), so every first probe of a cold flow is a compulsory cache miss
+// costing a full memory round trip. A single packet cannot hide that
+// latency — the probe's load is on the critical path. A *batch* of packets
+// can: hash all packets first, issue a prefetch for each packet's first
+// probe slot, then walk the probes with the lines already in flight. The
+// memory-level parallelism of the prefetch pass overlaps what would
+// otherwise be a serial chain of misses.
+//
+// T0 compiles to PREFETCHT0 on amd64 (hint into every cache level) and to
+// nothing elsewhere. Both forms are semantically inert: they never fault,
+// never move data the program can observe, and may be dropped entirely.
+// Callers must therefore treat T0 as advisory — correctness never depends
+// on it.
+package prefetch
+
+// Enabled reports whether T0 emits a real prefetch instruction on this
+// architecture. The cost model in internal/memmodel uses it to decide
+// whether the two-pass batch walk buys overlap or only pays the extra
+// pass.
+const Enabled = enabled

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package prefetch
+
+import "unsafe"
+
+const enabled = false
+
+// T0 is a no-op on architectures without a wired prefetch stub. The
+// two-pass batch walk still runs; it just gains nothing from pass one.
+//
+//im:hotpath
+func T0(p unsafe.Pointer) { _ = p }

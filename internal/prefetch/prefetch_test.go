@@ -1,0 +1,44 @@
+package prefetch
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestT0IsInert drives the prefetch over every byte of a buffer and over
+// addresses just outside it. The only contract is "never faults, never
+// mutates": prefetch of a wild (but mapped-page-adjacent) address must not
+// crash, and observable memory must be byte-identical afterwards.
+func TestT0IsInert(t *testing.T) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for i := range buf {
+		T0(unsafe.Pointer(&buf[i]))
+	}
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatalf("buf[%d] mutated by prefetch: got %d want %d", i, buf[i], byte(i))
+		}
+	}
+}
+
+// TestT0ZeroAlloc pins the hint itself to the hot-path allocation budget.
+func TestT0ZeroAlloc(t *testing.T) {
+	var x uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		T0(unsafe.Pointer(&x))
+	})
+	if allocs != 0 {
+		t.Fatalf("T0 allocates: %.2f allocs/op", allocs)
+	}
+}
+
+func BenchmarkT0(b *testing.B) {
+	buf := make([]uint64, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T0(unsafe.Pointer(&buf[uint(i)%uint(len(buf))]))
+	}
+}

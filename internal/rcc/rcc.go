@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"instameasure/internal/flowhash"
+	"instameasure/internal/prefetch"
 )
 
 // DecodeMethod selects how a noise level is converted to a packet-count
@@ -226,6 +228,16 @@ func (c *Counter) Encode(h uint64) (noise int, saturated bool) {
 	var loc Location
 	c.Locate(h, &loc)
 	return c.EncodeLoc(&loc)
+}
+
+// PrefetchLoc hints the cache line holding loc's pool word. The batched
+// regulator resolves a burst of Locations first, prefetches every word,
+// then encodes — overlapping the pool's DRAM misses across the burst.
+// Advisory only; see internal/prefetch.
+//
+//im:hotpath
+func (c *Counter) PrefetchLoc(loc *Location) {
+	prefetch.T0(unsafe.Pointer(&c.words[loc.Word]))
 }
 
 // EncodeLoc is Encode with a pre-resolved Location.

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"io"
+
+	"instameasure/internal/packet"
+)
+
+// SplitChunk is the stripe width of Split: each part owns consecutive
+// runs of SplitChunk packets, interleaved round-robin across parts. The
+// width matches the pipeline's default burst so a worker's NextBatch
+// usually fills in one copy, and consecutive stripes keep each part's
+// packets in rough timestamp order (within one chunk-round of skew).
+const SplitChunk = 256
+
+// SplittableSource is a BatchSource that can be divided into independent
+// per-worker sub-sources — the shared-nothing pipeline's ingest contract.
+// Split consumes the receiver: after the call only the returned parts may
+// be read, each from its own goroutine (the parts themselves are not
+// individually concurrency-safe). Every packet of the underlying stream
+// appears in exactly one part, exactly once (FuzzSplitConservation).
+type SplittableSource interface {
+	BatchSource
+	Split(parts int) []BatchSource
+}
+
+// Split divides the replay source's remaining packets into parts by
+// striping SplitChunk-sized runs round-robin. sliceSource implements
+// SplittableSource; pcap streams do not (one decoder owns the file).
+func (s *sliceSource) Split(parts int) []BatchSource {
+	if parts < 1 {
+		parts = 1
+	}
+	rem := s.pkts[s.i:] // rebase so part offsets stay chunk-aligned
+	s.i = len(s.pkts)   // the receiver is consumed
+	out := make([]BatchSource, parts)
+	for i := range out {
+		out[i] = &stripeSource{pkts: rem, next: i * SplitChunk, stride: parts * SplitChunk}
+	}
+	return out
+}
+
+// stripeSource replays every SplitChunk-run of packets whose chunk index
+// is congruent to this part's offset. next always points at the first
+// undelivered packet of the current owned chunk.
+type stripeSource struct {
+	pkts   []packet.Packet
+	next   int // absolute index of the next packet to deliver
+	stride int // parts × SplitChunk: distance between owned chunk starts
+}
+
+func (s *stripeSource) chunkEnd() int {
+	// End of the owned chunk containing next: its start is next rounded
+	// down to the owning chunk's base, which advances by stride.
+	base := s.next - (s.next % SplitChunk)
+	return min(base+SplitChunk, len(s.pkts))
+}
+
+func (s *stripeSource) Next() (packet.Packet, error) {
+	if s.next >= len(s.pkts) {
+		return packet.Packet{}, io.EOF
+	}
+	p := s.pkts[s.next]
+	s.advance(1)
+	return p, nil
+}
+
+// NextBatch copies from the current owned chunk — at most one chunk per
+// call, so reads are one memmove and short reads mark chunk boundaries
+// (the BatchSource contract allows both).
+func (s *stripeSource) NextBatch(buf []packet.Packet) (int, error) {
+	if s.next >= len(s.pkts) {
+		return 0, io.EOF
+	}
+	n := copy(buf, s.pkts[s.next:s.chunkEnd()])
+	s.advance(n)
+	return n, nil
+}
+
+// advance moves past n delivered packets, hopping to the next owned chunk
+// when the current one is exhausted.
+func (s *stripeSource) advance(n int) {
+	s.next += n
+	if s.next%SplitChunk == 0 { // crossed into the next (unowned) chunk
+		s.next += s.stride - SplitChunk
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"instameasure/internal/packet"
+)
+
+// drainMixed reads a BatchSource to EOF with a mix of batch sizes and the
+// occasional scalar Next, returning the delivered packets in order.
+func drainMixed(t *testing.T, src BatchSource, bufSizes []int) []packet.Packet {
+	t.Helper()
+	var out []packet.Packet
+	buf := make([]packet.Packet, 1024)
+	for i := 0; ; i++ {
+		if len(bufSizes) > 0 && i%3 == 2 {
+			p, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				return out
+			}
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			out = append(out, p)
+			continue
+		}
+		sz := 1024
+		if len(bufSizes) > 0 {
+			sz = bufSizes[i%len(bufSizes)]
+		}
+		n, err := src.NextBatch(buf[:sz])
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("NextBatch returned 0 with nil error — violates the BatchSource contract")
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func splitTestTrace(t *testing.T, packets int) *Trace {
+	t.Helper()
+	tr, err := GenerateZipf(ZipfConfig{Flows: 200, TotalPackets: packets, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSplitConservation: the union of the parts is exactly the source
+// stream — no packet lost, none duplicated — for awkward part counts and
+// stream lengths that don't align with SplitChunk.
+func TestSplitConservation(t *testing.T) {
+	for _, packets := range []int{0, 1, SplitChunk - 1, SplitChunk, SplitChunk + 1, 5000} {
+		for _, parts := range []int{1, 2, 3, 8} {
+			tr := splitTestTrace(t, max(packets, 1))
+			pkts := tr.Packets[:min(packets, len(tr.Packets))]
+			src := &sliceSource{pkts: pkts}
+			seen := make(map[packet.Packet]int, len(pkts))
+			total := 0
+			for pi, part := range src.Split(parts) {
+				got := drainMixed(t, part, []int{97, 256, 3})
+				// Each part must deliver its packets in stream order.
+				for i := 1; i < len(got); i++ {
+					if got[i].TS < got[i-1].TS {
+						t.Fatalf("packets=%d parts=%d: part %d out of order at %d", packets, parts, pi, i)
+					}
+				}
+				for _, p := range got {
+					seen[p]++
+				}
+				total += len(got)
+			}
+			if total != len(pkts) {
+				t.Fatalf("packets=%d parts=%d: delivered %d", packets, parts, total)
+			}
+			for _, p := range pkts {
+				if seen[p] == 0 {
+					t.Fatalf("packets=%d parts=%d: packet lost: %+v", packets, parts, p)
+				}
+				seen[p]--
+			}
+		}
+	}
+}
+
+// TestSplitAfterPartialRead: splitting a partially consumed source covers
+// exactly the remainder.
+func TestSplitAfterPartialRead(t *testing.T) {
+	tr := splitTestTrace(t, 3000)
+	src := &sliceSource{pkts: tr.Packets}
+	buf := make([]packet.Packet, 300)
+	n, err := src.NextBatch(buf)
+	if err != nil || n != 300 {
+		t.Fatalf("priming read: n=%d err=%v", n, err)
+	}
+	total := 0
+	for _, part := range src.Split(3) {
+		total += len(drainMixed(t, part, nil))
+	}
+	if want := len(tr.Packets) - 300; total != want {
+		t.Fatalf("parts delivered %d packets, want remainder %d", total, want)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("consumed receiver must report EOF, got %v", err)
+	}
+	// A fresh Trace.Source must satisfy the pipeline's type assertion.
+	if _, ok := tr.Source().(SplittableSource); !ok {
+		t.Fatal("Trace.Source no longer implements SplittableSource")
+	}
+}
+
+// FuzzSplitConservation drives Split with fuzzer-chosen stream lengths,
+// part counts, and read patterns, asserting the no-loss/no-duplication
+// invariant the shared-nothing pipeline's correctness rests on.
+func FuzzSplitConservation(f *testing.F) {
+	f.Add(uint16(1000), uint8(4), uint8(64), uint8(0))
+	f.Add(uint16(513), uint8(3), uint8(1), uint8(1))
+	f.Add(uint16(SplitChunk), uint8(1), uint8(255), uint8(2))
+	f.Add(uint16(2*SplitChunk+7), uint8(9), uint8(100), uint8(3))
+	f.Fuzz(func(t *testing.T, nPkts uint16, parts uint8, bufSize uint8, mode uint8) {
+		if parts == 0 || parts > 32 || bufSize == 0 {
+			t.Skip()
+		}
+		pkts := make([]packet.Packet, int(nPkts))
+		for i := range pkts {
+			// Unique key per index makes loss/duplication attributable.
+			pkts[i] = packet.Packet{
+				Key: packet.V4Key(uint32(i), ^uint32(i), uint16(i), uint16(i>>8)+1, packet.ProtoUDP),
+				Len: uint16(i%1400) + 64,
+				TS:  int64(i),
+			}
+		}
+		src := &sliceSource{pkts: pkts}
+		seen := make([]bool, len(pkts))
+		total := 0
+		for _, part := range src.Split(int(parts)) {
+			buf := make([]packet.Packet, int(bufSize))
+			prev := int64(-1)
+			for {
+				var got []packet.Packet
+				if mode%2 == 0 {
+					n, err := part.NextBatch(buf)
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n == 0 {
+						t.Fatal("NextBatch returned 0, nil")
+					}
+					got = buf[:n]
+				} else {
+					p, err := part.Next()
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got[:0], p)
+				}
+				for i := range got {
+					idx := int(got[i].TS)
+					if idx < 0 || idx >= len(pkts) || got[i] != pkts[idx] {
+						t.Fatalf("corrupted packet delivered: %+v", got[i])
+					}
+					if seen[idx] {
+						t.Fatalf("packet %d duplicated", idx)
+					}
+					if got[i].TS <= prev {
+						t.Fatalf("part delivered out of order: %d after %d", got[i].TS, prev)
+					}
+					prev = got[i].TS
+					seen[idx] = true
+					total++
+				}
+			}
+		}
+		if total != len(pkts) {
+			t.Fatalf("delivered %d of %d packets", total, len(pkts))
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package wsaf
+
+import (
+	"testing"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// batchOps builds a reusable op stream over a small keyspace so the batch
+// exercises updates, inserts, reclaims, and evictions against a tight
+// table.
+func batchOps(n, keyspace int, seed uint64) []Op {
+	rng := flowhash.NewRand(seed)
+	ops := make([]Op, n)
+	for i := range ops {
+		k := rng.Intn(keyspace)
+		key := packet.V4Key(uint32(k), uint32(k)*7+1, uint16(k%60000)+1, 80, packet.ProtoTCP)
+		ops[i] = Op{
+			Hash:  key.Hash64(41),
+			Key:   key,
+			Pkts:  1,
+			Bytes: float64(64 + rng.Intn(1400)),
+			TS:    int64(i) * 1000,
+		}
+	}
+	return ops
+}
+
+// TestAccumulateBatchMatchesScalar pins the batch path's contract: state
+// transitions bit-identical to the same ops applied one at a time. The
+// prefetch pass must be semantically invisible.
+func TestAccumulateBatchMatchesScalar(t *testing.T) {
+	cfg := Config{Entries: 1 << 8, ProbeLimit: 8, TTL: 2_000_000, Seed: 41}
+	batched := MustNew(cfg)
+	scalar := MustNew(cfg)
+
+	ops := batchOps(20_000, 4*cfg.Entries, 99)
+	outB := make([]Outcome, len(ops))
+	outS := make([]Outcome, len(ops))
+
+	for base := 0; base < len(ops); base += 256 {
+		end := min(base+256, len(ops))
+		batched.AccumulateBatch(ops[base:end], outB[base:end])
+	}
+	for i := range ops {
+		op := &ops[i]
+		outS[i], _ = scalar.AccumulateHashed(op.Hash, op.Key, op.Pkts, op.Bytes, op.TS)
+	}
+
+	for i := range ops {
+		if outB[i] != outS[i] {
+			t.Fatalf("op %d: batch outcome %v != scalar %v", i, outB[i], outS[i])
+		}
+	}
+	if batched.Stats() != scalar.Stats() {
+		t.Fatalf("stats diverged: batch %+v scalar %+v", batched.Stats(), scalar.Stats())
+	}
+	if batched.Len() != scalar.Len() {
+		t.Fatalf("size diverged: batch %d scalar %d", batched.Len(), scalar.Len())
+	}
+	snapB := batched.Snapshot(0)
+	snapS := scalar.Snapshot(0)
+	if len(snapB) != len(snapS) {
+		t.Fatalf("snapshot length diverged: %d vs %d", len(snapB), len(snapS))
+	}
+	for i := range snapB {
+		if snapB[i] != snapS[i] {
+			t.Fatalf("snapshot[%d] diverged:\n batch  %+v\n scalar %+v", i, snapB[i], snapS[i])
+		}
+	}
+}
+
+// TestLookupBatchMatchesScalar does the same for the read side, over a mix
+// of present, absent, and expired keys.
+func TestLookupBatchMatchesScalar(t *testing.T) {
+	cfg := Config{Entries: 1 << 8, ProbeLimit: 8, TTL: 1_000_000, Seed: 41}
+	tab := MustNew(cfg)
+	ops := batchOps(5_000, 1<<10, 7)
+	outcomes := make([]Outcome, len(ops))
+	tab.AccumulateBatch(ops, outcomes)
+
+	now := ops[len(ops)-1].TS
+	probe := batchOps(2_000, 1<<11, 8) // half the keyspace was never inserted
+	hashes := make([]uint64, len(probe))
+	keys := make([]packet.FlowKey, len(probe))
+	for i := range probe {
+		hashes[i] = probe[i].Hash
+		keys[i] = probe[i].Key
+	}
+	entries := make([]Entry, len(probe))
+	ok := make([]bool, len(probe))
+	tab.LookupBatch(hashes, keys, now, entries, ok)
+
+	hits := 0
+	for i := range probe {
+		wantE, wantOK := tab.LookupHashed(hashes[i], keys[i], now)
+		if ok[i] != wantOK || entries[i] != wantE {
+			t.Fatalf("lookup %d diverged: batch (%v,%v) scalar (%v,%v)", i, entries[i], ok[i], wantE, wantOK)
+		}
+		if ok[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(probe) {
+		t.Fatalf("degenerate lookup mix: %d/%d hits — test would not cover both branches", hits, len(probe))
+	}
+}
+
+// TestBatchPathsZeroAlloc holds the batch walk to the hot-path budget.
+func TestBatchPathsZeroAlloc(t *testing.T) {
+	cfg := Config{Entries: 1 << 10, ProbeLimit: 16, Seed: 41}
+	tab := MustNew(cfg)
+	ops := batchOps(256, 1<<11, 3)
+	outcomes := make([]Outcome, len(ops))
+	hashes := make([]uint64, len(ops))
+	keys := make([]packet.FlowKey, len(ops))
+	for i := range ops {
+		hashes[i] = ops[i].Hash
+		keys[i] = ops[i].Key
+	}
+	entries := make([]Entry, len(ops))
+	ok := make([]bool, len(ops))
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		tab.AccumulateBatch(ops, outcomes)
+	}); allocs != 0 {
+		t.Errorf("AccumulateBatch allocates: %.2f allocs/run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		tab.LookupBatch(hashes, keys, 0, entries, ok)
+	}); allocs != 0 {
+		t.Errorf("LookupBatch allocates: %.2f allocs/run", allocs)
+	}
+}
