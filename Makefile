@@ -68,13 +68,15 @@ bench:
 # bench-guard asserts (a) the always-on hot-path instrumentation stays
 # within ~3% of the uninstrumented per-packet loop, (b) a windowed top-k
 # over a 1M-record epoch store answers through the JSON endpoint in under
-# 50 ms, and (c) the memmodel prefetch speedup agrees with the measured
-# scalar-vs-batched WSAF delta. Benchmark-based, so opt-in rather than
-# part of tier1.
+# 50 ms, (c) the memmodel prefetch speedup agrees with the measured
+# scalar-vs-batched WSAF delta, and (d) the hot-cache speedup model agrees
+# with the measured cached-vs-uncached ProcessBatch delta. Benchmark-based,
+# so opt-in rather than part of tier1.
 bench-guard:
 	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestProcessTelemetryOverhead -v ./internal/core/
 	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestStoreTopKGuard -v ./internal/store/
 	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestPrefetchModelCrossCheck -v ./internal/memmodel/
+	INSTAMEASURE_BENCH_GUARD=1 $(GO) test -run TestHotCacheModelCrossCheck -v ./internal/memmodel/
 
 # bench-json archives the hot-path suite — the Fig. 9 throughput benchmark
 # plus the per-component microbenchmarks — as BENCH_hotpath.json
@@ -84,7 +86,7 @@ bench-guard:
 # the archive itself: it fails on a >10% Mpps drop against the previous
 # archived numbers or scaling efficiency below 0.6 — full-benchtime
 # max-estimator runs are comparable at that band.
-BENCH_HOTPATH = Fig9aCores|PipelineScaling|EncodePerPacket|ProcessBatchPerPacket|RCCEncode|FlowRegulatorProcess|WSAFAccumulate|FlowKeyHash
+BENCH_HOTPATH = Fig9aCores|PipelineScaling|EncodePerPacket|ProcessBatchPerPacket|ProcessBatchCachedPerPacket|RCCEncode|FlowRegulatorProcess|WSAFAccumulate|FlowKeyHash
 bench-json:
 	$(GO) test -bench '$(BENCH_HOTPATH)' -benchmem -run '^$$' . | \
 		$(GO) run ./cmd/benchjson -guard -o BENCH_hotpath.json \

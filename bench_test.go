@@ -133,6 +133,32 @@ func BenchmarkProcessBatchPerPacket(b *testing.B) {
 	b.ReportMetric(float64(1e3)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "Mpps")
 }
 
+// BenchmarkProcessBatchCachedPerPacket is BenchmarkProcessBatchPerPacket
+// with the hot-flow promotion cache in front of the WSAF: the same trace
+// and burst size, so the ns/op delta between the two is the measured cache
+// win the memmodel cross-check validates. Reports the steady-state cache
+// hit rate alongside throughput.
+func BenchmarkProcessBatchCachedPerPacket(b *testing.B) {
+	tr := benchTrace(b)
+	eng := core.MustNew(core.Config{
+		SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 18,
+		HotCacheEntries: 4096, Seed: 1,
+	})
+	const burst = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		start := i % (len(tr.Packets) - burst)
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		eng.ProcessBatch(tr.Packets[start : start+n])
+	}
+	b.ReportMetric(float64(1e3)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "Mpps")
+	b.ReportMetric(float64(eng.HotCache().Stats().Hits)/float64(eng.Packets()), "cache_hit_rate")
+}
+
 func BenchmarkRCCEncode(b *testing.B) {
 	c := rcc.MustNew(rcc.Config{MemoryBytes: 32 << 10, VectorBits: 8, Seed: 1})
 	tr := benchTrace(b)

@@ -38,6 +38,10 @@ type Result struct {
 	MBPerSec   *float64 `json:"mb_per_s,omitempty"`
 	MPPS       *float64 `json:"mpps,omitempty"`
 	ScalingEff *float64 `json:"scaling_eff,omitempty"`
+	// CacheHitRate is reported by the hot-cache benchmarks; its presence
+	// additionally puts the benchmark under the -ns-rise guard, because a
+	// cached accumulate that slows down has lost the point of the cache.
+	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // Document is the file layout: results keyed by benchmark name (CPU
@@ -65,6 +69,7 @@ func run() error {
 		guard    = flag.Bool("guard", false, "fail on Mpps regression vs baseline or scaling efficiency below the floor")
 		mppsDrop = flag.Float64("mpps-drop", 0.10, "with -guard: max allowed fractional Mpps drop vs baseline")
 		effFloor = flag.Float64("eff-floor", 0.60, "with -guard: minimum allowed scaling efficiency")
+		nsRise   = flag.Float64("ns-rise", 0.10, "with -guard: max allowed fractional ns/op rise vs baseline for benchmarks reporting cache_hit_rate")
 	)
 	flag.Parse()
 
@@ -119,15 +124,18 @@ func run() error {
 		return err
 	}
 	if *guard {
-		return checkGuard(doc, *mppsDrop, *effFloor)
+		return checkGuard(doc, *mppsDrop, *effFloor, *nsRise)
 	}
 	return nil
 }
 
 // checkGuard enforces the throughput gate: every benchmark with an Mpps
 // metric in both sections must hold at least (1-mppsDrop)× its baseline,
-// and every reported scaling efficiency must clear effFloor.
-func checkGuard(doc Document, mppsDrop, effFloor float64) error {
+// every reported scaling efficiency must clear effFloor, and every
+// benchmark reporting a cache hit rate must keep its ns/op within
+// (1+nsRise)× of baseline — the cached accumulate path must never regress
+// past its recorded cost.
+func checkGuard(doc Document, mppsDrop, effFloor, nsRise float64) error {
 	var fails []string
 	names := make([]string, 0, len(doc.Results))
 	for n := range doc.Results {
@@ -150,6 +158,16 @@ func checkGuard(doc Document, mppsDrop, effFloor float64) error {
 			fails = append(fails, fmt.Sprintf(
 				"%s: scaling efficiency %.3f below floor %.2f",
 				n, *res.ScalingEff, effFloor))
+		}
+		if res.CacheHitRate != nil {
+			if base, ok := doc.Baseline[n]; ok && base.CacheHitRate != nil && base.NsPerOp > 0 {
+				ceil := base.NsPerOp * (1 + nsRise)
+				if res.NsPerOp > ceil {
+					fails = append(fails, fmt.Sprintf(
+						"%s: %.1f ns/op above guard %.1f (baseline %.1f, max rise %.0f%%)",
+						n, res.NsPerOp, ceil, base.NsPerOp, nsRise*100))
+				}
+			}
 		}
 	}
 	if len(fails) > 0 {
@@ -198,6 +216,8 @@ func parseLine(line string) (string, Result, error) {
 			res.MPPS = &v
 		case "scaling_eff":
 			res.ScalingEff = &v
+		case "cache_hit_rate":
+			res.CacheHitRate = &v
 		}
 	}
 	if !sawNs {

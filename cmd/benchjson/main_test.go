@@ -37,7 +37,7 @@ func TestGuardPassesWithinBand(t *testing.T) {
 			"BenchmarkPipelineScaling/w8": {MPPS: fp(52.0)},
 		},
 	}
-	if err := checkGuard(doc, 0.10, 0.60); err != nil {
+	if err := checkGuard(doc, 0.10, 0.60, 0.10); err != nil {
 		t.Fatalf("guard failed inside the band: %v", err)
 	}
 }
@@ -47,7 +47,7 @@ func TestGuardFailsOnMppsRegression(t *testing.T) {
 		Results:  map[string]Result{"B": {MPPS: fp(40.0)}},
 		Baseline: map[string]Result{"B": {MPPS: fp(52.0)}},
 	}
-	err := checkGuard(doc, 0.10, 0.60)
+	err := checkGuard(doc, 0.10, 0.60, 0.10)
 	if err == nil || !strings.Contains(err.Error(), "below guard") {
 		t.Fatalf("want Mpps guard failure, got %v", err)
 	}
@@ -57,8 +57,44 @@ func TestGuardFailsOnLowEfficiency(t *testing.T) {
 	doc := Document{
 		Results: map[string]Result{"B": {ScalingEff: fp(0.41)}},
 	}
-	err := checkGuard(doc, 0.10, 0.60)
+	err := checkGuard(doc, 0.10, 0.60, 0.10)
 	if err == nil || !strings.Contains(err.Error(), "below floor") {
 		t.Fatalf("want efficiency guard failure, got %v", err)
+	}
+}
+
+func TestParseLineCacheHitRate(t *testing.T) {
+	_, res, err := parseLine(
+		"BenchmarkProcessBatchCachedPerPacket-8 	 7602205	 67.83 ns/op	 14.74 Mpps	 0.7440 cache_hit_rate	 0 B/op	 0 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate == nil || *res.CacheHitRate != 0.7440 {
+		t.Errorf("CacheHitRate = %v, want 0.7440", res.CacheHitRate)
+	}
+}
+
+func TestGuardFailsOnCachedNsRise(t *testing.T) {
+	doc := Document{
+		Results: map[string]Result{
+			"BenchmarkProcessBatchCachedPerPacket": {NsPerOp: 90, CacheHitRate: fp(0.74)},
+		},
+		Baseline: map[string]Result{
+			"BenchmarkProcessBatchCachedPerPacket": {NsPerOp: 68, CacheHitRate: fp(0.75)},
+		},
+	}
+	err := checkGuard(doc, 0.10, 0.60, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "above guard") {
+		t.Fatalf("want ns/op rise guard failure, got %v", err)
+	}
+	// Within the rise band the same pair passes.
+	doc.Results["BenchmarkProcessBatchCachedPerPacket"] = Result{NsPerOp: 70, CacheHitRate: fp(0.74)}
+	if err := checkGuard(doc, 0.10, 0.60, 0.10); err != nil {
+		t.Fatalf("guard failed inside the rise band: %v", err)
+	}
+	// Benchmarks without a cache hit rate are exempt from the ns/op gate.
+	doc.Results["BenchmarkProcessBatchCachedPerPacket"] = Result{NsPerOp: 500}
+	if err := checkGuard(doc, 0.10, 0.60, 0.10); err != nil {
+		t.Fatalf("uncached benchmark hit the ns/op gate: %v", err)
 	}
 }

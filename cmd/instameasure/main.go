@@ -36,9 +36,10 @@ func run() error {
 		synth    = flag.Bool("synth", false, "measure a synthetic Zipf workload instead of a capture")
 		flows    = flag.Int("flows", 100_000, "synthetic workload: number of flows")
 		packets  = flag.Int("packets", 2_000_000, "synthetic workload: number of packets")
-		seed     = flag.Uint64("seed", 1, "measurement and workload seed")
+		seed     = flag.Uint64("seed", 0, "measurement and workload seed (0 = random per run; the chosen seed is printed)")
 		sketchKB = flag.Int("sketch-kb", 32, "L1 sketch memory in KB (total FlowRegulator = 4x)")
 		wsafExp  = flag.Int("wsaf-exp", 20, "WSAF size as a power of two (20 = paper default)")
+		hotCache = flag.Int("hotcache", 0, "exact hot-flow cache entries in front of the WSAF (0 = off, 4096 typical)")
 		workers  = flag.Int("workers", 1, "worker cores (1 = single-core meter)")
 		batch    = flag.Int("batch", 256, "burst size packets travel in between manager and workers")
 		topK     = flag.Int("top", 10, "print the K largest flows by packets and bytes")
@@ -61,9 +62,18 @@ func run() error {
 		instameasure.SetDetectionDelayBudget(*sloBudget)
 	}
 
+	// Resolve the seed here rather than letting the library draw one:
+	// it also drives the synthetic workload, and printing it makes any
+	// run reproducible with an explicit -seed.
+	if *seed == 0 {
+		*seed = instameasure.RandomSeed()
+		fmt.Printf("seed %d (pass -seed %d to reproduce this run)\n", *seed, *seed)
+	}
+
 	cfg := instameasure.Config{
 		SketchMemoryBytes: *sketchKB << 10,
 		WSAFEntries:       1 << *wsafExp,
+		HotCacheEntries:   *hotCache,
 		Seed:              *seed,
 	}
 
@@ -265,6 +275,10 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 		st.RegulationRate*100, st.ActiveFlows, st.WSAFLoadFactor*100)
 	fmt.Printf("WSAF churn: %d evictions, %d expirations, %d drops\n",
 		st.WSAFEvictions, st.WSAFExpirations, st.WSAFDrops)
+	if st.HotCacheHits > 0 || st.HotCachePromotions > 0 {
+		fmt.Printf("hot cache: %.1f%% hit rate, %d promotions, %d demotions\n",
+			st.HotCacheHitRate*100, st.HotCachePromotions, st.HotCacheDemotions)
+	}
 	fmt.Printf("memory: %d KB sketch + %d MB WSAF\n\n",
 		st.SketchMemoryBytes>>10, st.WSAFMemoryBytes>>20)
 

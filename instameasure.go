@@ -86,8 +86,17 @@ type Config struct {
 	// WSAFTTLNanos expires idle WSAF entries for inline garbage
 	// collection; 0 disables TTL GC.
 	WSAFTTLNanos int64
-	// Seed makes the meter deterministic; two meters with equal configs
-	// and seeds produce identical estimates for identical input.
+	// HotCacheEntries sizes the exact hot-flow promotion cache consulted
+	// before the WSAF: cached flows are counted exactly (no sketch noise,
+	// no saturation sampling) and bypass the FlowRegulator entirely.
+	// 0 disables the cache; ~4096 keeps it L2-resident. Rounded up so the
+	// set count is a power of two.
+	HotCacheEntries int
+	// Seed makes the meter deterministic: two meters with equal configs
+	// and equal non-zero seeds produce identical estimates for identical
+	// input. 0 (the zero value) draws a fresh random seed for this run —
+	// a fixed default would let an attacker craft hash-collision floods —
+	// retrievable via Meter.Seed / Cluster.Seed for reproducing the run.
 	Seed uint64
 }
 
@@ -99,6 +108,7 @@ func (c Config) engineConfig() core.Config {
 		WSAFEntries:       c.WSAFEntries,
 		ProbeLimit:        c.ProbeLimit,
 		WSAFTTL:           c.WSAFTTLNanos,
+		HotCacheEntries:   c.HotCacheEntries,
 		Seed:              c.Seed,
 	}
 }
@@ -163,6 +173,15 @@ type Stats struct {
 	// (WSAF uses the paper's 33-byte entry accounting).
 	SketchMemoryBytes int
 	WSAFMemoryBytes   int
+	// Hot-cache activity (all zero when Config.HotCacheEntries is 0).
+	// HotCacheHits counts packets absorbed exactly by the cache tier;
+	// HotCacheHitRate is HotCacheHits/Packets. Promotions and Demotions
+	// count flows entering the cache and incumbents whose exact deltas
+	// were folded back into the WSAF.
+	HotCacheHits       uint64
+	HotCacheHitRate    float64
+	HotCachePromotions uint64
+	HotCacheDemotions  uint64
 }
 
 // Meter is a single-worker measurement engine (one "core" in the paper's
@@ -170,19 +189,28 @@ type Stats struct {
 // multi-worker system.
 type Meter struct {
 	eng      *core.Engine
+	seed     uint64
 	detector *detect.HeavyHitterDetector
 	onHH     func(HeavyHitterEvent)
 	store    *FlowStore
 }
 
-// New builds a Meter from cfg.
+// New builds a Meter from cfg. A zero cfg.Seed is replaced with a random
+// per-run seed (see Config.Seed); Seed reports the value in use.
 func New(cfg Config) (*Meter, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = RandomSeed()
+	}
 	eng, err := core.New(cfg.engineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
-	return &Meter{eng: eng}, nil
+	return &Meter{eng: eng, seed: cfg.Seed}, nil
 }
+
+// Seed returns the seed the meter runs under — the value to pass as
+// Config.Seed to reproduce this run bit-for-bit.
+func (m *Meter) Seed() uint64 { return m.seed }
 
 // Process records one packet.
 func (m *Meter) Process(p Packet) {
@@ -305,7 +333,7 @@ func (m *Meter) Stats() Stats {
 	reg := m.eng.Regulator()
 	table := m.eng.Table()
 	ts := table.Stats()
-	return Stats{
+	out := Stats{
 		Packets:           m.eng.Packets(),
 		Bytes:             m.eng.Bytes(),
 		WSAFInsertions:    reg.Emissions(),
@@ -319,6 +347,16 @@ func (m *Meter) Stats() Stats {
 		SketchMemoryBytes: m.eng.SketchMemoryBytes(),
 		WSAFMemoryBytes:   table.MemoryBytes(),
 	}
+	if cache := m.eng.HotCache(); cache != nil {
+		cs := cache.Stats()
+		out.HotCacheHits = cs.Hits
+		out.HotCachePromotions = cs.Promotions
+		out.HotCacheDemotions = cs.Demotions
+		if out.Packets > 0 {
+			out.HotCacheHitRate = float64(cs.Hits) / float64(out.Packets)
+		}
+	}
+	return out
 }
 
 // Reset clears all measurement state for a new window.
@@ -467,11 +505,20 @@ type ClusterReport struct {
 // with workers instead of bottlenecking on a manager goroutine.
 type Cluster struct {
 	sys   *pipeline.System
+	seed  uint64
 	store *FlowStore
 }
 
-// NewCluster builds a Cluster from cfg.
+// Seed returns the seed the cluster runs under — the value to pass as
+// Config.Seed to reproduce this run.
+func (c *Cluster) Seed() uint64 { return c.seed }
+
+// NewCluster builds a Cluster from cfg. A zero cfg.Meter.Seed is replaced
+// with a random per-run seed (see Config.Seed); Cluster.Seed reports it.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Meter.Seed == 0 {
+		cfg.Meter.Seed = RandomSeed()
+	}
 	var policy pipeline.HashShardFunc
 	if cfg.Shard == ShardByPopcount {
 		policy = pipeline.PopcountHashShard
@@ -486,7 +533,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("instameasure: %w", err)
 	}
-	return &Cluster{sys: sys}, nil
+	return &Cluster{sys: sys, seed: cfg.Meter.Seed}, nil
 }
 
 // Run drains src through the cluster and blocks until every worker has

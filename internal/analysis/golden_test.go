@@ -125,7 +125,7 @@ func TestFlightrecGolden(t *testing.T) {
 }
 
 func TestHashonceGolden(t *testing.T) {
-	runGolden(t, Hashonce, "hashonce/wsaf", "hashonce/free", "hashonce/pipeline")
+	runGolden(t, Hashonce, "hashonce/wsaf", "hashonce/free", "hashonce/pipeline", "hashonce/hotcache")
 }
 
 func TestAtomicfieldGolden(t *testing.T) {

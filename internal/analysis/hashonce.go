@@ -7,7 +7,7 @@ import (
 )
 
 // Hashonce enforces the single-hash-per-packet design: a function in the
-// hash-threading packages (wsaf, flowreg, core, pipeline) that receives a
+// hash-threading packages (wsaf, flowreg, core, pipeline, hotcache) that receives a
 // precomputed flow hash — a uint64 parameter named "h" or "hash", or a
 // batch of them as a []uint64 parameter named "hashes" — must never hash
 // the flow key again. Re-deriving the hash inside such a function is
@@ -26,7 +26,7 @@ var Hashonce = &Analyzer{
 }
 
 // hashonceScopes are the package-path tails the analyzer applies to.
-var hashonceScopes = []string{"wsaf", "flowreg", "core", "pipeline"}
+var hashonceScopes = []string{"wsaf", "flowreg", "core", "pipeline", "hotcache"}
 
 func runHashonce(prog *Program, report func(token.Pos, string, ...any)) {
 	for _, pkg := range prog.Pkgs {

@@ -1,0 +1,22 @@
+// Package hotcache is the hashonce golden fixture for the promotion-cache
+// tier: its synthetic import path ends in "hotcache", so the cache scope
+// applies. Every cache operation receives the packet's precomputed hash —
+// the tag compare IS the hash — so re-deriving it inside the cache is both
+// wasted work and a seed-confusion hazard (the cache must tag with the
+// same keyed hash the WSAF probes with).
+package hotcache
+
+import "instameasure/internal/packet"
+
+// Bump receives the precomputed hash as its tag: hashing the key again
+// inside the probe is the double-hash regression the analyzer catches.
+func Bump(h uint64, k *packet.FlowKey) bool {
+	tag := k.Hash64(0) // want `hotcache\.Bump re-hashes the flow key via \(FlowKey\)\.Hash64; the hash is already threaded in as "h"`
+	return tag == h
+}
+
+// Admit also threads the hash through; the key is carried only for
+// exact-match confirmation and demotion, never re-hashed.
+func Admit(h uint64, k *packet.FlowKey, ts int64) uint64 {
+	return h ^ uint64(k.SrcPort) ^ uint64(ts)
+}

@@ -1,0 +1,52 @@
+// cache.go extends the hotalloc fixture with a promotion-cache-shaped
+// root: the per-packet cache probe (Bump) and the admission it may
+// trigger run once per packet ahead of the regulator, so a map-backed
+// tag index or a per-admission entry allocation is exactly the kind of
+// regression the analyzer must catch in the cache tier.
+package hotalloc
+
+type cacheEntry struct{ hash, pkts uint64 }
+
+type cache struct {
+	tags  []uint64
+	ents  []cacheEntry
+	index map[uint64]int
+}
+
+var lastDemoted *cacheEntry
+
+// BumpCache is the cache-tier hot root: one tag scan per packet.
+//
+//im:hotpath
+func BumpCache(c *cache, h uint64) bool {
+	if c.index == nil {
+		c.index = make(map[uint64]int) // want `hot path: make\(map\) allocation in hotalloc\.BumpCache`
+	}
+	for i := range c.tags {
+		if c.tags[i] == h {
+			c.ents[i].pkts++
+			return true
+		}
+	}
+	admitCache(c, h)
+	return false
+}
+
+// admitCache inherits hotness through the static call from BumpCache: the
+// victim copy must go into a caller-owned buffer, never a fresh heap
+// entry.
+func admitCache(c *cache, h uint64) {
+	lastDemoted = &cacheEntry{hash: h} // want `hot path: heap-escaping composite literal \(&T\{\.\.\.\}\) in hotalloc\.admitCache \(hot via hotalloc\.BumpCache\)`
+	if len(c.tags) > 0 {
+		c.tags[0] = h
+	}
+}
+
+// rebuildIndex is cold: admission-time bookkeeping off the hot path may
+// allocate freely.
+func rebuildIndex(c *cache) {
+	c.index = make(map[uint64]int, len(c.tags))
+	for i, t := range c.tags {
+		c.index[t] = i
+	}
+}

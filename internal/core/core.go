@@ -11,11 +11,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"instameasure/internal/flight"
 	"instameasure/internal/flowreg"
 	"instameasure/internal/hll"
+	"instameasure/internal/hotcache"
 	"instameasure/internal/packet"
 	"instameasure/internal/rcc"
 	"instameasure/internal/telemetry"
@@ -45,6 +47,17 @@ type Config struct {
 	// WSAFTTL is the WSAF inactivity GC window in trace nanoseconds;
 	// 0 disables TTL-based GC.
 	WSAFTTL int64
+	// HotCacheEntries enables the exact hot-flow promotion cache in
+	// front of the FlowRegulator: roughly this many heavy flows get
+	// exact single-access packet/byte counting and bypass the regulator
+	// and the WSAF on every hit (rounded up to a power-of-two set
+	// count). 0 disables the cache — the default, and the paper's
+	// original architecture.
+	HotCacheEntries int
+	// HotCachePolicy selects the cache admission rule; 0 means the
+	// PRECISION-style probabilistic policy. hotcache.AdmitAlways is the
+	// always-admit LRU ablation.
+	HotCachePolicy hotcache.Policy
 	// Seed drives all hashing and sketch randomness.
 	Seed uint64
 	// HashSeed, when non-zero, overrides Seed for flow-key hashing and the
@@ -114,6 +127,10 @@ type engineMetrics struct {
 	packets telemetry.CounterShard
 	bytes   telemetry.CounterShard
 	latency telemetry.HistogramShard
+	// Hot-cache activity; attached only when the cache is enabled.
+	cacheHits   telemetry.CounterShard
+	cachePromos telemetry.CounterShard
+	cacheDemos  telemetry.CounterShard
 }
 
 // Engine is a single-core InstaMeasure instance.
@@ -122,6 +139,7 @@ type Engine struct {
 	reg       *flowreg.Regulator
 	table     *wsaf.Table
 	card      *hll.Sketch
+	cache     *hotcache.Cache // nil unless HotCacheEntries > 0
 	onPass    func(PassEvent)
 	telemetry *telemetry.Registry
 	tm        engineMetrics
@@ -140,10 +158,23 @@ type Engine struct {
 	emBuf   []flowreg.Emission
 	okBuf   []bool
 	passBuf []int32
+	// missBuf/missHashBuf are the cached batch path's compaction
+	// scratch: the indices and hashes of packets the cache did not
+	// absorb, which then run the regulator pass exactly as an uncached
+	// batch of just those packets would.
+	missBuf     []int32
+	missHashBuf []uint64
+	// victim is the demotion scratch Admit fills when it displaces a
+	// cached flow; the delta is folded into the WSAF immediately, so the
+	// scratch never outlives one admission.
+	victim hotcache.Entry
 	// tmPacketsBase/tmBytesBase keep the published counters cumulative
 	// across window Resets (Prometheus counters must not move backwards).
 	tmPacketsBase uint64
 	tmBytesBase   uint64
+	// tmCacheBase keeps the published cache counters cumulative across
+	// window Resets, like the packet/byte bases above.
+	tmCacheBase hotcache.Stats
 }
 
 // New builds an Engine from cfg.
@@ -177,6 +208,19 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("cardinality sketch: %w", err)
 	}
 	e := &Engine{cfg: cfg, reg: reg, table: table, card: card}
+	if cfg.HotCacheEntries > 0 {
+		cache, err := hotcache.New(hotcache.Config{
+			Entries: cfg.HotCacheEntries,
+			Policy:  cfg.HotCachePolicy,
+			// The admission coin flips get their own stream, decoupled
+			// from the sketch randomness derived from the same seed.
+			Seed: cfg.Seed ^ 0xCAC4E5EED,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hot cache: %w", err)
+		}
+		e.cache = cache
+	}
 	e.instrument()
 	rec := cfg.Flight
 	if rec == nil {
@@ -207,6 +251,17 @@ func (e *Engine) instrument() {
 		"Bytes observed by the measurement engine.").Shard(w)
 	e.tm.latency = reg.Histogram("process_latency_ns",
 		"Per-packet Process latency in nanoseconds, sampled 1-in-1024.", 24).Shard(w)
+
+	if e.cache != nil {
+		e.tm.cacheHits = reg.Counter("hotcache_hits_total",
+			"Packets counted exactly by the hot-flow promotion cache (regulator bypassed).").Shard(w)
+		e.tm.cachePromos = reg.Counter("hotcache_promotions_total",
+			"Flows promoted into the hot cache.").Shard(w)
+		e.tm.cacheDemos = reg.Counter("hotcache_demotions_total",
+			"Cached flows demoted; their exact deltas were folded back into the WSAF.").Shard(w)
+		reg.Gauge("hotcache_capacity_entries",
+			"Hot-cache capacity in entries across all workers.").Shard(w).Set(int64(e.cache.Capacity()))
+	}
 
 	// FlowRegulator: per-layer recycles, emissions, noise distribution.
 	depth := e.reg.Layers()
@@ -365,6 +420,10 @@ func (e *Engine) ProcessBatchHashed(batch []packet.Packet, hashes []uint64) {
 	if len(batch) == 0 {
 		return
 	}
+	if e.cache != nil {
+		e.processBatchCached(batch, hashes)
+		return
+	}
 	hashes = hashes[:len(batch)]
 	if cap(e.lenBuf) < len(batch) {
 		//im:allow hotalloc — amortized: batch scratch grows to the high-water batch size once, then is reused
@@ -430,25 +489,151 @@ func (e *Engine) ProcessBatchHashed(batch []packet.Packet, hashes []uint64) {
 	e.publishTotals()
 }
 
+// processBatchCached is ProcessBatchHashed with the promotion cache in
+// front: pass 1 additionally probes the cache, and hits — the bulk of a
+// skewed workload — are counted exactly and drop out of the burst before
+// the regulator runs. The surviving misses are compacted (indices +
+// hashes + lengths) and take the regulator → prefetch → accumulate
+// passes exactly as an uncached batch of just those packets would: same
+// update order, same RNG stream.
+//
+// One deliberate divergence from the scalar cached path: promotions take
+// effect at the next burst, because every packet's cache probe runs
+// before any admission. A flow promoted mid-burst therefore sends its
+// remaining same-burst packets through the regulator where scalar order
+// would have counted them exactly. Totals stay conserved either way —
+// those packets are regulated estimates instead of exact counts — so
+// the cached differential oracle checks per-engine invariants rather
+// than scalar≡batch bit-equality.
+//
+//im:hotpath
+func (e *Engine) processBatchCached(batch []packet.Packet, hashes []uint64) {
+	hashes = hashes[:len(batch)]
+	if cap(e.lenBuf) < len(batch) {
+		//im:allow hotalloc — amortized: batch scratch grows to the high-water batch size once, then is reused
+		e.lenBuf = make([]int, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.emBuf = make([]flowreg.Emission, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.okBuf = make([]bool, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.passBuf = make([]int32, len(batch))
+	}
+	if cap(e.missBuf) < len(batch) {
+		//im:allow hotalloc — amortized: cached-path compaction scratch grows once, then is reused
+		e.missBuf = make([]int32, len(batch))
+		//im:allow hotalloc — amortized: see above
+		e.missHashBuf = make([]uint64, len(batch))
+	}
+
+	//im:allow hotalloc,wallclock — latency telemetry seam: one clock read per batch
+	t0 := time.Now()
+
+	miss := e.missBuf[:0]
+	mh := e.missHashBuf[:0]
+	mlen := e.lenBuf[:0]
+	for i := range batch {
+		p := &batch[i]
+		e.packets++
+		e.bytes += uint64(p.Len)
+		e.lastTS = p.TS
+		if e.cache.Bump(hashes[i], &p.Key, p.Len, p.TS) {
+			continue
+		}
+		e.card.Add(hashes[i])
+		miss = append(miss, int32(i))
+		mh = append(mh, hashes[i])
+		mlen = append(mlen, int(p.Len))
+	}
+
+	if len(miss) > 0 {
+		ems := e.emBuf[:len(miss)]
+		oks := e.okBuf[:len(miss)]
+		e.reg.ProcessBatch(mh, mlen, ems, oks)
+
+		pass := e.passBuf[:0]
+		for j := range oks {
+			if oks[j] {
+				e.table.PrefetchHashed(mh[j])
+				pass = append(pass, int32(j))
+			}
+		}
+
+		for _, pj := range pass {
+			j := int(pj)
+			i := int(miss[j])
+			p := &batch[i]
+			em := ems[j]
+			outcome, entry := e.table.AccumulateHashed(mh[j], p.Key, em.EstPkts, em.EstBytes, p.TS)
+			var evPkts, evBytes float64
+			if entry != nil {
+				// Copy the totals out before admission: folding a
+				// demoted victim into the table may relocate the entry
+				// the pointer aliases.
+				evPkts, evBytes = entry.Pkts, entry.Bytes
+				e.admit(mh[j], &p.Key, p.TS)
+			}
+			if e.onPass != nil {
+				e.onPass(PassEvent{Key: p.Key, TS: p.TS, Est: em,
+					Outcome: outcome, Pkts: evPkts, Bytes: evBytes})
+			}
+		}
+	}
+
+	//im:allow hotalloc,wallclock — latency telemetry seam: paired with the per-batch time.Now above
+	perPkt := uint64(time.Since(t0)) / uint64(len(batch))
+	e.tm.latency.Observe(perPkt)
+	e.fl.Span(t0, uint32(len(batch)), perPkt)
+	e.publishTotals()
+}
+
 // encode is the single-hash measurement path shared by Process and
-// ProcessBatch: h is the packet's one flow-key hash, reused by the
-// cardinality sketch, every FlowRegulator layer, and the WSAF probe
-// sequence. The entry returned by AccumulateHashed fills the pass event,
-// so a passthrough costs exactly one probe sequence.
+// ProcessBatch: h is the packet's one flow-key hash, reused by the hot
+// cache, the cardinality sketch, every FlowRegulator layer, and the WSAF
+// probe sequence. The entry returned by AccumulateHashed fills the pass
+// event, so a passthrough costs exactly one probe sequence. A hit in the
+// promotion cache counts the packet exactly and ends the path — no
+// sketch, no regulator, no DRAM (the cardinality sketch can be skipped
+// because re-adding an already-seen hash is a no-op for HLL registers).
 func (e *Engine) encode(p *packet.Packet, h uint64) {
+	if e.cache != nil && e.cache.Bump(h, &p.Key, p.Len, p.TS) {
+		return
+	}
 	e.card.Add(h)
 	em, ok := e.reg.Process(h, int(p.Len))
 	if !ok {
 		return
 	}
 	outcome, entry := e.table.AccumulateHashed(h, p.Key, em.EstPkts, em.EstBytes, p.TS)
-	if e.onPass != nil {
-		ev := PassEvent{Key: p.Key, TS: p.TS, Est: em, Outcome: outcome}
-		if entry != nil {
-			ev.Pkts = entry.Pkts
-			ev.Bytes = entry.Bytes
+	var evPkts, evBytes float64
+	if entry != nil {
+		evPkts, evBytes = entry.Pkts, entry.Bytes
+		if e.cache != nil {
+			e.admit(h, &p.Key, p.TS)
 		}
-		e.onPass(ev)
+	}
+	if e.onPass != nil {
+		e.onPass(PassEvent{Key: p.Key, TS: p.TS, Est: em,
+			Outcome: outcome, Pkts: evPkts, Bytes: evBytes})
+	}
+}
+
+// admit offers a regulator passthrough a hot-cache slot and, when an
+// incumbent is displaced, folds its exact delta back into the WSAF under
+// its stored hash — conservation across tiers: every cache-counted
+// packet is either in a live delta or already accumulated here. The
+// fold's timestamp is the victim's own LastUpdate, so TTL semantics see
+// the flow's true idle time, not the demotion instant.
+//
+//im:hotpath
+func (e *Engine) admit(h uint64, key *packet.FlowKey, ts int64) {
+	if e.cache.Admit(h, key, ts, &e.victim) == hotcache.AdmittedReplaced {
+		v := &e.victim
+		if v.Pkts > 0 || v.Bytes > 0 {
+			// A zero-delta victim (promoted, never hit) has nothing to
+			// conserve; folding it would insert a phantom zero entry.
+			e.table.AccumulateHashed(v.Hash, v.Key, float64(v.Pkts), float64(v.Bytes), v.LastUpdate)
+		}
 	}
 }
 
@@ -456,12 +641,21 @@ func (e *Engine) encode(p *packet.Packet, h uint64) {
 // byte totals: its WSAF entry (if any) plus the fraction still retained
 // inside the FlowRegulator.
 func (e *Engine) Estimate(key packet.FlowKey) (pkts, bytes float64) {
-	// One hash serves both the table probe and the sketch residual; the
-	// engine and its table share a hash seed by construction (see New).
+	// One hash serves the table probe, the cache probe, and the sketch
+	// residual; the engine and its table share a hash seed by
+	// construction (see New).
 	h := key.Hash64(e.cfg.HashSeed)
 	if entry, ok := e.table.LookupHashed(h, key, e.lastTS); ok {
 		pkts = entry.Pkts
 		bytes = entry.Bytes
+	}
+	if e.cache != nil {
+		if ce, ok := e.cache.Lookup(h, key); ok {
+			// The exact delta accumulated since promotion, on top of the
+			// flow's pre-promotion WSAF estimate.
+			pkts += float64(ce.Pkts)
+			bytes += float64(ce.Bytes)
+		}
 	}
 	residual := e.reg.EstimateResidual(h)
 	pkts += residual
@@ -475,24 +669,99 @@ func (e *Engine) Estimate(key packet.FlowKey) (pkts, bytes float64) {
 	return pkts, bytes
 }
 
-// Lookup returns the WSAF entry for key (no residual correction).
+// Lookup returns the flow's merged record: its WSAF entry plus, when the
+// hot cache holds the flow, the exact delta accumulated since promotion
+// (no regulator-residual correction — see Estimate for that).
 func (e *Engine) Lookup(key packet.FlowKey) (wsaf.Entry, bool) {
-	return e.table.Lookup(key, e.lastTS)
+	if e.cache == nil {
+		return e.table.Lookup(key, e.lastTS)
+	}
+	h := key.Hash64(e.cfg.HashSeed)
+	entry, ok := e.table.LookupHashed(h, key, e.lastTS)
+	if ce, cok := e.cache.Lookup(h, key); cok {
+		if !ok {
+			// The pre-promotion WSAF entry expired or was evicted; the
+			// live exact segment still represents the flow.
+			entry = wsaf.Entry{FlowID: uint32(h ^ (h >> 32)), Key: key,
+				FirstSeen: ce.FirstSeen, LastUpdate: ce.LastUpdate}
+			ok = true
+		}
+		entry.Pkts += float64(ce.Pkts)
+		entry.Bytes += float64(ce.Bytes)
+		if ce.LastUpdate > entry.LastUpdate {
+			entry.LastUpdate = ce.LastUpdate
+		}
+	}
+	return entry, ok
 }
 
-// Snapshot returns all live WSAF entries.
+// Snapshot returns all live flows as one coherent table: the WSAF
+// entries with each promoted flow's exact cache delta merged in. Epoch
+// export and the store see this merged view, so the cache tier is
+// invisible downstream.
 func (e *Engine) Snapshot() []wsaf.Entry {
-	return e.table.Snapshot(e.lastTS)
+	snap := e.table.Snapshot(e.lastTS)
+	if e.cache == nil || e.cache.Len() == 0 {
+		return snap
+	}
+	idx := make(map[packet.FlowKey]int, len(snap))
+	for i := range snap {
+		idx[snap[i].Key] = i
+	}
+	e.cache.Each(func(ce *hotcache.Entry) {
+		if i, ok := idx[ce.Key]; ok {
+			snap[i].Pkts += float64(ce.Pkts)
+			snap[i].Bytes += float64(ce.Bytes)
+			if ce.LastUpdate > snap[i].LastUpdate {
+				snap[i].LastUpdate = ce.LastUpdate
+			}
+			return
+		}
+		if ce.Pkts == 0 && ce.Bytes == 0 {
+			return
+		}
+		// The pre-promotion WSAF entry expired (TTL) or was evicted;
+		// the exact cached segment still represents a live flow.
+		h := ce.Hash
+		snap = append(snap, wsaf.Entry{
+			FlowID:     uint32(h ^ (h >> 32)),
+			Key:        ce.Key,
+			Pkts:       float64(ce.Pkts),
+			Bytes:      float64(ce.Bytes),
+			FirstSeen:  ce.FirstSeen,
+			LastUpdate: ce.LastUpdate,
+		})
+	})
+	return snap
 }
 
-// TopKPackets returns the k largest WSAF flows by packet count.
+// TopKPackets returns the k largest flows by packet count, cache deltas
+// included.
 func (e *Engine) TopKPackets(k int) []wsaf.Entry {
-	return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Pkts })
+	if e.cache == nil {
+		return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Pkts })
+	}
+	return topMerged(e.Snapshot(), k, func(en *wsaf.Entry) float64 { return en.Pkts })
 }
 
-// TopKBytes returns the k largest WSAF flows by byte volume.
+// TopKBytes returns the k largest flows by byte volume, cache deltas
+// included.
 func (e *Engine) TopKBytes(k int) []wsaf.Entry {
-	return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Bytes })
+	if e.cache == nil {
+		return e.table.TopK(k, e.lastTS, func(en *wsaf.Entry) float64 { return en.Bytes })
+	}
+	return topMerged(e.Snapshot(), k, func(en *wsaf.Entry) float64 { return en.Bytes })
+}
+
+// topMerged sorts a merged snapshot by metric and truncates to k.
+func topMerged(snap []wsaf.Entry, k int, metric func(*wsaf.Entry) float64) []wsaf.Entry {
+	sort.Slice(snap, func(i, j int) bool {
+		return metric(&snap[i]) > metric(&snap[j])
+	})
+	if k < len(snap) {
+		snap = snap[:k]
+	}
+	return snap
 }
 
 // DistinctFlows estimates the number of distinct flows observed since the
@@ -504,6 +773,12 @@ func (e *Engine) DistinctFlows() float64 { return e.card.Estimate() }
 func (e *Engine) publishTotals() {
 	e.tm.packets.Set(e.tmPacketsBase + e.packets)
 	e.tm.bytes.Set(e.tmBytesBase + e.bytes)
+	if e.cache != nil {
+		s := e.cache.Stats()
+		e.tm.cacheHits.Set(e.tmCacheBase.Hits + s.Hits)
+		e.tm.cachePromos.Set(e.tmCacheBase.Promotions + s.Promotions)
+		e.tm.cacheDemos.Set(e.tmCacheBase.Demotions + s.Demotions)
+	}
 }
 
 // FlushTelemetry publishes the amortized packet/byte totals exactly.
@@ -533,6 +808,10 @@ func (e *Engine) HashSeed() uint64 { return e.cfg.HashSeed }
 // Regulator exposes the FlowRegulator for regulation-rate metrics.
 func (e *Engine) Regulator() *flowreg.Regulator { return e.reg }
 
+// HotCache exposes the promotion cache (nil when disabled) for hit-rate
+// metrics and the cached differential oracle.
+func (e *Engine) HotCache() *hotcache.Cache { return e.cache }
+
 // Table exposes the WSAF table for load/eviction metrics.
 func (e *Engine) Table() *wsaf.Table { return e.table }
 
@@ -546,6 +825,13 @@ func (e *Engine) Reset() {
 	e.reg.Reset()
 	e.table.Reset()
 	e.card.Reset()
+	if e.cache != nil {
+		s := e.cache.Stats()
+		e.tmCacheBase.Hits += s.Hits
+		e.tmCacheBase.Promotions += s.Promotions
+		e.tmCacheBase.Demotions += s.Demotions
+		e.cache.Reset()
+	}
 	e.tmPacketsBase += e.packets
 	e.tmBytesBase += e.bytes
 	e.packets = 0

@@ -203,6 +203,7 @@ func All(s Scale) ([]*Report, error) {
 		{"apps", AppsDetection},
 		{"onset", AnomalyOnset},
 		{"layers", LayersSweep},
+		{"hotcache", HotCacheAccuracy},
 		{"oracle", OracleDifferential},
 	}
 	out := make([]*Report, 0, len(runners))
@@ -263,6 +264,8 @@ func ByID(id string, s Scale) (*Report, error) {
 		return AnomalyOnset(s)
 	case "layers":
 		return LayersSweep(s)
+	case "hotcache":
+		return HotCacheAccuracy(s)
 	case "oracle":
 		return OracleDifferential(s)
 	default:

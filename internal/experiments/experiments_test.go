@@ -476,3 +476,28 @@ func TestLayersSweepShape(t *testing.T) {
 		t.Error("deep chains must fit the TCAM-grade margin")
 	}
 }
+
+func TestHotCacheAccuracyShape(t *testing.T) {
+	rep, err := HotCacheAccuracy(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(hotCacheSweep) {
+		t.Fatalf("rows = %d, want %d cache points", len(rep.Rows), len(hotCacheSweep))
+	}
+	// The acceptance criterion for the cache tier: top-1k heavy-hitter
+	// error with a 4k cache must undercut the uncached sketch-only error,
+	// because promoted flows count exactly from promotion onward.
+	uncached := parsePct(t, rep.Rows[0][5])
+	cached := parsePct(t, rep.Rows[2][5])
+	if cached >= uncached {
+		t.Errorf("4k-cache top-1k err %.4f not below uncached %.4f", cached, uncached)
+	}
+	// A skewed workload must produce a substantial hit rate at 4k entries.
+	if hr := parsePct(t, rep.Rows[2][1]); hr < 0.2 {
+		t.Errorf("4k-cache hit rate %.3f implausibly low on a Zipf trace", hr)
+	}
+	if rep.Metrics["hit_rate"] <= 0 {
+		t.Error("hit_rate metric not set")
+	}
+}

@@ -1,0 +1,337 @@
+// Package hotcache implements the exact hot-flow promotion cache that
+// fronts the FlowRegulator + WSAF path: a compact, fixed-size,
+// set-associative table holding the few thousand heaviest flows. A hit
+// costs one set probe and counts the packet exactly — no sketch noise, no
+// saturation-sampled bytes, no DRAM walk — so the flows that carry most
+// of the traffic bypass the regulator entirely (the PriMe fast-tier
+// argument). Misses fall through to the regular path unchanged.
+//
+// Layout: the cache is ways-associative over contiguous storage. Each
+// set's 8 tag words are packed into one 64-byte line (tags[set*8 ..
+// set*8+7]), so the common case — a probe that misses or hits on the tag
+// — touches exactly one cache line before the full-key confirm against
+// the parallel entry array.
+//
+// Admission follows PRECISION's probabilistic recirculation: when a flow
+// passes through the regulator into the WSAF and its set is full, the
+// incumbent with the smallest exact count is replaced with probability
+// 1/(count+1). A flow of true size s therefore wins a slot with
+// probability ≈ s/(s+c) over its lifetime — elephants promote almost
+// surely, mice almost never — without keeping any per-flow admission
+// state. AdmitAlways (evict the set's LRU unconditionally) is the
+// ablation policy.
+//
+// Cache entries hold the exact packet/byte DELTA accumulated since
+// promotion. The flow's pre-promotion estimate stays in the WSAF; on
+// demotion the delta is folded back into the WSAF entry, and snapshot
+// readers merge live deltas in, so the two tiers always present one
+// coherent table (no loss, no double count — the cached differential
+// oracle leg enforces both).
+package hotcache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// ways is the set associativity: 8 tag words per set is exactly one
+// 64-byte cache line, the packing the probe cost model assumes.
+const ways = 8
+
+// Policy selects the admission rule applied when a regulator passthrough
+// finds its set full.
+type Policy int
+
+// Admission policies.
+const (
+	// AdmitProbabilistic is the default PRECISION-style rule: replace
+	// the set's smallest incumbent with probability 1/(count+1).
+	AdmitProbabilistic Policy = iota + 1
+	// AdmitAlways is the always-admit LRU ablation: unconditionally
+	// replace the set's least-recently-updated incumbent.
+	AdmitAlways
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Entries is the target capacity; it is rounded up so the set count
+	// is a power of two (ways stay fixed at 8). 0 means 4096, the ~4k
+	// sweet spot where the cache stays L2-resident.
+	Entries int
+	// Policy selects the admission rule; 0 means AdmitProbabilistic.
+	Policy Policy
+	// Seed drives the admission coin flips (deterministic per seed).
+	Seed uint64
+}
+
+// ErrEntries rejects nonsensical capacities.
+var ErrEntries = errors.New("hotcache: Entries must be >= 0")
+
+// Entry is one promoted flow. Pkts and Bytes are the exact totals
+// accumulated since promotion (the delta on top of the flow's WSAF
+// estimate); FirstSeen is the promotion timestamp.
+type Entry struct {
+	// Hash is the flow's 64-bit key hash, stored so demotion can fold
+	// the delta back into the WSAF without re-hashing (the hashonce
+	// invariant holds across tiers).
+	Hash       uint64
+	Key        packet.FlowKey
+	Pkts       uint64
+	Bytes      uint64
+	FirstSeen  int64
+	LastUpdate int64
+}
+
+// Stats aggregates cache activity. Hits/HitBytes count the packets and
+// bytes counted exactly by the cache; DemotedPkts/DemotedBytes are the
+// deltas handed back to the WSAF by replacements, so at any instant
+//
+//	Σ live deltas + DemotedPkts == Hits
+//
+// — the conservation identity the oracle checks.
+type Stats struct {
+	Hits         uint64
+	HitBytes     uint64
+	Promotions   uint64
+	Demotions    uint64
+	DemotedPkts  uint64
+	DemotedBytes uint64
+	// Rejected counts admission attempts the probabilistic policy
+	// declined (always 0 under AdmitAlways).
+	Rejected uint64
+}
+
+// AdmitResult classifies what Admit did.
+type AdmitResult int
+
+// Admit results.
+const (
+	// NotAdmitted: the policy kept the incumbents; nothing changed.
+	NotAdmitted AdmitResult = iota
+	// AdmittedFree: the flow took an empty way; no demotion.
+	AdmittedFree
+	// AdmittedReplaced: the flow displaced an incumbent whose delta the
+	// caller must fold back into the WSAF (written to *victim).
+	AdmittedReplaced
+)
+
+// Cache is a fixed-size promotion cache. It is not safe for concurrent
+// use; the sharded pipeline gives every worker engine a private cache,
+// preserving the shared-nothing invariant.
+type Cache struct {
+	tags    []uint64 // tags[set*ways+w]; 0 marks an empty way
+	ents    []Entry  // parallel to tags
+	setMask uint64
+	policy  Policy
+	rng     uint64 // splitmix state for admission coin flips
+
+	size  int
+	stats Stats
+}
+
+// New builds a Cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Entries < 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrEntries, cfg.Entries)
+	}
+	entries := cfg.Entries
+	if entries == 0 {
+		entries = 4096
+	}
+	sets := (entries + ways - 1) / ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		sets = 1 << bits.Len(uint(sets))
+	}
+	policy := cfg.Policy
+	if policy == 0 {
+		policy = AdmitProbabilistic
+	}
+	return &Cache{
+		tags:    make([]uint64, sets*ways),
+		ents:    make([]Entry, sets*ways),
+		setMask: uint64(sets - 1),
+		policy:  policy,
+		// Mix the seed so seed 0 and seed 1 diverge immediately.
+		rng: flowhash.Mix64(cfg.Seed ^ 0xA51CAFE5EED),
+	}, nil
+}
+
+// MustNew is New for statically-known-good configs; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// set returns the base index of h's set. The set bits come from the
+// hash's upper half: the WSAF slot and the sketch indices consume the
+// low bits, so the tiers probe independent projections of the one hash.
+func (c *Cache) set(h uint64) int {
+	return int((h>>32)&c.setMask) * ways
+}
+
+// Bump looks the flow up and, on a hit, counts the packet exactly.
+// It is the first touch on the per-packet hot path: one tag-line scan,
+// and only on a tag match the full-key confirm. Returns whether the
+// packet was absorbed (true = the caller must not run the regulator or
+// the WSAF for it).
+//
+//im:hotpath
+func (c *Cache) Bump(h uint64, key *packet.FlowKey, length uint16, ts int64) bool {
+	base := c.set(h)
+	tags := c.tags[base : base+ways]
+	for w := 0; w < ways; w++ {
+		if tags[w] != h {
+			continue
+		}
+		e := &c.ents[base+w]
+		if e.Key != *key {
+			continue
+		}
+		e.Pkts++
+		e.Bytes += uint64(length)
+		e.LastUpdate = ts
+		c.stats.Hits++
+		c.stats.HitBytes += uint64(length)
+		return true
+	}
+	return false
+}
+
+// Admit offers a flow that just passed through the regulator into the
+// WSAF a cache slot. An empty way is taken unconditionally; a full set
+// consults the admission policy. When an incumbent is displaced its
+// entry (the delta to fold back into the WSAF) is written to *victim and
+// AdmittedReplaced is returned. A newly admitted entry starts at zero:
+// the packet that triggered admission was already accounted to the WSAF
+// by the caller.
+//
+// h must be the flow's Hash64 under the engine's hash seed, and the flow
+// must not already be cached (Admit is only reachable after Bump missed;
+// admitting a duplicate would split the flow across two ways).
+//
+//im:hotpath
+func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) AdmitResult {
+	if h == 0 {
+		// Tag 0 marks an empty way; the one-in-2^64 flow hashing to 0
+		// simply never promotes.
+		return NotAdmitted
+	}
+	base := c.set(h)
+	tags := c.tags[base : base+ways]
+
+	victimWay := -1
+	switch c.policy {
+	case AdmitAlways:
+		// Free way first, else the set's LRU.
+		var oldest int64
+		for w := 0; w < ways; w++ {
+			if tags[w] == 0 {
+				c.place(base+w, h, key, ts)
+				return AdmittedFree
+			}
+			if e := &c.ents[base+w]; victimWay < 0 || e.LastUpdate < oldest {
+				oldest = e.LastUpdate
+				victimWay = w
+			}
+		}
+	default:
+		// Free way first, else PRECISION: the smallest incumbent is
+		// replaced with probability 1/(count+1), so only flows that keep
+		// coming back — elephants — eventually win the slot.
+		var minPkts uint64
+		for w := 0; w < ways; w++ {
+			if tags[w] == 0 {
+				c.place(base+w, h, key, ts)
+				return AdmittedFree
+			}
+			if e := &c.ents[base+w]; victimWay < 0 || e.Pkts < minPkts {
+				minPkts = e.Pkts
+				victimWay = w
+			}
+		}
+		c.rng += 0x9E3779B97F4A7C15
+		if flowhash.Mix64(c.rng) >= ^uint64(0)/(minPkts+1) {
+			c.stats.Rejected++
+			return NotAdmitted
+		}
+	}
+
+	v := &c.ents[base+victimWay]
+	*victim = *v
+	c.stats.Demotions++
+	c.stats.DemotedPkts += v.Pkts
+	c.stats.DemotedBytes += v.Bytes
+	c.size--
+	c.place(base+victimWay, h, key, ts)
+	return AdmittedReplaced
+}
+
+// place installs a fresh zero-delta entry at index i.
+func (c *Cache) place(i int, h uint64, key *packet.FlowKey, ts int64) {
+	c.tags[i] = h
+	c.ents[i] = Entry{Hash: h, Key: *key, FirstSeen: ts, LastUpdate: ts}
+	c.size++
+	c.stats.Promotions++
+}
+
+// Lookup returns a copy of the flow's cache entry without mutating any
+// state — the snapshot/estimate merge path and the oracle's shadow
+// tracker use it.
+func (c *Cache) Lookup(h uint64, key packet.FlowKey) (Entry, bool) {
+	base := c.set(h)
+	for w := 0; w < ways; w++ {
+		if c.tags[base+w] != h {
+			continue
+		}
+		if e := &c.ents[base+w]; e.Key == key {
+			return *e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Each calls fn for every live entry. The pointer is into cache storage
+// and valid only during the call.
+func (c *Cache) Each(fn func(*Entry)) {
+	for i, tag := range c.tags {
+		if tag != 0 {
+			fn(&c.ents[i])
+		}
+	}
+}
+
+// Len returns the number of promoted flows.
+func (c *Cache) Len() int { return c.size }
+
+// Capacity returns the rounded entry capacity.
+func (c *Cache) Capacity() int { return len(c.ents) }
+
+// MemoryBytes reports the cache footprint: the packed tag lines plus the
+// entry array.
+func (c *Cache) MemoryBytes() int {
+	return len(c.tags)*8 + len(c.ents)*entryBytes
+}
+
+// entryBytes is the accounting size of one cache entry: 8 (hash) + 38
+// (key) + 8 + 8 (counters) + 8 + 8 (timestamps).
+const entryBytes = 78
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears all entries and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.ents[i] = Entry{}
+	}
+	c.size = 0
+	c.stats = Stats{}
+}

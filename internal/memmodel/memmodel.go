@@ -61,6 +61,17 @@ type Model struct {
 	// itself: the hint instruction plus the second traversal of the op
 	// window.
 	PrefetchIssueNs float64
+	// HotCacheHitNs is the full per-packet cost of a hot-flow promotion
+	// cache hit: one set probe of an L2-resident tag line plus the exact
+	// counter update — SRAM-tier work, no sketch, no regulator, no DRAM.
+	// 0 disables the cache model (CacheSpeedup returns 1).
+	HotCacheHitNs float64
+	// SketchAccessesPerPacket is the number of SRAM accesses the
+	// FlowRegulator pipeline performs per packet (layer reads/writes plus
+	// the cardinality sketch); the margin arithmetic charges one access,
+	// but the cache-bypass model needs the real count because a cache hit
+	// skips all of it. 0 means 1.
+	SketchAccessesPerPacket float64
 }
 
 // Default returns the model used throughout the reproduction: SRAM 15×
@@ -74,7 +85,51 @@ func Default() Model {
 		WSAFAccessesPerOp: 1,
 		DRAMPrefetchedNs:  11.5,
 		PrefetchIssueNs:   1.0,
+		HotCacheHitNs:     3.0,
+		// Two 8-bit layers, each a word read + write, plus the HLL
+		// register update: five SRAM touches per regulated packet.
+		SketchAccessesPerPacket: 5,
 	}
+}
+
+// UncachedPacketNs is the modeled mean per-packet memory cost without the
+// promotion cache: every packet pays the SRAM-speed sketch pipeline, and
+// the regulated fraction (ips/pps) additionally pays a WSAF DRAM
+// operation.
+func (m Model) UncachedPacketNs(regulationRatio float64) float64 {
+	per := m.WSAFAccessesPerOp
+	if per <= 0 {
+		per = 1
+	}
+	sketch := m.SketchAccessesPerPacket
+	if sketch <= 0 {
+		sketch = 1
+	}
+	return sketch*m.SRAMAccessNs + regulationRatio*m.DRAMAccessNs*per
+}
+
+// CachedPacketNs is the modeled mean per-packet memory cost with the
+// promotion cache fronting the path: hits (hitRate of packets) pay only
+// the cache probe; misses pay the probe that failed plus the full
+// uncached cost. regulationRatio is the regulator's ips/pps over the
+// misses that reach it.
+func (m Model) CachedPacketNs(hitRate, regulationRatio float64) float64 {
+	if m.HotCacheHitNs <= 0 {
+		return m.UncachedPacketNs(regulationRatio)
+	}
+	miss := m.HotCacheHitNs + m.UncachedPacketNs(regulationRatio)
+	return hitRate*m.HotCacheHitNs + (1-hitRate)*miss
+}
+
+// CacheSpeedup returns the modeled uncached/cached per-packet cost ratio
+// at the given hit rate — the claimed win the hot-cache cross-check holds
+// against the measured ProcessBatch ns/op delta, the same way
+// PrefetchSpeedup is held against the WSAF accumulate benchmarks.
+func (m Model) CacheSpeedup(hitRate, regulationRatio float64) float64 {
+	if m.HotCacheHitNs <= 0 {
+		return 1
+	}
+	return m.UncachedPacketNs(regulationRatio) / m.CachedPacketNs(hitRate, regulationRatio)
 }
 
 // PrefetchSpeedup returns the modeled scalar/batched cost ratio for a
@@ -142,6 +197,7 @@ func (m Model) accessNs(t Tier) float64 {
 type Ledger struct {
 	counts     [TierDRAM + 1]uint64
 	prefetched uint64
+	cacheHits  uint64
 	model      Model
 }
 
@@ -179,16 +235,32 @@ func (l *Ledger) PrefetchedDRAM() uint64 {
 	return l.prefetched
 }
 
+// RecordCacheHit adds n hot-cache hits, costed at HotCacheHitNs each (or
+// one SRAM access apiece when the cache model is disabled).
+func (l *Ledger) RecordCacheHit(n uint64) {
+	l.cacheHits += n
+}
+
+// CacheHits returns the hot-cache hits recorded.
+func (l *Ledger) CacheHits() uint64 {
+	return l.cacheHits
+}
+
 // CostNs returns total simulated memory time across all tiers.
 func (l *Ledger) CostNs() float64 {
 	pre := l.model.DRAMPrefetchedNs + l.model.PrefetchIssueNs
 	if l.model.DRAMPrefetchedNs <= 0 {
 		pre = l.model.DRAMAccessNs
 	}
+	hit := l.model.HotCacheHitNs
+	if hit <= 0 {
+		hit = l.model.SRAMAccessNs
+	}
 	return float64(l.counts[TierTCAM])*l.model.TCAMAccessNs +
 		float64(l.counts[TierSRAM])*l.model.SRAMAccessNs +
 		float64(l.counts[TierDRAM])*l.model.DRAMAccessNs +
-		float64(l.prefetched)*pre
+		float64(l.prefetched)*pre +
+		float64(l.cacheHits)*hit
 }
 
 // Reset zeroes all counters.
@@ -197,4 +269,5 @@ func (l *Ledger) Reset() {
 		l.counts[i] = 0
 	}
 	l.prefetched = 0
+	l.cacheHits = 0
 }

@@ -34,10 +34,18 @@ type FlowKey struct {
 // Packet is the compact per-packet record the measurement pipeline consumes:
 // flow identity, wire length in bytes, and an arrival timestamp in
 // nanoseconds since the start of the trace.
+//
+// Fragment marks packets of a fragmented datagram. Every fragment — the
+// first included, since its L4 header describes the whole datagram, not
+// this wire packet — is keyed on the 3-tuple (addresses + protocol, ports
+// zero), so one fragmented datagram lands in exactly one flow instead of
+// splitting between a 5-tuple flow (first fragment) and a 3-tuple phantom
+// (the rest).
 type Packet struct {
-	Key FlowKey
-	Len uint16
-	TS  int64
+	Key      FlowKey
+	Len      uint16
+	Fragment bool
+	TS       int64
 }
 
 // V4Key builds an IPv4 FlowKey from addresses given as 32-bit integers in

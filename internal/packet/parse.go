@@ -87,12 +87,18 @@ func parseIPv4(b []byte, wireLen int, ts int64) (Packet, error) {
 	copy(k.DstIP[:4], b[16:20])
 	k.Proto = proto
 
-	// Fragments past the first carry no L4 header; key them on the 3-tuple.
+	// Fragment policy: every fragment of a fragmented datagram — first
+	// fragment (MF set, offset 0) included — keys on the 3-tuple with the
+	// Fragment marker, so the whole datagram counts under one flow. Keying
+	// the first fragment on its 5-tuple while later fragments carry no L4
+	// header would split one datagram across two flows.
 	fragOffset := (uint16(b[6])&0x1F)<<8 | uint16(b[7])
-	if fragOffset == 0 {
-		if err := parseL4(&k, proto, b[ihl:]); err != nil {
-			return Packet{}, err
-		}
+	moreFrags := b[6]&0x20 != 0
+	if fragOffset != 0 || moreFrags {
+		return Packet{Key: k, Len: clampLen(wireLen), Fragment: true, TS: ts}, nil
+	}
+	if err := parseL4(&k, proto, b[ihl:]); err != nil {
+		return Packet{}, err
 	}
 	return Packet{Key: k, Len: clampLen(wireLen), TS: ts}, nil
 }
@@ -129,13 +135,17 @@ func parseIPv6(b []byte, wireLen int, ts int64) (Packet, error) {
 				return Packet{}, fmt.Errorf("ipv6 fragment header: %w", ErrTruncated)
 			}
 			offset := uint16(payload[2])<<5 | uint16(payload[3])>>3
+			more := payload[3]&0x01 != 0
 			nxt := payload[0]
 			payload = payload[8:]
-			if offset != 0 {
-				// Non-first fragment: 3-tuple key only.
+			if offset != 0 || more {
+				// Same 3-tuple policy as IPv4: any fragment of a truly
+				// fragmented datagram (first included) keys without ports.
 				k.Proto = nxt
-				return Packet{Key: k, Len: clampLen(wireLen), TS: ts}, nil
+				return Packet{Key: k, Len: clampLen(wireLen), Fragment: true, TS: ts}, nil
 			}
+			// Atomic fragment (offset 0, M 0, RFC 6946): a whole datagram
+			// wearing a fragment header — parse its L4 normally.
 			next = nxt
 		default:
 			k.Proto = next

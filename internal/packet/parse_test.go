@@ -152,6 +152,56 @@ func TestParseIPv4Fragment(t *testing.T) {
 	if got.Key.Proto != ProtoUDP || got.Key.SrcIPv4() != 10 {
 		t.Errorf("fragment lost 3-tuple: %+v", got.Key)
 	}
+	if !got.Fragment {
+		t.Error("non-first fragment not marked Fragment")
+	}
+}
+
+// TestParseIPv4FragmentChainOneFlow is the fragment-accounting regression
+// test: every fragment of one datagram — the first (MF set, offset 0)
+// included — must key on the same 3-tuple fragment flow, so the datagram's
+// bytes land in one flow instead of splitting between the first fragment's
+// 5-tuple and a 3-tuple phantom.
+func TestParseIPv4FragmentChainOneFlow(t *testing.T) {
+	key := V4Key(10, 20, 30, 40, ProtoUDP)
+	build := func(flagsHi, offLo byte) Packet {
+		t.Helper()
+		frame, err := BuildEthernet(Packet{Key: key, Len: 100}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[14+6], frame[14+7] = flagsHi, offLo
+		got, err := ParseEthernet(frame, 100, 0)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return got
+	}
+
+	first := build(0x20, 0x00) // MF=1, offset 0: the chain's first fragment
+	rest := build(0x00, 0x10)  // MF=0, offset != 0: the chain's last fragment
+	if first.Key != rest.Key {
+		t.Fatalf("one datagram split across two flows:\nfirst %+v\nrest  %+v", first.Key, rest.Key)
+	}
+	if first.Key.SrcPort != 0 || first.Key.DstPort != 0 {
+		t.Errorf("fragment flow carries ports %d/%d, want the 3-tuple", first.Key.SrcPort, first.Key.DstPort)
+	}
+	if !first.Fragment || !rest.Fragment {
+		t.Errorf("Fragment marks = %v/%v, want true/true", first.Fragment, rest.Fragment)
+	}
+
+	whole := build(0x00, 0x00) // unfragmented: full 5-tuple, no marker
+	if whole.Key != key {
+		t.Errorf("unfragmented packet key mismatch: %+v", whole.Key)
+	}
+	if whole.Fragment {
+		t.Error("unfragmented packet marked Fragment")
+	}
+	// DF says "don't fragment" — the datagram is whole and keeps its 5-tuple.
+	df := build(0x40, 0x00)
+	if df.Key != key || df.Fragment {
+		t.Errorf("DF packet mis-keyed: key %+v fragment %v", df.Key, df.Fragment)
+	}
 }
 
 func TestParseRawIP(t *testing.T) {
@@ -233,6 +283,58 @@ func TestParseIPv6NonFirstFragment(t *testing.T) {
 	}
 	if got.Key.Proto != ProtoTCP {
 		t.Errorf("v6 fragment proto = %d, want TCP", got.Key.Proto)
+	}
+	if !got.Fragment {
+		t.Error("v6 non-first fragment not marked Fragment")
+	}
+}
+
+// TestParseIPv6FragmentChainOneFlow: the v6 leg of the fragment-accounting
+// regression. A first fragment (offset 0, M=1) keys on the 3-tuple like
+// the rest of its chain; an atomic fragment (offset 0, M=0, RFC 6946) is a
+// whole datagram and keeps its 5-tuple.
+func TestParseIPv6FragmentChainOneFlow(t *testing.T) {
+	var key FlowKey
+	key.IsV6 = true
+	key.SrcIP[15], key.DstIP[15] = 3, 4
+	key.SrcPort, key.DstPort = 1111, 2222
+	key.Proto = ProtoTCP
+
+	build := func(offLoM byte) Packet {
+		t.Helper()
+		frame, err := BuildEthernet(Packet{Key: key, Len: 120}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := frame[14:]
+		frag := make([]byte, 0, len(frame)+8)
+		frag = append(frag, frame[:14]...)
+		frag = append(frag, ip[:40]...)
+		frag = append(frag, ProtoTCP, 0, 0x00, offLoM, 0, 0, 0, 0)
+		frag = append(frag, ip[40:]...)
+		frag[14+6] = 44 // next header: fragment
+		got, err := ParseEthernet(frag, len(frag), 0)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return got
+	}
+
+	first := build(0x01) // offset 0, M=1
+	rest := build(0x08)  // offset 1, M=0
+	if first.Key != rest.Key {
+		t.Fatalf("one v6 datagram split across two flows:\nfirst %+v\nrest  %+v", first.Key, rest.Key)
+	}
+	if first.Key.SrcPort != 0 || first.Key.DstPort != 0 || !first.Fragment || !rest.Fragment {
+		t.Errorf("v6 fragment flow wrong: key %+v marks %v/%v", first.Key, first.Fragment, rest.Fragment)
+	}
+
+	atomic := build(0x00) // offset 0, M=0: atomic fragment
+	if atomic.Key != key {
+		t.Errorf("atomic fragment lost its 5-tuple: %+v", atomic.Key)
+	}
+	if atomic.Fragment {
+		t.Error("atomic fragment marked Fragment")
 	}
 }
 

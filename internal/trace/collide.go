@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"instameasure/internal/packet"
+)
+
+// CollisionFloodConfig shapes an adversarial trace: a flood of distinct
+// flow keys crafted so that, under an attacker-known hash seed, every key
+// lands on the same WSAF base slot (and therefore contends for one probe
+// chain of at most ProbeLimit entries). Against a victim running the
+// assumed seed the flood collapses the table to a handful of slots; under
+// a secret per-run seed the same keys spread uniformly — the regression
+// pair the seed-randomization fix is tested with.
+type CollisionFloodConfig struct {
+	// Flows is the number of distinct crafted keys; 0 means 256.
+	Flows int
+	// PacketsPerFlow is how many packets each key sends, interleaved
+	// round-robin so every flow stays active; 0 means 4.
+	PacketsPerFlow int
+	// KnownSeed is the hash seed the attacker assumes the victim uses
+	// (e.g. a fixed default). Keys are mined against this seed.
+	KnownSeed uint64
+	// TableEntries is the assumed victim table capacity; keys collide on
+	// a base slot modulo this. Must be a power of two; 0 means 4096.
+	// Mining cost is ~TableEntries hash evaluations per key, so tests
+	// keep this small — a real attacker targeting 2^20 pays the same
+	// linear search offline.
+	TableEntries int
+	// TargetSlot is the base slot (mod TableEntries) the keys pin.
+	TargetSlot uint64
+	// StartTS is the first packet's timestamp in nanoseconds; packets
+	// arrive 1µs apart.
+	StartTS int64
+}
+
+// ErrEntriesPow2 rejects non-power-of-two collision table sizes.
+var ErrEntriesPow2 = errors.New("trace: TableEntries must be a positive power of two")
+
+// GenerateCollisionFlood mines cfg.Flows distinct TCP flow keys whose
+// Hash64(cfg.KnownSeed) all share one base slot, then emits them as a
+// round-robin packet flood. Fully deterministic for a given config.
+func GenerateCollisionFlood(cfg CollisionFloodConfig) (*Trace, error) {
+	flows := cfg.Flows
+	if flows == 0 {
+		flows = 256
+	}
+	per := cfg.PacketsPerFlow
+	if per == 0 {
+		per = 4
+	}
+	entries := cfg.TableEntries
+	if entries == 0 {
+		entries = 4096
+	}
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrEntriesPow2, cfg.TableEntries)
+	}
+	mask := uint64(entries - 1)
+	target := cfg.TargetSlot & mask
+
+	// Mine keys: distinct source addresses, fixed destination/ports, so
+	// every candidate is a plausible scanner flow and distinctness is
+	// guaranteed by the source address alone.
+	keys := make([]packet.FlowKey, 0, flows)
+	for nonce := uint64(1); len(keys) < flows; nonce++ {
+		k := packet.V4Key(uint32(nonce), 0x08080808, 40000, 443, packet.ProtoTCP)
+		if k.Hash64(cfg.KnownSeed)&mask == target {
+			keys = append(keys, k)
+		}
+		if nonce == 1<<32-1 {
+			return nil, fmt.Errorf("trace: collision mining exhausted the IPv4 source space")
+		}
+	}
+
+	pkts := make([]packet.Packet, 0, flows*per)
+	ts := cfg.StartTS
+	for p := 0; p < per; p++ {
+		for i := range keys {
+			pkts = append(pkts, packet.Packet{Key: keys[i], Len: 60, TS: ts})
+			ts += 1000
+		}
+	}
+	return NewTrace(pkts), nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"testing"
+
+	"instameasure/internal/packet"
+	"instameasure/internal/wsaf"
+)
+
+const floodSeed = 1 // the old fixed CLI default the attacker would assume
+
+func floodTrace(t *testing.T, flows int) *Trace {
+	t.Helper()
+	tr, err := GenerateCollisionFlood(CollisionFloodConfig{
+		Flows:          flows,
+		PacketsPerFlow: 2,
+		KnownSeed:      floodSeed,
+		TableEntries:   1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCollisionFloodCraftsOneBaseSlot(t *testing.T) {
+	tr := floodTrace(t, 64)
+	if got := tr.Flows(); got != 64 {
+		t.Fatalf("distinct flows = %d, want 64", got)
+	}
+	mask := uint64(1<<12 - 1)
+	slots := map[uint64]bool{}
+	tr.EachTruth(func(k packet.FlowKey, _ *FlowTruth) {
+		slots[k.Hash64(floodSeed)&mask] = true
+	})
+	if len(slots) != 1 {
+		t.Fatalf("crafted keys span %d base slots under the known seed, want 1", len(slots))
+	}
+
+	// Under any other seed the same keys spread back out.
+	spread := map[uint64]bool{}
+	tr.EachTruth(func(k packet.FlowKey, _ *FlowTruth) {
+		spread[k.Hash64(0xD1CE)&mask] = true
+	})
+	if len(spread) < 32 {
+		t.Fatalf("keys span only %d slots under a different seed, want >= 32", len(spread))
+	}
+}
+
+// TestCollisionFloodOccupancy is the seed-randomization regression test at
+// the table level: a WSAF hashing with the attacker-assumed seed collapses
+// to one probe chain (at most ProbeLimit live entries), while a table
+// under a secret seed keeps nearly every flood flow resident.
+func TestCollisionFloodOccupancy(t *testing.T) {
+	const flows = 64
+	tr := floodTrace(t, flows)
+
+	run := func(seed uint64) int {
+		table, err := wsaf.New(wsaf.Config{Entries: 1 << 12, ProbeLimit: 16, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Packets {
+			p := &tr.Packets[i]
+			table.AccumulateHashed(p.Key.Hash64(seed), p.Key, 1, float64(p.Len), p.TS)
+		}
+		return table.Len()
+	}
+
+	if got := run(floodSeed); got > 16 {
+		t.Fatalf("predictable seed: %d entries resident, expected the flood to pin <= ProbeLimit (16)", got)
+	}
+	if got := run(0x5EC4E7BEEF); got < flows/2 {
+		t.Fatalf("secret seed: only %d/%d flood flows resident; keyed hash failed to spread the flood", got, flows)
+	}
+}

@@ -1,0 +1,50 @@
+package instameasure
+
+import "testing"
+
+// TestZeroSeedRandomized is the seed-predictability regression test: a
+// zero Config.Seed must resolve to a fresh random seed per construction
+// (two meters must not share one), while an explicit seed is honored
+// verbatim for reproducible runs.
+func TestZeroSeedRandomized(t *testing.T) {
+	m1, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Seed() == 0 || m2.Seed() == 0 {
+		t.Fatalf("zero Config.Seed ran under seed 0 (m1 %d, m2 %d) — predictable hash key", m1.Seed(), m2.Seed())
+	}
+	if m1.Seed() == m2.Seed() {
+		t.Fatalf("two zero-seed meters share seed %d — not randomized per run", m1.Seed())
+	}
+
+	m3, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Seed() != 7 {
+		t.Fatalf("explicit seed not honored: got %d, want 7", m3.Seed())
+	}
+
+	c, err := NewCluster(ClusterConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed() == 0 {
+		t.Fatal("zero-seed cluster ran under seed 0")
+	}
+}
+
+func TestRandomSeedNonzeroAndDistinct(t *testing.T) {
+	a, b := RandomSeed(), RandomSeed()
+	if a == 0 || b == 0 {
+		t.Fatalf("RandomSeed returned 0 (%d, %d)", a, b)
+	}
+	if a == b {
+		t.Fatalf("two RandomSeed draws collided on %d", a)
+	}
+}
