@@ -182,6 +182,9 @@ type Stats struct {
 	HotCacheHitRate    float64
 	HotCachePromotions uint64
 	HotCacheDemotions  uint64
+	// HotCacheFoldDrops counts demotion folds the WSAF dropped (probe
+	// limit exhausted) — exact deltas lost. Zero in a healthy run.
+	HotCacheFoldDrops uint64
 }
 
 // Meter is a single-worker measurement engine (one "core" in the paper's
@@ -290,6 +293,10 @@ func (m *Meter) OnHeavyHitter(thresholdPkts, thresholdBytes float64, fn func(Hea
 			fn(HeavyHitterEvent{Key: ev.Key, TS: ev.TS, Pkts: ev.Pkts, Bytes: ev.Bytes, ByBytes: true})
 		}
 	})
+	// With the hot cache enabled, promoted flows bypass per-packet pass
+	// events; arming the thresholds keeps them detection-visible via
+	// synthetic crossing events.
+	m.eng.SetDetectThresholds(thresholdPkts, thresholdBytes)
 	return nil
 }
 
@@ -352,6 +359,7 @@ func (m *Meter) Stats() Stats {
 		out.HotCacheHits = cs.Hits
 		out.HotCachePromotions = cs.Promotions
 		out.HotCacheDemotions = cs.Demotions
+		out.HotCacheFoldDrops = m.eng.CacheFoldDrops()
 		if out.Packets > 0 {
 			out.HotCacheHitRate = float64(cs.Hits) / float64(out.Packets)
 		}

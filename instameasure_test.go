@@ -137,6 +137,43 @@ func TestMeterHeavyHitterCallback(t *testing.T) {
 	}
 }
 
+// TestMeterHeavyHitterWithHotCache is the end-to-end regression for the
+// silent-detection bug: with the promotion cache enabled, a heavy flow
+// is promoted after its first passthroughs and then counted exclusively
+// by the cache — before the fix, OnHeavyHitter never fired because cache
+// hits bypassed every pass event.
+func TestMeterHeavyHitterWithHotCache(t *testing.T) {
+	attack := V4Key(1, 2, 3, 4, ProtoUDP)
+	tr, err := InjectFlow(nil, attack, 50_000, 0, 1e9, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{SketchMemoryBytes: 32 << 10, WSAFEntries: 1 << 16,
+		HotCacheEntries: 1024, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []HeavyHitterEvent
+	if err := m.OnHeavyHitter(1000, 0, func(ev HeavyHitterEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProcessSource(tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.HotCacheHits == 0 {
+		t.Fatal("attack flow never hit the cache; the scenario lost its point")
+	}
+	if len(events) != 1 {
+		t.Fatalf("heavy-hitter events = %d, want exactly 1 (first crossing only)", len(events))
+	}
+	if events[0].Key != attack || events[0].Pkts < 1000 {
+		t.Errorf("event = %+v", events[0])
+	}
+}
+
 func TestMeterHeavyHitterValidation(t *testing.T) {
 	m := testMeter(t)
 	if err := m.OnHeavyHitter(0, 0, nil); err == nil {

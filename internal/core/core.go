@@ -98,6 +98,13 @@ func (c Config) withDefaults() Config {
 
 // PassEvent describes one FlowRegulator passthrough that reached the WSAF.
 // Pkts and Bytes are the flow's accumulated WSAF totals after the update.
+//
+// With the hot cache enabled and detection thresholds armed (see
+// SetDetectThresholds), a cached flow whose merged totals cross a
+// threshold fires a synthetic event with Cached set: Pkts/Bytes carry
+// the merged totals (pre-promotion WSAF estimate + exact cache delta),
+// while Est and Outcome are zero — the packet never touched the
+// regulator or the WSAF.
 type PassEvent struct {
 	Key     packet.FlowKey
 	TS      int64
@@ -105,6 +112,7 @@ type PassEvent struct {
 	Pkts    float64
 	Bytes   float64
 	Outcome wsaf.Outcome
+	Cached  bool
 }
 
 // latencySampleEvery is the per-packet latency sampling period: one in
@@ -128,9 +136,10 @@ type engineMetrics struct {
 	bytes   telemetry.CounterShard
 	latency telemetry.HistogramShard
 	// Hot-cache activity; attached only when the cache is enabled.
-	cacheHits   telemetry.CounterShard
-	cachePromos telemetry.CounterShard
-	cacheDemos  telemetry.CounterShard
+	cacheHits      telemetry.CounterShard
+	cachePromos    telemetry.CounterShard
+	cacheDemos     telemetry.CounterShard
+	cacheFoldDrops telemetry.CounterShard
 }
 
 // Engine is a single-core InstaMeasure instance.
@@ -168,6 +177,10 @@ type Engine struct {
 	// cached flow; the delta is folded into the WSAF immediately, so the
 	// scratch never outlives one admission.
 	victim hotcache.Entry
+	// foldDrops counts demotion folds the WSAF dropped (probe-limit
+	// exhaustion): the victim's exact delta was lost, a hole in the
+	// cache tier's conservation identity that must stay observable.
+	foldDrops uint64
 	// tmPacketsBase/tmBytesBase keep the published counters cumulative
 	// across window Resets (Prometheus counters must not move backwards).
 	tmPacketsBase uint64
@@ -259,6 +272,8 @@ func (e *Engine) instrument() {
 			"Flows promoted into the hot cache.").Shard(w)
 		e.tm.cacheDemos = reg.Counter("hotcache_demotions_total",
 			"Cached flows demoted; their exact deltas were folded back into the WSAF.").Shard(w)
+		e.tm.cacheFoldDrops = reg.Counter("hotcache_fold_drops_total",
+			"Demotion folds the WSAF dropped (probe limit exhausted); the victim's exact delta was lost.").Shard(w)
 		reg.Gauge("hotcache_capacity_entries",
 			"Hot-cache capacity in entries across all workers.").Shard(w).Set(int64(e.cache.Capacity()))
 	}
@@ -338,7 +353,41 @@ func MustNew(cfg Config) *Engine {
 // OnPass registers a callback invoked whenever a flow passes through
 // FlowRegulator into the WSAF — the hook heavy-hitter detection uses for
 // saturation-based decoding. Must be set before processing begins.
+//
+// Cache caveat: with HotCacheEntries > 0, packets absorbed by the hot
+// cache bypass the regulator and fire no per-packet pass events. A
+// threshold detector must also call SetDetectThresholds so cached flows
+// stay detection-visible via synthetic Cached events at their crossings.
 func (e *Engine) OnPass(fn func(PassEvent)) { e.onPass = fn }
+
+// SetDetectThresholds arms cache-crossing pass events. Cache hits bypass
+// the regulator, so an OnPass subscriber would otherwise never observe a
+// promoted flow again — a heavy hitter promoted below its threshold
+// would cross it silently. With thresholds armed, the hit that carries a
+// cached flow's merged totals (pre-promotion WSAF estimate + exact
+// delta) across thresholdPkts packets or thresholdBytes bytes fires one
+// synthetic PassEvent with Cached set, once per dimension per cache
+// residency. Either threshold may be 0 to disable that dimension. A
+// no-op without a cache; must be set before processing begins, alongside
+// OnPass.
+func (e *Engine) SetDetectThresholds(thresholdPkts, thresholdBytes float64) {
+	if e.cache != nil {
+		e.cache.SetCrossing(thresholdPkts, thresholdBytes, e.fireCacheCross)
+	}
+}
+
+// fireCacheCross is the hot cache's crossing callback: it surfaces a
+// cached flow's threshold crossing as a detection-visible pass event.
+// Crossings fire at most twice per residency, so this is off the
+// per-packet budget.
+func (e *Engine) fireCacheCross(ce *hotcache.Entry, ts int64) {
+	if e.onPass == nil {
+		return
+	}
+	e.onPass(PassEvent{Key: ce.Key, TS: ts, Cached: true,
+		Pkts:  ce.BasePkts + float64(ce.Pkts),
+		Bytes: ce.BaseBytes + float64(ce.Bytes)})
+}
 
 // Process encodes one packet. Most packets are absorbed by the
 // FlowRegulator; roughly 1% reach the WSAF. It is the scalar wrapper
@@ -501,10 +550,17 @@ func (e *Engine) ProcessBatchHashed(batch []packet.Packet, hashes []uint64) {
 // effect at the next burst, because every packet's cache probe runs
 // before any admission. A flow promoted mid-burst therefore sends its
 // remaining same-burst packets through the regulator where scalar order
-// would have counted them exactly. Totals stay conserved either way —
-// those packets are regulated estimates instead of exact counts — so
-// the cached differential oracle checks per-engine invariants rather
-// than scalar≡batch bit-equality.
+// would have counted them exactly (a second same-burst passthrough
+// reaches Admit as a duplicate, which refreshes the entry's base and
+// returns AlreadyCached). Totals stay conserved either way — those
+// packets are regulated estimates instead of exact counts — so the
+// cached differential oracle checks per-engine invariants rather than
+// scalar≡batch bit-equality.
+//
+// Armed cache-crossing events (SetDetectThresholds) fire from inside the
+// pass-1 probe loop, so a cached crossing is reported at its packet's
+// position — before the burst's WSAF pass events, which still fire in
+// packet order after the regulator pass.
 //
 //im:hotpath
 func (e *Engine) processBatchCached(batch []packet.Packet, hashes []uint64) {
@@ -571,7 +627,7 @@ func (e *Engine) processBatchCached(batch []packet.Packet, hashes []uint64) {
 				// demoted victim into the table may relocate the entry
 				// the pointer aliases.
 				evPkts, evBytes = entry.Pkts, entry.Bytes
-				e.admit(mh[j], &p.Key, p.TS)
+				e.admit(mh[j], &p.Key, p.TS, evPkts, evBytes)
 			}
 			if e.onPass != nil {
 				e.onPass(PassEvent{Key: p.Key, TS: p.TS, Est: em,
@@ -609,7 +665,7 @@ func (e *Engine) encode(p *packet.Packet, h uint64) {
 	if entry != nil {
 		evPkts, evBytes = entry.Pkts, entry.Bytes
 		if e.cache != nil {
-			e.admit(h, &p.Key, p.TS)
+			e.admit(h, &p.Key, p.TS, evPkts, evBytes)
 		}
 	}
 	if e.onPass != nil {
@@ -623,19 +679,33 @@ func (e *Engine) encode(p *packet.Packet, h uint64) {
 // its stored hash — conservation across tiers: every cache-counted
 // packet is either in a live delta or already accumulated here. The
 // fold's timestamp is the victim's own LastUpdate, so TTL semantics see
-// the flow's true idle time, not the demotion instant.
+// the flow's true idle time, not the demotion instant. pkts/bytes are
+// the flow's WSAF totals after the accumulate that triggered admission —
+// the pre-promotion base recorded on the cache entry.
 //
 //im:hotpath
-func (e *Engine) admit(h uint64, key *packet.FlowKey, ts int64) {
-	if e.cache.Admit(h, key, ts, &e.victim) == hotcache.AdmittedReplaced {
+func (e *Engine) admit(h uint64, key *packet.FlowKey, ts int64, pkts, bytes float64) {
+	if e.cache.Admit(h, key, ts, pkts, bytes, &e.victim) == hotcache.AdmittedReplaced {
 		v := &e.victim
 		if v.Pkts > 0 || v.Bytes > 0 {
 			// A zero-delta victim (promoted, never hit) has nothing to
 			// conserve; folding it would insert a phantom zero entry.
-			e.table.AccumulateHashed(v.Hash, v.Key, float64(v.Pkts), float64(v.Bytes), v.LastUpdate)
+			outcome, _ := e.table.AccumulateHashed(v.Hash, v.Key, float64(v.Pkts), float64(v.Bytes), v.LastUpdate)
+			if outcome == wsaf.Dropped {
+				// The probe window held only live, recently-referenced
+				// entries: the victim's exact delta is lost. Count it —
+				// conservation violations must never be silent.
+				e.foldDrops++
+				e.tm.cacheFoldDrops.Inc()
+			}
 		}
 	}
 }
+
+// CacheFoldDrops reports demotion folds the WSAF dropped — exact deltas
+// lost to probe-limit exhaustion. Zero in a healthy run; also published
+// as hotcache_fold_drops_total.
+func (e *Engine) CacheFoldDrops() uint64 { return e.foldDrops }
 
 // Estimate returns the engine's current estimate of the flow's packet and
 // byte totals: its WSAF entry (if any) plus the fraction still retained
@@ -680,6 +750,13 @@ func (e *Engine) Lookup(key packet.FlowKey) (wsaf.Entry, bool) {
 	entry, ok := e.table.LookupHashed(h, key, e.lastTS)
 	if ce, cok := e.cache.Lookup(h, key); cok {
 		if !ok {
+			if ce.Pkts == 0 && ce.Bytes == 0 {
+				// Mirror Snapshot's guard: the WSAF entry is gone and
+				// nothing has hit since promotion, so there is no live
+				// flow to report — synthesizing one here would surface
+				// a phantom Snapshot deliberately omits.
+				return wsaf.Entry{}, false
+			}
 			// The pre-promotion WSAF entry expired or was evicted; the
 			// live exact segment still represents the flow.
 			entry = wsaf.Entry{FlowID: uint32(h ^ (h >> 32)), Key: key,

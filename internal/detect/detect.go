@@ -47,9 +47,13 @@ func NewHeavyHitterDetector(thresholdPkts, thresholdBytes float64) (*HeavyHitter
 	}, nil
 }
 
-// Attach subscribes the detector to the engine's passthrough events.
+// Attach subscribes the detector to the engine's passthrough events and
+// arms the engine's cache-crossing thresholds: promoted flows bypass
+// per-packet pass events, so without arming, a flow promoted into the
+// hot cache below a threshold would cross it invisibly.
 func (d *HeavyHitterDetector) Attach(e *core.Engine) {
 	e.OnPass(d.Observe)
+	e.SetDetectThresholds(d.thresholdPkts, d.thresholdBytes)
 }
 
 // Observe processes one passthrough event; it is the core.Engine OnPass

@@ -84,7 +84,24 @@ type Entry struct {
 	Bytes      uint64
 	FirstSeen  int64
 	LastUpdate int64
+	// BasePkts/BaseBytes are the flow's WSAF totals at admission time —
+	// the pre-promotion estimate the live delta sits on. They make the
+	// flow's merged totals (base + delta) readable from the cache line
+	// alone, which is what keeps threshold-crossing detection off the
+	// DRAM path while the flow is cached.
+	BasePkts  float64
+	BaseBytes float64
+	// Notified records which armed crossing thresholds already fired
+	// for this residency (bit 0 packets, bit 1 bytes), so each
+	// dimension reports at most once per promotion.
+	Notified uint8
 }
+
+// Notified bits.
+const (
+	notifiedPkts  uint8 = 1 << 0
+	notifiedBytes uint8 = 1 << 1
+)
 
 // Stats aggregates cache activity. Hits/HitBytes count the packets and
 // bytes counted exactly by the cache; DemotedPkts/DemotedBytes are the
@@ -117,6 +134,12 @@ const (
 	// AdmittedReplaced: the flow displaced an incumbent whose delta the
 	// caller must fold back into the WSAF (written to *victim).
 	AdmittedReplaced
+	// AlreadyCached: the flow already holds a way (a batched burst can
+	// deliver a second regulator passthrough for a flow promoted by an
+	// earlier packet of the same burst). The incumbent entry's
+	// pre-promotion base was refreshed; its live delta, timestamps, and
+	// way are untouched.
+	AlreadyCached
 )
 
 // Cache is a fixed-size promotion cache. It is not safe for concurrent
@@ -128,6 +151,16 @@ type Cache struct {
 	setMask uint64
 	policy  Policy
 	rng     uint64 // splitmix state for admission coin flips
+
+	// Crossing notification (SetCrossing): cache hits bypass the
+	// regulator, so without this a detector watching passthrough events
+	// would never see a promoted flow again. When armed, Bump fires the
+	// callback the first time a cached flow's merged totals (base +
+	// delta) cross a threshold — at most once per dimension per
+	// residency, so the callback is off the per-packet budget.
+	thPkts  float64
+	thBytes float64
+	fire    func(e *Entry, ts int64)
 
 	size  int
 	stats Stats
@@ -176,11 +209,59 @@ func (c *Cache) set(h uint64) int {
 	return int((h>>32)&c.setMask) * ways
 }
 
+// SetCrossing arms threshold-crossing notification: fire is invoked from
+// inside Bump with the entry (pointer into cache storage, valid only
+// during the call) and the crossing packet's timestamp, the first time a
+// cached flow's merged totals reach thPkts packets or thBytes bytes
+// (either may be 0 to disable that dimension). A dimension the flow's
+// pre-promotion base already crossed never fires — that crossing was
+// visible to passthrough observers before promotion. Must be set before
+// traffic; survives Reset (it is configuration, not state).
+func (c *Cache) SetCrossing(thPkts, thBytes float64, fire func(e *Entry, ts int64)) {
+	c.thPkts = thPkts
+	c.thBytes = thBytes
+	c.fire = fire
+}
+
+// cross fires the armed crossing callback for each threshold dimension
+// the entry's merged totals newly reached. Called only on cache hits
+// with c.fire non-nil; the Notified bits keep it to at most two
+// invocations per residency.
+func (c *Cache) cross(e *Entry, ts int64) {
+	fired := false
+	if c.thPkts > 0 && e.Notified&notifiedPkts == 0 && e.BasePkts+float64(e.Pkts) >= c.thPkts {
+		e.Notified |= notifiedPkts
+		fired = true
+	}
+	if c.thBytes > 0 && e.Notified&notifiedBytes == 0 && e.BaseBytes+float64(e.Bytes) >= c.thBytes {
+		e.Notified |= notifiedBytes
+		fired = true
+	}
+	if fired {
+		c.fire(e, ts)
+	}
+}
+
+// seedNotified marks the dimensions the flow's pre-promotion base has
+// already crossed: those crossings fired (or fire) through the regular
+// passthrough event for the packet that carried the flow into the WSAF,
+// so the cache must not report them a second time.
+func (c *Cache) seedNotified(e *Entry) {
+	if c.thPkts > 0 && e.BasePkts >= c.thPkts {
+		e.Notified |= notifiedPkts
+	}
+	if c.thBytes > 0 && e.BaseBytes >= c.thBytes {
+		e.Notified |= notifiedBytes
+	}
+}
+
 // Bump looks the flow up and, on a hit, counts the packet exactly.
 // It is the first touch on the per-packet hot path: one tag-line scan,
 // and only on a tag match the full-key confirm. Returns whether the
 // packet was absorbed (true = the caller must not run the regulator or
-// the WSAF for it).
+// the WSAF for it). When SetCrossing armed a threshold, the hit that
+// carries the flow's merged totals across it fires the crossing
+// callback before Bump returns.
 //
 //im:hotpath
 func (c *Cache) Bump(h uint64, key *packet.FlowKey, length uint16, ts int64) bool {
@@ -199,6 +280,9 @@ func (c *Cache) Bump(h uint64, key *packet.FlowKey, length uint16, ts int64) boo
 		e.LastUpdate = ts
 		c.stats.Hits++
 		c.stats.HitBytes += uint64(length)
+		if c.fire != nil {
+			c.cross(e, ts)
+		}
 		return true
 	}
 	return false
@@ -210,14 +294,19 @@ func (c *Cache) Bump(h uint64, key *packet.FlowKey, length uint16, ts int64) boo
 // entry (the delta to fold back into the WSAF) is written to *victim and
 // AdmittedReplaced is returned. A newly admitted entry starts at zero:
 // the packet that triggered admission was already accounted to the WSAF
-// by the caller.
+// by the caller. basePkts/baseBytes are the flow's WSAF totals after
+// that accumulate — the pre-promotion estimate recorded on the entry so
+// merged totals stay readable from the cache alone.
 //
-// h must be the flow's Hash64 under the engine's hash seed, and the flow
-// must not already be cached (Admit is only reachable after Bump missed;
-// admitting a duplicate would split the flow across two ways).
+// h must be the flow's Hash64 under the engine's hash seed. A flow that
+// is already cached — a batched burst probes every packet before any
+// admission, so a second same-burst passthrough can arrive for a flow
+// promoted moments earlier — is detected on the tag line and returns
+// AlreadyCached with only its base refreshed: no duplicate way, no
+// promotion count, no delta reset.
 //
 //im:hotpath
-func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) AdmitResult {
+func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, basePkts, baseBytes float64, victim *Entry) AdmitResult {
 	if h == 0 {
 		// Tag 0 marks an empty way; the one-in-2^64 flow hashing to 0
 		// simply never promotes.
@@ -226,6 +315,24 @@ func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) Ad
 	base := c.set(h)
 	tags := c.tags[base : base+ways]
 
+	// Duplicate guard: the tag line is already loaded, so this costs the
+	// same 8 compares a Bump probe does. Without it a duplicate would
+	// waste a way, inflate Promotions/Len, and shadow the incumbent's
+	// live delta from point lookups.
+	for w := 0; w < ways; w++ {
+		if tags[w] != h {
+			continue
+		}
+		if e := &c.ents[base+w]; e.Key == *key {
+			// The WSAF totals just grew past the recorded base; refresh
+			// it (the live delta counts only cache hits, which the WSAF
+			// never saw, so base+delta stays the merged truth).
+			e.BasePkts, e.BaseBytes = basePkts, baseBytes
+			c.seedNotified(e)
+			return AlreadyCached
+		}
+	}
+
 	victimWay := -1
 	switch c.policy {
 	case AdmitAlways:
@@ -233,7 +340,7 @@ func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) Ad
 		var oldest int64
 		for w := 0; w < ways; w++ {
 			if tags[w] == 0 {
-				c.place(base+w, h, key, ts)
+				c.place(base+w, h, key, ts, basePkts, baseBytes)
 				return AdmittedFree
 			}
 			if e := &c.ents[base+w]; victimWay < 0 || e.LastUpdate < oldest {
@@ -248,7 +355,7 @@ func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) Ad
 		var minPkts uint64
 		for w := 0; w < ways; w++ {
 			if tags[w] == 0 {
-				c.place(base+w, h, key, ts)
+				c.place(base+w, h, key, ts, basePkts, baseBytes)
 				return AdmittedFree
 			}
 			if e := &c.ents[base+w]; victimWay < 0 || e.Pkts < minPkts {
@@ -269,14 +376,16 @@ func (c *Cache) Admit(h uint64, key *packet.FlowKey, ts int64, victim *Entry) Ad
 	c.stats.DemotedPkts += v.Pkts
 	c.stats.DemotedBytes += v.Bytes
 	c.size--
-	c.place(base+victimWay, h, key, ts)
+	c.place(base+victimWay, h, key, ts, basePkts, baseBytes)
 	return AdmittedReplaced
 }
 
 // place installs a fresh zero-delta entry at index i.
-func (c *Cache) place(i int, h uint64, key *packet.FlowKey, ts int64) {
+func (c *Cache) place(i int, h uint64, key *packet.FlowKey, ts int64, basePkts, baseBytes float64) {
 	c.tags[i] = h
-	c.ents[i] = Entry{Hash: h, Key: *key, FirstSeen: ts, LastUpdate: ts}
+	c.ents[i] = Entry{Hash: h, Key: *key, BasePkts: basePkts, BaseBytes: baseBytes,
+		FirstSeen: ts, LastUpdate: ts}
+	c.seedNotified(&c.ents[i])
 	c.size++
 	c.stats.Promotions++
 }
@@ -320,8 +429,9 @@ func (c *Cache) MemoryBytes() int {
 }
 
 // entryBytes is the accounting size of one cache entry: 8 (hash) + 38
-// (key) + 8 + 8 (counters) + 8 + 8 (timestamps).
-const entryBytes = 78
+// (key) + 8 + 8 (counters) + 8 + 8 (timestamps) + 8 + 8 (pre-promotion
+// base) + 1 (notified bits).
+const entryBytes = 95
 
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
