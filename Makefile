@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 lint vet-race fuzz-smoke store-smoke flight-smoke bench bench-guard bench-json bench-smoke clean
+.PHONY: all build test tier1 lint vet-race fuzz-smoke store-smoke flight-smoke fleet-smoke bench bench-guard bench-json bench-smoke clean
 
 all: build test
 
@@ -11,7 +11,7 @@ build:
 # pass — including the differential-oracle suite under the race detector
 # (the concurrent pipeline leg is the racy surface; the oracle shrinks its
 # workload automatically under -race via the raceEnabled build tag).
-tier1: build store-smoke flight-smoke bench-smoke lint
+tier1: build store-smoke flight-smoke fleet-smoke bench-smoke lint
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -run 'TestDifferential' ./internal/oracle/... ./internal/pipeline/...
@@ -42,6 +42,18 @@ store-smoke:
 flight-smoke:
 	$(GO) test -race -run 'TestFlightSmoke|TestConcurrentTelemetryServer' -count=1 .
 
+# fleet-smoke is the fleet-mode drill: two meters with distinct site IDs
+# export over TCP to one collector running the network-wide aggregator;
+# the merged top-k must recover the oracle union and the DDoS-victim
+# detector must name the flood's victim exactly once (hysteresis) while
+# the benign site stays silent. The multi-exporter collector stress test
+# and the slow-sink liveness regression ride along — the whole surface
+# runs under the race detector.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetSmoke|TestFleetSilentOnBenign' -count=1 .
+	$(GO) test -race -run 'TestMultiExporterStress|TestDetectionThroughIngest' -count=1 ./internal/fleet/
+	$(GO) test -race -run 'TestCollectorSlowSinkDoesNotBlockQueries|TestCollectorHookSeesSite' -count=1 ./internal/export/
+
 # vet-race is the observability gate: static checks plus the telemetry
 # and pipeline packages under the race detector (lock-free counters and
 # the drop-when-full manager are the racy surfaces).
@@ -60,6 +72,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -fuzz '^FuzzSplitConservation$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/export/ -fuzz '^FuzzReadBatch$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/export/ -fuzz '^FuzzReadSnapshotStats$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/export/ -fuzz '^FuzzFleetFrame$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/store/ -fuzz '^FuzzStoreSegment$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 bench:

@@ -9,6 +9,8 @@
 //	instameasure -pcap trace.pcap -workers 4 -sketch-kb 128
 //	cat trace.pcap | instameasure -pcap - -stream -epoch 1000000
 //	instameasure -pcap trace.pcap -snapshot flows.ims -export host:port
+//	instameasure -collect :9000 -ddos-sources 1000 -metrics :8080
+//	instameasure -pcap trace.pcap -epoch 100000 -export host:9000 -site edge-1
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"instameasure"
@@ -50,6 +54,11 @@ func run() error {
 		interval = flag.Duration("epoch-interval", 0, "cut an epoch every D of trace time (capture timestamps), e.g. 500ms; combines with -epoch — whichever fires first cuts")
 		snapshot = flag.String("snapshot", "", "write the final flow table to this snapshot file")
 		exportTo = flag.String("export", "", "export each epoch's flow table to a collector at host:port")
+		site     = flag.String("site", "", "site ID stamped on exported batches (1-64 printable ASCII; requires -export)")
+		collect  = flag.String("collect", "", "run a fleet collector on host:port instead of measuring (see -ddos-sources, -spread-dsts, -scan-ports, -metrics)")
+		ddosSrc  = flag.Float64("ddos-sources", 0, "collector: alert when one destination sees this many distinct sources per window (0 = off)")
+		spread   = flag.Float64("spread-dsts", 0, "collector: alert when one source contacts this many distinct destinations per window (0 = off)")
+		scan     = flag.Float64("scan-ports", 0, "collector: alert when one source probes this many distinct ports per window (0 = off)")
 		metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/flight, /healthz and /readyz on host:port")
 		storeDir = flag.String("store", "", "append each epoch's flow table to the epoch store in this directory (query with /flows or wsafdump -store)")
 		storeSyn = flag.Bool("store-sync", false, "fsync the store after every epoch append")
@@ -60,6 +69,17 @@ func run() error {
 
 	if *sloBudget > 0 {
 		instameasure.SetDetectionDelayBudget(*sloBudget)
+	}
+
+	if *collect != "" {
+		return runCollect(*collect, *metrics, instameasure.FleetConfig{
+			DDoSSources:  *ddosSrc,
+			SpreaderDsts: *spread,
+			ScanPorts:    *scan,
+		})
+	}
+	if *site != "" && *exportTo == "" {
+		return errors.New("-site requires -export")
 	}
 
 	// Resolve the seed here rather than letting the library draw one:
@@ -129,6 +149,7 @@ func run() error {
 		interval:  *interval,
 		snapshot:  *snapshot,
 		exportTo:  *exportTo,
+		site:      *site,
 		metrics:   *metrics,
 		store:     *storeDir,
 		storeSync: *storeSyn,
@@ -143,6 +164,44 @@ func run() error {
 		return err
 	}
 	return writeFlightDump(*flightOut)
+}
+
+// runCollect runs a standalone fleet collector: meters export to it
+// (instameasure -export HOST:PORT -site NAME), it aggregates per-site
+// and network-wide views, runs the configured streaming detectors, and
+// serves /fleet/* plus /metrics when -metrics is set. Runs until
+// SIGINT/SIGTERM.
+func runCollect(addr, metricsAddr string, cfg instameasure.FleetConfig) error {
+	cfg.OnAlert = func(al instameasure.FleetAlert) {
+		fmt.Printf("ALERT #%d %s host=%s estimate=%.0f threshold=%.0f sites=%v epoch=%d\n",
+			al.Seq, al.Kind, al.Host, al.Estimate, al.Threshold, al.Sites, al.Epoch)
+	}
+	coll, err := instameasure.NewCollector(addr, nil)
+	if err != nil {
+		return err
+	}
+	defer coll.Close()
+	fl, err := coll.EnableFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet collector listening on %s\n", coll.Addr())
+	if metricsAddr != "" {
+		srv, err := instameasure.NewTelemetry().Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.ServeFleet(fl)
+		fmt.Printf("fleet API at %s/fleet/topk (sites, changers, alerts, stats; metrics at /metrics)\n", srv.URL())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := fl.Stats()
+	fmt.Printf("\nfleet: %d sites, %d flows, %d batches, %d records, %d alerts\n",
+		st.Sites, st.Flows, st.Batches, st.Records, st.Alerts)
+	return nil
 }
 
 // writeFlightDump saves the flight recorder's state as JSON, for offline
@@ -176,6 +235,7 @@ type meterOpts struct {
 	interval  time.Duration // cut every D of trace time (0 = off)
 	snapshot  string
 	exportTo  string
+	site      string
 	metrics   string
 	store     string
 	storeSync bool
@@ -253,6 +313,11 @@ func runMeter(cfg instameasure.Config, src instameasure.PacketSource, opts meter
 			return err
 		}
 		defer exporter.Close()
+		if opts.site != "" {
+			if err := exporter.WithSite(opts.site); err != nil {
+				return err
+			}
+		}
 		exporter.Instrument(meter.Telemetry())
 		if srv != nil {
 			exp := exporter

@@ -137,5 +137,5 @@ func TestErrcloseGolden(t *testing.T) {
 }
 
 func TestWallclockGolden(t *testing.T) {
-	runGolden(t, Wallclock, "wallclock/core", "wallclock/free")
+	runGolden(t, Wallclock, "wallclock/core", "wallclock/free", "wallclock/fleet")
 }

@@ -1,0 +1,25 @@
+// Package fleet is the wallclock golden fixture for the fleet tier. Its
+// synthetic import path ends in "fleet", one of the deterministic
+// packages: aggregation windows rotate on export epochs and detector
+// state is keyed to trace timestamps, so a bare host-clock read would
+// make alert replay nondeterministic.
+package fleet
+
+import "time"
+
+// Ingest stamps an arrival with the host clock outside any seam.
+func Ingest() int64 {
+	return time.Now().UnixNano() // want `wall-clock read \(time\.Now\) in deterministic package wallclock/fleet`
+}
+
+// RotateAge measures a window's age via time.Since — the same leak.
+func RotateAge(opened time.Time) time.Duration {
+	return time.Since(opened) // want `wall-clock read \(time\.Since\) in deterministic package wallclock/fleet`
+}
+
+// ArrivalStamp is the blessed telemetry seam: operator-facing arrival
+// stamps may read the host clock under the directive.
+func ArrivalStamp() time.Time {
+	//im:allow wallclock — fixture: arrival-stamp telemetry seam
+	return time.Now()
+}

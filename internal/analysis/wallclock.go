@@ -22,7 +22,11 @@ var Wallclock = &Analyzer{
 }
 
 // wallclockScopes are the package-path tails the analyzer applies to.
-var wallclockScopes = []string{"core", "rcc", "flowreg", "wsaf", "store"}
+// fleet and detect are in scope because aggregation windows and detector
+// hysteresis are driven by export epochs and trace timestamps — a host
+// clock read there would make alert replay nondeterministic; the fleet
+// tier's arrival-stamp/latency seam carries the //im:allow directive.
+var wallclockScopes = []string{"core", "rcc", "flowreg", "wsaf", "store", "fleet", "detect"}
 
 func runWallclock(prog *Program, report func(token.Pos, string, ...any)) {
 	for _, pkg := range prog.Pkgs {

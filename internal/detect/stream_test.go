@@ -1,0 +1,269 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+	"instameasure/internal/trace"
+)
+
+// feedPackets drives a detector with one record per packet (dPkts=1),
+// the way the aggregator feeds per-arrival deltas, and returns all
+// alerts raised.
+func feedPackets(t *testing.T, d *StreamDetector, tr *trace.Trace, site string) []Alert {
+	t.Helper()
+	var alerts []Alert
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		rec := export.Record{Key: p.Key, Pkts: 1, Bytes: float64(p.Len), LastUpdate: p.TS}
+		alerts = d.Observe(site, &rec, 1, 1, alerts)
+	}
+	return alerts
+}
+
+func TestStreamKindString(t *testing.T) {
+	cases := map[StreamKind]string{
+		KindDDoSVictim:    "ddos_victim",
+		KindSuperSpreader: "super_spreader",
+		KindPortScan:      "port_scan",
+		StreamKind(99):    "stream_kind_99",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewStreamDetectorValidation(t *testing.T) {
+	if _, err := NewStreamDetector(StreamConfig{Kind: StreamKind(0), Threshold: 10}); !errors.Is(err, ErrStreamKind) {
+		t.Errorf("kind 0: err = %v, want ErrStreamKind", err)
+	}
+	if _, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim}); !errors.Is(err, ErrThreshold) {
+		t.Errorf("zero threshold: err = %v, want ErrThreshold", err)
+	}
+	if _, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 10, ClearRatio: 1.5}); err == nil {
+		t.Error("ClearRatio 1.5 accepted")
+	}
+	if _, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 10, MaxKeys: -1}); err == nil {
+		t.Error("negative MaxKeys accepted")
+	}
+	if _, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 10, Precision: 3}); err == nil {
+		t.Error("precision 3 accepted")
+	}
+	d, err := NewDDoSVictimDetector(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind() != KindDDoSVictim {
+		t.Errorf("Kind() = %v", d.Kind())
+	}
+}
+
+// TestDDoSVictimOracle scores the detector against GenerateSpoofedDDoS's
+// exact ground truth: the victim must be named exactly once (precision
+// and recall both 1) and a benign zipf workload must stay silent.
+func TestDDoSVictimOracle(t *testing.T) {
+	const bots = 2000
+	atk, truth, err := trace.GenerateSpoofedDDoS(trace.SpoofedDDoSConfig{Sources: bots, PacketsPerSource: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDDoSVictimDetector(bots / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := feedPackets(t, d, atk, "edge-1")
+
+	tp, fp := 0, 0
+	for _, al := range alerts {
+		if al.Host == truth.Host.String() {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp != 1 {
+		t.Fatalf("victim alerted %d times, want exactly 1 (hysteresis); alerts: %+v", tp, alerts)
+	}
+	if fp != 0 {
+		t.Fatalf("%d false-positive alerts: %+v", fp, alerts)
+	}
+	al := alerts[0]
+	if al.Kind != "ddos_victim" || al.Threshold != bots/2 {
+		t.Errorf("alert = %+v", al)
+	}
+	// HLL at precision 8 has ~6.5% standard error; the estimate at the
+	// moment of crossing is at least the threshold and cannot wildly
+	// exceed the true cardinality.
+	if al.Estimate < bots/2 || al.Estimate > bots*1.3 {
+		t.Errorf("estimate %g implausible for %d true sources", al.Estimate, bots)
+	}
+	if len(al.Sites) != 1 || al.Sites[0] != "edge-1" {
+		t.Errorf("sites = %v, want [edge-1]", al.Sites)
+	}
+
+	// Benign background: hundreds of flows, but no destination gathers
+	// anywhere near threshold distinct sources.
+	bg, err := trace.GenerateZipf(trace.ZipfConfig{Flows: 2000, TotalPackets: 40000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := NewDDoSVictimDetector(bots / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := feedPackets(t, quiet, bg, "edge-1"); len(got) != 0 {
+		t.Fatalf("benign workload raised %d alerts: %+v", len(got), got)
+	}
+}
+
+func TestSuperSpreaderAndPortScanOracle(t *testing.T) {
+	atk, truth, err := trace.GenerateSuperSpreader(trace.SuperSpreaderConfig{Targets: 1500, PortsPerTarget: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := NewSuperSpreaderDetector(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewPortScanDetector(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAlerts := feedPackets(t, spread, atk, "edge-2")
+	pAlerts := feedPackets(t, scan, atk, "edge-2")
+
+	for name, alerts := range map[string][]Alert{"super_spreader": sAlerts, "port_scan": pAlerts} {
+		if len(alerts) != 1 {
+			t.Fatalf("%s: %d alerts, want 1: %+v", name, len(alerts), alerts)
+		}
+		if alerts[0].Host != truth.Host.String() {
+			t.Errorf("%s named %s, want %s", name, alerts[0].Host, truth.Host)
+		}
+		if alerts[0].Kind != name {
+			t.Errorf("%s alert kind = %q", name, alerts[0].Kind)
+		}
+	}
+}
+
+// TestHysteresisEpisodes drives the full latch lifecycle: a sustained
+// attack fires once across window rotations, a pane that closes inside
+// the clear band re-arms the group, and a fresh episode fires again.
+func TestHysteresisEpisodes(t *testing.T) {
+	const bots = 1200
+	d, err := NewDDoSVictimDetector(bots / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, truth, err := trace.GenerateSpoofedDDoS(trace.SpoofedDDoSConfig{Sources: bots, PacketsPerSource: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Episode 1, pane 1: fires once.
+	if got := feedPackets(t, d, atk, "s"); len(got) != 1 {
+		t.Fatalf("pane 1: %d alerts, want 1", len(got))
+	}
+	// Pane 2: attack sustained — the estimate at rotation is above the
+	// clear band, so the latch holds and the pane stays silent.
+	d.Rotate()
+	if got := feedPackets(t, d, atk, "s"); len(got) != 0 {
+		t.Fatalf("sustained pane re-fired: %+v", got)
+	}
+	// Pane 3: the attack quiets to a trickle (one source), the pane
+	// closes at estimate ~1 <= ClearRatio*Threshold, re-arming the group.
+	d.Rotate()
+	trickle := export.Record{Key: atk.Packets[0].Key, Pkts: 1, LastUpdate: 1}
+	if got := d.Observe("s", &trickle, 1, 3, nil); len(got) != 0 {
+		t.Fatalf("trickle fired: %+v", got)
+	}
+	d.Rotate()
+	// Episode 2: the flood resumes and must fire again.
+	got := feedPackets(t, d, atk, "s")
+	if len(got) != 1 || got[0].Host != truth.Host.String() {
+		t.Fatalf("resumed episode: alerts = %+v, want 1 for %s", got, truth.Host)
+	}
+	if st := d.Stats(); st.Fired != 2 {
+		t.Errorf("Fired = %d, want 2", st.Fired)
+	}
+}
+
+func TestStreamMaxKeysDrops(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 10, MaxKeys: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rec := export.Record{Key: packet.V4Key(1, uint32(100+i), 1, 80, packet.ProtoTCP), Pkts: 1}
+		d.Observe("s", &rec, 1, 1, nil)
+	}
+	st := d.Stats()
+	if st.Keys != 2 {
+		t.Errorf("Keys = %d, want 2 (MaxKeys)", st.Keys)
+	}
+	if st.Drops != 2 {
+		t.Errorf("Drops = %d, want 2", st.Drops)
+	}
+}
+
+func TestStreamIdleEviction(t *testing.T) {
+	d, err := NewDDoSVictimDetector(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := export.Record{Key: packet.V4Key(1, 2, 1, 80, packet.ProtoTCP), Pkts: 1}
+	d.Observe("s", &rec, 1, 1, nil)
+	// Pane that observed the group closes: survives.
+	d.Rotate()
+	if st := d.Stats(); st.Keys != 1 || st.Evictions != 0 {
+		t.Fatalf("after first rotate: %+v", st)
+	}
+	// A full pane with no observation: evicted.
+	d.Rotate()
+	st := d.Stats()
+	if st.Keys != 0 {
+		t.Errorf("idle group survived: Keys = %d", st.Keys)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestCumulativeReobservationIdempotent pins the HLL property the
+// aggregator leans on: the same source re-observed in one pane does not
+// inflate the distinct estimate.
+func TestCumulativeReobservationIdempotent(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := export.Record{Key: packet.V4Key(7, 2, 1, 80, packet.ProtoTCP), Pkts: 1}
+	var alerts []Alert
+	for i := 0; i < 5000; i++ {
+		alerts = d.Observe("s", &rec, 1, 1, alerts)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("one source re-observed 5000 times fired %d alerts", len(alerts))
+	}
+}
+
+func TestAlertSiteAttributionBounded(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{Kind: KindDDoSVictim, Threshold: 3, ClearRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []Alert
+	for i := 0; i < maxAlertSites+4; i++ {
+		rec := export.Record{Key: packet.V4Key(uint32(50+i), 2, 1, 80, packet.ProtoTCP), Pkts: 1}
+		alerts = d.Observe(string(rune('a'+i)), &rec, 1, 1, alerts)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if len(alerts[0].Sites) > maxAlertSites {
+		t.Errorf("alert carries %d sites, cap is %d", len(alerts[0].Sites), maxAlertSites)
+	}
+}

@@ -205,6 +205,7 @@ func All(s Scale) ([]*Report, error) {
 		{"layers", LayersSweep},
 		{"hotcache", HotCacheAccuracy},
 		{"oracle", OracleDifferential},
+		{"fleet", FleetAggregation},
 	}
 	out := make([]*Report, 0, len(runners))
 	for _, r := range runners {
@@ -268,6 +269,8 @@ func ByID(id string, s Scale) (*Report, error) {
 		return HotCacheAccuracy(s)
 	case "oracle":
 		return OracleDifferential(s)
+	case "fleet":
+		return FleetAggregation(s)
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure id %q", id)
 	}

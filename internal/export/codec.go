@@ -25,6 +25,16 @@ const (
 	snapshotMagic = 0x494D5331 // "IMS1"
 	trailerMagic  = 0x494D5431 // "IMT1"
 	version       = 1
+	// versionSited is the fleet extension of the batch frame: version 2
+	// inserts a length-prefixed site ID between the version byte and the
+	// epoch, and folds the site bytes into the frame CRC. Writers emit
+	// version 1 whenever the batch carries no site, so single-meter
+	// deployments interoperate with pre-fleet readers unchanged.
+	versionSited = 2
+
+	// MaxSiteLen bounds the wire site ID (the length prefix is one byte,
+	// but IDs are meant to be short human-readable labels).
+	MaxSiteLen = 64
 
 	// maxBatchRecords bounds a single batch so a corrupt length field
 	// cannot trigger an enormous allocation.
@@ -51,7 +61,27 @@ var (
 	ErrOversized   = errors.New("export: batch exceeds record limit")
 	ErrFrameLength = errors.New("export: payload length inconsistent with record count")
 	ErrBadRecord   = errors.New("export: malformed record")
+	ErrBadSite     = errors.New("export: malformed site ID")
 )
+
+// ValidateSite checks a site ID against the wire contract: empty (no
+// site) or 1..MaxSiteLen printable non-space ASCII bytes. The same check
+// runs on encode and decode, so a frame that decodes always carries a
+// site a fleet aggregator can key on.
+func ValidateSite(site string) error {
+	if site == "" {
+		return nil
+	}
+	if len(site) > MaxSiteLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrBadSite, len(site), MaxSiteLen)
+	}
+	for i := 0; i < len(site); i++ {
+		if site[i] <= 0x20 || site[i] >= 0x7F {
+			return fmt.Errorf("%w: byte 0x%02x at %d", ErrBadSite, site[i], i)
+		}
+	}
+	return nil
+}
 
 // Record is one exported flow: the WSAF entry fields that survive
 // delegation.
@@ -75,8 +105,12 @@ func FromEntry(e wsaf.Entry) Record {
 }
 
 // Batch is one delegation unit: the epoch it summarizes and its records.
+// Site, when non-empty, identifies the exporting meter (the fleet
+// extension); it must satisfy ValidateSite and bumps the frame to wire
+// version 2.
 type Batch struct {
 	Epoch   int64
+	Site    string
 	Records []Record
 }
 
@@ -138,19 +172,34 @@ func decodeRecord(b []byte) (Record, []byte, error) {
 
 // WriteBatch frames and writes one batch:
 //
-//	magic(4) version(1) epoch(8) count(4) payloadLen(4) payload crc32(4)
+//	v1: magic(4) version(1) epoch(8) count(4) payloadLen(4) payload crc32(4)
+//	v2: magic(4) version(1) siteLen(1) site epoch(8) count(4) payloadLen(4) payload crc32(4)
+//
+// Version 2 is emitted only when the batch carries a site ID; its CRC
+// covers the site bytes as well as the payload, so a corrupted site
+// cannot silently misattribute a frame.
 func WriteBatch(w io.Writer, b Batch) error {
 	if len(b.Records) > maxBatchRecords {
 		return fmt.Errorf("%w (%d records)", ErrOversized, len(b.Records))
+	}
+	if err := ValidateSite(b.Site); err != nil {
+		return err
 	}
 	payload := make([]byte, 0, len(b.Records)*46)
 	for i := range b.Records {
 		payload = appendRecord(payload, &b.Records[i])
 	}
 
-	hdr := make([]byte, 0, 21)
+	hdr := make([]byte, 0, 22+len(b.Site))
 	hdr = binary.BigEndian.AppendUint32(hdr, batchMagic)
-	hdr = append(hdr, version)
+	crc := uint32(0)
+	if b.Site == "" {
+		hdr = append(hdr, version)
+	} else {
+		hdr = append(hdr, versionSited, byte(len(b.Site)))
+		hdr = append(hdr, b.Site...)
+		crc = crc32.Update(crc, crc32.IEEETable, hdr[5:])
+	}
 	hdr = binary.BigEndian.AppendUint64(hdr, uint64(b.Epoch))
 	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(b.Records)))
 	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
@@ -160,12 +209,22 @@ func WriteBatch(w io.Writer, b Batch) error {
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("batch payload: %w", err)
 	}
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(crc[:]); err != nil {
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc32.Update(crc, crc32.IEEETable, payload))
+	if _, err := w.Write(tail[:]); err != nil {
 		return fmt.Errorf("batch checksum: %w", err)
 	}
 	return nil
+}
+
+// eofToUnexpected maps a clean EOF hit mid-frame to io.ErrUnexpectedEOF:
+// once the magic has been consumed, running out of bytes is a truncation,
+// not a stream end.
+func eofToUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // readPayload reads exactly n bytes, growing the buffer in readChunk
@@ -194,25 +253,52 @@ func readPayload(r io.Reader, n uint32) ([]byte, error) {
 	return buf, nil
 }
 
-// ReadBatch reads one framed batch. io.EOF is returned verbatim at a clean
-// stream end.
+// ReadBatch reads one framed batch, accepting both wire versions: the
+// original version-1 frame and the fleet version-2 frame carrying a site
+// ID. io.EOF is returned verbatim at a clean stream end.
 func ReadBatch(r io.Reader) (Batch, error) {
-	var hdr [21]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var pre [5]byte // magic + version
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Batch{}, io.EOF
 		}
 		return Batch{}, fmt.Errorf("batch header: %w", err)
 	}
-	if binary.BigEndian.Uint32(hdr[0:4]) != batchMagic {
+	if binary.BigEndian.Uint32(pre[0:4]) != batchMagic {
 		return Batch{}, ErrBadMagic
 	}
-	if hdr[4] != version {
-		return Batch{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	site := ""
+	crc0 := uint32(0)
+	switch pre[4] {
+	case version:
+	case versionSited:
+		var siteLen [1]byte
+		if _, err := io.ReadFull(r, siteLen[:]); err != nil {
+			return Batch{}, fmt.Errorf("batch site length: %w", eofToUnexpected(err))
+		}
+		if siteLen[0] == 0 || int(siteLen[0]) > MaxSiteLen {
+			return Batch{}, fmt.Errorf("%w: length %d", ErrBadSite, siteLen[0])
+		}
+		siteBytes := make([]byte, siteLen[0])
+		if _, err := io.ReadFull(r, siteBytes); err != nil {
+			return Batch{}, fmt.Errorf("batch site: %w", eofToUnexpected(err))
+		}
+		site = string(siteBytes)
+		if err := ValidateSite(site); err != nil {
+			return Batch{}, err
+		}
+		crc0 = crc32.Update(crc0, crc32.IEEETable, siteLen[:])
+		crc0 = crc32.Update(crc0, crc32.IEEETable, siteBytes)
+	default:
+		return Batch{}, fmt.Errorf("%w: %d", ErrBadVersion, pre[4])
 	}
-	epoch := int64(binary.BigEndian.Uint64(hdr[5:13]))
-	count := binary.BigEndian.Uint32(hdr[13:17])
-	payloadLen := binary.BigEndian.Uint32(hdr[17:21])
+	var hdr [16]byte // epoch + count + payloadLen
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Batch{}, fmt.Errorf("batch header: %w", eofToUnexpected(err))
+	}
+	epoch := int64(binary.BigEndian.Uint64(hdr[0:8]))
+	count := binary.BigEndian.Uint32(hdr[8:12])
+	payloadLen := binary.BigEndian.Uint32(hdr[12:16])
 	if count > maxBatchRecords {
 		return Batch{}, ErrOversized
 	}
@@ -227,13 +313,13 @@ func ReadBatch(r io.Reader) (Batch, error) {
 	}
 	var crc [4]byte
 	if _, err := io.ReadFull(r, crc[:]); err != nil {
-		return Batch{}, fmt.Errorf("batch checksum: %w", err)
+		return Batch{}, fmt.Errorf("batch checksum: %w", eofToUnexpected(err))
 	}
-	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(crc[:]) {
+	if crc32.Update(crc0, crc32.IEEETable, payload) != binary.BigEndian.Uint32(crc[:]) {
 		return Batch{}, ErrChecksum
 	}
 
-	b := Batch{Epoch: epoch, Records: make([]Record, 0, count)}
+	b := Batch{Epoch: epoch, Site: site, Records: make([]Record, 0, count)}
 	rest := payload
 	for i := uint32(0); i < count; i++ {
 		var rec Record

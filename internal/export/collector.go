@@ -88,6 +88,7 @@ type Exporter struct {
 	retryAt  time.Time // no redial before this
 	base     time.Duration
 	max      time.Duration
+	site     string // stamped on batches that carry no site of their own
 
 	tm *Telemetry
 	fl flight.Handle
@@ -109,6 +110,27 @@ func Dial(addr string) (*Exporter, error) {
 // SetTelemetry attaches metric handles updated per exported batch. Pass
 // nil to detach.
 func (e *Exporter) SetTelemetry(tm *Telemetry) { e.tm = tm }
+
+// WithSite tags the exporter with a fleet site ID: every batch exported
+// without a site of its own is stamped with it, bumping the frame to the
+// version-2 wire so the collector can keep per-site views. An empty site
+// reverts to untagged version-1 frames.
+func (e *Exporter) WithSite(site string) error {
+	if err := ValidateSite(site); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.site = site
+	e.mu.Unlock()
+	return nil
+}
+
+// Site returns the exporter's site tag ("" when untagged).
+func (e *Exporter) Site() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.site
+}
 
 // SetFlight attaches a flight-recorder handle; every send, send error,
 // backoff skip, and successful redial is recorded with the batch's epoch
@@ -184,6 +206,9 @@ func (e *Exporter) ensureConnLocked() error {
 func (e *Exporter) Export(b Batch) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if b.Site == "" {
+		b.Site = e.site
+	}
 	wasDown := e.conn == nil
 	if err := e.ensureConnLocked(); err != nil {
 		if e.tm != nil {
@@ -257,6 +282,7 @@ type Collector struct {
 	records uint64
 	onBatch func(Batch)
 	sink    func(Batch)
+	hooks   []func(Batch)
 	fl      flight.Handle
 
 	closing chan struct{}
@@ -302,6 +328,21 @@ func (c *Collector) SetFrameTimeout(d time.Duration) {
 func (c *Collector) SetSink(fn func(Batch)) {
 	c.mu.Lock()
 	c.sink = fn
+	c.mu.Unlock()
+}
+
+// AddHook appends a batch hook fired after every merge, alongside
+// onBatch and the sink — the fleet aggregation tier attaches its ingest
+// here. Hooks obey the same contract as the sink: they run OUTSIDE the
+// collector's lock (a slow hook never blocks Lookup/Flows/Stats) and may
+// be invoked concurrently from different exporter connections, so a hook
+// that keeps state must do its own locking.
+func (c *Collector) AddHook(fn func(Batch)) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hooks = append(c.hooks, fn)
 	c.mu.Unlock()
 }
 
@@ -417,7 +458,12 @@ func (c *Collector) merge(b Batch) {
 	}
 	c.batches++
 	c.records += uint64(len(b.Records))
-	onBatch, sink, fl := c.onBatch, c.sink, c.fl
+	// Snapshot the callback set under the lock, then release it BEFORE
+	// invoking anything user-supplied: Lookup/Flows/Stats share c.mu, so
+	// a slow sink or hook held under it would stall every concurrent
+	// query (and, transitively, every other connection's merge). The
+	// lock-free-sink contract is pinned by TestCollectorSlowSinkDoesNotBlockQueries.
+	onBatch, sink, hooks, fl := c.onBatch, c.sink, c.hooks, c.fl
 	c.mu.Unlock()
 
 	fl.EventAt(start, flight.StageReceive, b.Epoch,
@@ -427,6 +473,9 @@ func (c *Collector) merge(b Batch) {
 	}
 	if sink != nil {
 		sink(b)
+	}
+	for _, h := range hooks {
+		h(b)
 	}
 }
 

@@ -1,0 +1,116 @@
+package export
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCollectorSlowSinkDoesNotBlockQueries pins the lock-free-callback
+// contract of Collector.merge: sinks and hooks run OUTSIDE the collector
+// lock, so a stalled downstream (a wedged epoch store, a slow fleet
+// aggregator) must not block Lookup/Flows/Stats — or, transitively, other
+// connections' merges. Run under -race by the fleet-smoke target.
+func TestCollectorSlowSinkDoesNotBlockQueries(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	coll, err := NewCollector("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	var once sync.Once
+	coll.SetSink(func(b Batch) {
+		once.Do(func() { close(entered) })
+		<-release // wedge the sink until the test has probed the queries
+	})
+	var hookCalls atomic.Int64
+	coll.AddHook(func(b Batch) { hookCalls.Add(1) })
+
+	exp, err := Dial(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(Batch{Epoch: 1, Records: []Record{rec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the batch is merged and the sink is now wedged
+
+	// Every query must complete while the sink sits blocked. A deadline
+	// goroutine turns a regression (query stuck on c.mu) into a clean
+	// failure instead of a test-suite hang.
+	queries := make(chan struct{})
+	go func() {
+		defer close(queries)
+		if _, ok := coll.Lookup(rec(1).Key); !ok {
+			t.Error("merged flow not visible while sink blocked")
+		}
+		if n := len(coll.Flows()); n != 1 {
+			t.Errorf("Flows() = %d flows while sink blocked, want 1", n)
+		}
+		if b, _ := coll.Stats(); b != 1 {
+			t.Errorf("Stats() = %d batches while sink blocked, want 1", b)
+		}
+	}()
+	select {
+	case <-queries:
+	case <-time.After(5 * time.Second):
+		close(release)
+		t.Fatal("queries blocked behind a slow sink: merge is holding c.mu across callbacks")
+	}
+
+	// A second exporter's merge must also get through: the wedged sink
+	// pins only its own connection goroutine, not the flow table.
+	exp2, err := Dial(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Close()
+	if err := exp2.Export(Batch{Epoch: 2, Records: []Record{rec(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { _, ok := coll.Lookup(rec(2).Key); return ok })
+
+	close(release)
+	waitFor(t, func() bool { return hookCalls.Load() == 2 })
+}
+
+// TestCollectorHookSeesSite checks that batch hooks observe the decoded
+// site ID — the field the fleet aggregator keys its per-site views on.
+func TestCollectorHookSeesSite(t *testing.T) {
+	var mu sync.Mutex
+	sites := map[string]int{}
+	coll, err := NewCollector("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	coll.AddHook(func(b Batch) {
+		mu.Lock()
+		sites[b.Site]++
+		mu.Unlock()
+	})
+
+	for _, site := range []string{"edge-1", "edge-2", ""} {
+		exp, err := Dial(coll.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.WithSite(site); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Export(Batch{Epoch: 1, Records: []Record{rec(1)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return sites["edge-1"] == 1 && sites["edge-2"] == 1 && sites[""] == 1
+	})
+}

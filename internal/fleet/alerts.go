@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"sync"
+
+	"instameasure/internal/detect"
+)
+
+// alertRing is the bounded in-memory alert history: a fixed-capacity
+// ring indexed by a monotone sequence number, so pollers page forward
+// with the last Seq they saw and overwritten history is detectable
+// (the oldest returned Seq jumps).
+type alertRing struct {
+	mu  sync.Mutex
+	buf []detect.Alert
+	n   int    // filled entries, <= cap(buf)
+	seq uint64 // total alerts ever published; Seq of the newest
+}
+
+func newAlertRing(size int) *alertRing {
+	return &alertRing{buf: make([]detect.Alert, size)}
+}
+
+// publish assigns the next sequence number to a, stores it (evicting
+// the oldest entry once full), and returns the assigned Seq.
+func (r *alertRing) publish(a *detect.Alert) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	a.Seq = r.seq
+	r.buf[(r.seq-1)%uint64(len(r.buf))] = *a
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return r.seq
+}
+
+// since returns up to max alerts with Seq > since, oldest first.
+// max <= 0 means no limit.
+func (r *alertRing) since(since uint64, max int) []detect.Alert {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	lo := r.seq - uint64(r.n) + 1
+	if since+1 > lo {
+		lo = since + 1
+	}
+	if lo > r.seq {
+		return nil
+	}
+	count := int(r.seq - lo + 1)
+	if max > 0 && count > max {
+		count = max
+	}
+	out := make([]detect.Alert, 0, count)
+	for s := lo; len(out) < count; s++ {
+		out = append(out, r.buf[(s-1)%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// lastSeq returns the newest published sequence number.
+func (r *alertRing) lastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}

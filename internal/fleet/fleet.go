@@ -1,0 +1,463 @@
+// Package fleet is the network-wide tier above per-meter export: it
+// aggregates the cumulative flow snapshots arriving from many metering
+// sites into per-site and merged network views, answers global top-k
+// and heavy-changer queries with per-site attribution, and drives
+// streaming anomaly detectors (DDoS victim, super-spreader, port scan)
+// incrementally over each arriving batch — the "network-wide view of
+// active flows" deployment the paper sketches for multiple InstaMeasure
+// vantage points feeding one collector.
+//
+// The aggregator consumes export batches via Ingest, which matches the
+// export.Collector hook signature, so wiring is one line:
+//
+//	coll.AddHook(agg.Ingest)
+//
+// Counters in a record are lifetime totals (the cumulative-counter
+// model), so per-site views replace per flow (store.UnionCumulative)
+// while the network view accumulates only the per-arrival delta —
+// re-sent snapshots are free, and a meter restart (counters moving
+// backward) is treated as a fresh life of the flow.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instameasure/internal/detect"
+	"instameasure/internal/export"
+	"instameasure/internal/flight"
+	"instameasure/internal/packet"
+	"instameasure/internal/store"
+)
+
+// DefaultSite labels batches from exporters that set no site ID.
+const DefaultSite = "default"
+
+// ErrTooManySites is counted (never returned to the wire) when a batch
+// from an unknown site arrives with the site table full.
+var ErrTooManySites = errors.New("fleet: site table full")
+
+// Config parameterizes an Aggregator.
+type Config struct {
+	// MaxSites bounds the number of distinct site views; batches from
+	// new sites beyond the bound are dropped and counted. Default 64.
+	MaxSites int
+	// AlertRingSize bounds the in-memory alert history served over
+	// /fleet/alerts. Default 1024.
+	AlertRingSize int
+	// Detectors are driven per record delta, in order, under the
+	// aggregator's lock. The aggregator takes ownership: no other
+	// goroutine may touch them afterwards.
+	Detectors []*detect.StreamDetector
+	// OnAlert, when set, is invoked for every published alert, outside
+	// the aggregator's lock (it may query the aggregator).
+	OnAlert func(detect.Alert)
+}
+
+// siteView is one site's latest cumulative flow table plus arrival
+// bookkeeping.
+type siteView struct {
+	flows       map[packet.FlowKey]export.Record
+	batches     uint64
+	records     uint64
+	lastEpoch   int64
+	lastArrival int64 // unix nanoseconds
+}
+
+// Aggregator maintains the fleet's merged state. All methods are safe
+// for concurrent use; Ingest is designed to be called from many
+// collector connections at once.
+type Aggregator struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*siteView
+	// net is the network-wide view: per flow, the cross-site sum of
+	// cumulative counters (FirstSeen = min, LastUpdate = max).
+	net map[packet.FlowKey]export.Record
+	// cur and prev are the current and previous rotation window's
+	// network-wide traffic deltas, for heavy-changer queries.
+	cur, prev map[packet.FlowKey]store.FlowDelta
+
+	seenBatch    bool
+	rotatedEpoch int64
+	rotations    uint64
+	batches      uint64
+	records      uint64
+	siteDrops    uint64
+
+	ring *alertRing
+	met  atomic.Pointer[metrics]
+	fl   flight.Handle
+}
+
+// New builds an Aggregator.
+func New(cfg Config) (*Aggregator, error) {
+	if cfg.MaxSites == 0 {
+		cfg.MaxSites = 64
+	}
+	if cfg.MaxSites < 0 {
+		return nil, fmt.Errorf("fleet: MaxSites must be positive (got %d)", cfg.MaxSites)
+	}
+	if cfg.AlertRingSize == 0 {
+		cfg.AlertRingSize = 1024
+	}
+	if cfg.AlertRingSize < 0 {
+		return nil, fmt.Errorf("fleet: AlertRingSize must be positive (got %d)", cfg.AlertRingSize)
+	}
+	return &Aggregator{
+		cfg:   cfg,
+		sites: make(map[string]*siteView),
+		net:   make(map[packet.FlowKey]export.Record),
+		cur:   make(map[packet.FlowKey]store.FlowDelta),
+		prev:  make(map[packet.FlowKey]store.FlowDelta),
+		ring:  newAlertRing(cfg.AlertRingSize),
+	}, nil
+}
+
+// SetFlight wires a flight-recorder handle; aggregate, detect, and
+// alert events are recorded per ingested batch.
+func (a *Aggregator) SetFlight(h flight.Handle) { a.fl = h }
+
+// now is the package's single wall-clock seam: arrival stamps and
+// stage durations are operator telemetry about the collector host, not
+// measurement results, which stay on the trace clock.
+func now() time.Time {
+	//im:allow wallclock — fleet arrival stamps and ingest-stage latencies are host-side telemetry, not trace-clock state
+	return time.Now()
+}
+
+// Ingest folds one exported batch into the fleet state. It matches the
+// export.Collector hook signature and may be called concurrently.
+// Detector alerts fire from here; the alert ring, OnAlert callback,
+// telemetry, and flight events all run after the aggregator's lock is
+// released, so a slow alert consumer cannot stall other sites' ingest.
+func (a *Aggregator) Ingest(b export.Batch) {
+	t0 := now()
+	site := b.Site
+	if site == "" {
+		site = DefaultSite
+	}
+
+	var alerts []detect.Alert
+	var observed int
+	rotated := false
+
+	a.mu.Lock()
+	sv := a.sites[site]
+	if sv == nil {
+		if len(a.sites) >= a.cfg.MaxSites {
+			a.siteDrops++
+			a.mu.Unlock()
+			if m := a.met.Load(); m != nil {
+				m.siteDrops.Inc()
+			}
+			return
+		}
+		sv = &siteView{flows: make(map[packet.FlowKey]export.Record)}
+		a.sites[site] = sv
+	}
+
+	// A batch opening a later epoch round closes the current detector
+	// and changer window first, so one rotation happens per fleet
+	// epoch no matter how many sites report into it. The final-flush
+	// epoch (-1) never rotates.
+	if !a.seenBatch {
+		a.seenBatch = true
+		a.rotatedEpoch = b.Epoch
+	} else if b.Epoch > a.rotatedEpoch {
+		a.rotateLocked()
+		a.rotatedEpoch = b.Epoch
+		rotated = true
+	}
+
+	for i := range b.Records {
+		rec := &b.Records[i]
+		dPkts, dBytes := rec.Pkts, rec.Bytes
+		if old, ok := sv.flows[rec.Key]; ok {
+			dPkts -= old.Pkts
+			dBytes -= old.Bytes
+			if dPkts < 0 || dBytes < 0 {
+				// Counters moved backward: the meter restarted and
+				// this is a fresh life of the flow.
+				dPkts, dBytes = rec.Pkts, rec.Bytes
+			}
+		}
+		if dPkts == 0 && dBytes == 0 {
+			continue
+		}
+		observed++
+
+		nf, ok := a.net[rec.Key]
+		if !ok {
+			nf = *rec
+		} else {
+			nf.Pkts += dPkts
+			nf.Bytes += dBytes
+			if rec.FirstSeen < nf.FirstSeen {
+				nf.FirstSeen = rec.FirstSeen
+			}
+			if rec.LastUpdate > nf.LastUpdate {
+				nf.LastUpdate = rec.LastUpdate
+			}
+		}
+		a.net[rec.Key] = nf
+
+		cd := a.cur[rec.Key]
+		cd.Key = rec.Key
+		cd.Pkts += dPkts
+		cd.Bytes += dBytes
+		a.cur[rec.Key] = cd
+
+		if dPkts > 0 {
+			for _, det := range a.cfg.Detectors {
+				alerts = det.Observe(site, rec, dPkts, b.Epoch, alerts)
+			}
+		}
+	}
+
+	store.UnionCumulative(sv.flows, b.Records)
+	sv.batches++
+	sv.records += uint64(len(b.Records))
+	sv.lastEpoch = b.Epoch
+	sv.lastArrival = t0.UnixNano()
+	a.batches++
+	a.records += uint64(len(b.Records))
+	a.mu.Unlock()
+
+	for i := range alerts {
+		a.ring.publish(&alerts[i])
+	}
+	if fn := a.cfg.OnAlert; fn != nil {
+		for _, al := range alerts {
+			fn(al)
+		}
+	}
+
+	if m := a.met.Load(); m != nil {
+		m.batches.Inc()
+		m.records.Add(uint64(len(b.Records)))
+		if rotated {
+			m.rotations.Inc()
+		}
+		for _, al := range alerts {
+			m.alertFor(al.Kind).Inc()
+		}
+	}
+
+	dur := uint64(now().Sub(t0))
+	a.fl.EventAt(t0, flight.StageAggregate, b.Epoch, uint32(len(b.Records)), 0, dur)
+	a.fl.EventAt(t0, flight.StageDetect, b.Epoch, uint32(observed), 0, dur)
+	if len(alerts) > 0 {
+		a.fl.EventAt(t0, flight.StageAlert, b.Epoch, uint32(len(alerts)), 0, dur)
+	}
+}
+
+// Rotate closes the current detector/changer window by hand. Ingest
+// rotates automatically when a batch opens a later epoch; explicit
+// rotation is for time-driven deployments and tests.
+func (a *Aggregator) Rotate() {
+	a.mu.Lock()
+	a.rotateLocked()
+	a.mu.Unlock()
+	if m := a.met.Load(); m != nil {
+		m.rotations.Inc()
+	}
+}
+
+func (a *Aggregator) rotateLocked() {
+	a.prev = a.cur
+	a.cur = make(map[packet.FlowKey]store.FlowDelta, len(a.prev))
+	for _, det := range a.cfg.Detectors {
+		det.Rotate()
+	}
+	a.rotations++
+}
+
+// SiteShare is one site's contribution to a network-wide flow.
+type SiteShare struct {
+	Site  string  `json:"site"`
+	Pkts  float64 `json:"pkts"`
+	Bytes float64 `json:"bytes"`
+}
+
+// FlowRank is one flow in a network-wide ranking, with per-site
+// attribution (sites sorted by name).
+type FlowRank struct {
+	Key   packet.FlowKey
+	Pkts  float64
+	Bytes float64
+	Sites []SiteShare
+}
+
+// TopK returns the k heaviest network-wide flows by lifetime totals,
+// attributing each to the sites that observed it.
+func (a *Aggregator) TopK(k int, byBytes bool) []FlowRank {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	deltas := make(map[packet.FlowKey]store.FlowDelta, len(a.net))
+	for key, rec := range a.net {
+		deltas[key] = store.FlowDelta{Key: key, Pkts: rec.Pkts, Bytes: rec.Bytes}
+	}
+	ranked := store.RankDeltas(deltas, k, byBytes)
+	names := a.siteNamesLocked()
+	out := make([]FlowRank, len(ranked))
+	for i, d := range ranked {
+		fr := FlowRank{Key: d.Key, Pkts: d.Pkts, Bytes: d.Bytes}
+		for _, name := range names {
+			if rec, ok := a.sites[name].flows[d.Key]; ok {
+				fr.Sites = append(fr.Sites, SiteShare{Site: name, Pkts: rec.Pkts, Bytes: rec.Bytes})
+			}
+		}
+		out[i] = fr
+	}
+	return out
+}
+
+// SiteTopK returns one site's k heaviest flows by its latest cumulative
+// snapshot; ok is false for an unknown site.
+func (a *Aggregator) SiteTopK(site string, k int, byBytes bool) (flows []store.FlowDelta, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sv := a.sites[site]
+	if sv == nil {
+		return nil, false
+	}
+	deltas := make(map[packet.FlowKey]store.FlowDelta, len(sv.flows))
+	for key, rec := range sv.flows {
+		deltas[key] = store.FlowDelta{Key: key, Pkts: rec.Pkts, Bytes: rec.Bytes}
+	}
+	return store.RankDeltas(deltas, k, byBytes), true
+}
+
+// Changers returns the k flows whose traffic changed most between the
+// previous and current rotation window, ranked by absolute change.
+func (a *Aggregator) Changers(k int, byBytes bool) []store.FlowChange {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	mag := make(map[packet.FlowKey]store.FlowDelta, len(a.cur)+len(a.prev))
+	for key, d := range a.cur {
+		o := a.prev[key]
+		mag[key] = store.FlowDelta{Key: key, Pkts: abs(d.Pkts - o.Pkts), Bytes: abs(d.Bytes - o.Bytes)}
+	}
+	for key, o := range a.prev {
+		if _, seen := a.cur[key]; !seen {
+			mag[key] = store.FlowDelta{Key: key, Pkts: o.Pkts, Bytes: o.Bytes}
+		}
+	}
+	ranked := store.RankDeltas(mag, k, byBytes)
+	out := make([]store.FlowChange, len(ranked))
+	for i, d := range ranked {
+		c, p := a.cur[d.Key], a.prev[d.Key]
+		out[i] = store.FlowChange{
+			Key:        d.Key,
+			Pkts:       c.Pkts - p.Pkts,
+			Bytes:      c.Bytes - p.Bytes,
+			NewerPkts:  c.Pkts,
+			OlderPkts:  p.Pkts,
+			NewerBytes: c.Bytes,
+			OlderBytes: p.Bytes,
+		}
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SiteStats summarizes one site's view.
+type SiteStats struct {
+	Site        string  `json:"site"`
+	Flows       int     `json:"flows"`
+	Batches     uint64  `json:"batches"`
+	Records     uint64  `json:"records"`
+	Pkts        float64 `json:"pkts"`
+	Bytes       float64 `json:"bytes"`
+	LastEpoch   int64   `json:"last_epoch"`
+	LastArrival int64   `json:"last_arrival_unix_ns"`
+}
+
+// Sites lists every site view, sorted by site name.
+func (a *Aggregator) Sites() []SiteStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SiteStats, 0, len(a.sites))
+	for _, name := range a.siteNamesLocked() {
+		sv := a.sites[name]
+		st := SiteStats{
+			Site:        name,
+			Flows:       len(sv.flows),
+			Batches:     sv.batches,
+			Records:     sv.records,
+			LastEpoch:   sv.lastEpoch,
+			LastArrival: sv.lastArrival,
+		}
+		for _, rec := range sv.flows {
+			st.Pkts += rec.Pkts
+			st.Bytes += rec.Bytes
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func (a *Aggregator) siteNamesLocked() []string {
+	names := make([]string, 0, len(a.sites))
+	for name := range a.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Alerts returns up to max alerts with sequence numbers greater than
+// since, oldest first. Clients poll with the last Seq they saw; since=0
+// starts from the oldest alert still in the ring.
+func (a *Aggregator) Alerts(since uint64, max int) []detect.Alert {
+	return a.ring.since(since, max)
+}
+
+// AlertSeq returns the sequence number of the newest published alert
+// (0 when none have fired).
+func (a *Aggregator) AlertSeq() uint64 { return a.ring.lastSeq() }
+
+// Stats is a point-in-time summary of the whole aggregator.
+type Stats struct {
+	Sites        int                  `json:"sites"`
+	Flows        int                  `json:"flows"`
+	Batches      uint64               `json:"batches"`
+	Records      uint64               `json:"records"`
+	Rotations    uint64               `json:"rotations"`
+	RotatedEpoch int64                `json:"rotated_epoch"`
+	SiteDrops    uint64               `json:"site_drops"`
+	Alerts       uint64               `json:"alerts"`
+	Detectors    []detect.StreamStats `json:"detectors,omitempty"`
+}
+
+// Stats summarizes the aggregator.
+func (a *Aggregator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Stats{
+		Sites:        len(a.sites),
+		Flows:        len(a.net),
+		Batches:      a.batches,
+		Records:      a.records,
+		Rotations:    a.rotations,
+		RotatedEpoch: a.rotatedEpoch,
+		SiteDrops:    a.siteDrops,
+		Alerts:       a.ring.lastSeq(),
+	}
+	for _, det := range a.cfg.Detectors {
+		st.Detectors = append(st.Detectors, det.Stats())
+	}
+	return st
+}

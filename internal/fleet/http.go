@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"instameasure/internal/detect"
+	"instameasure/internal/packet"
+)
+
+// API serves the fleet tier as JSON over HTTP:
+//
+//	GET /fleet/sites
+//	GET /fleet/topk?k=10&by=packets|bytes[&site=NAME]
+//	GET /fleet/changers?k=10&by=packets|bytes
+//	GET /fleet/alerts?since=SEQ&max=100
+//	GET /fleet/stats
+//
+// Mount it on the telemetry server (or any mux) under /fleet/.
+type API struct {
+	agg *Aggregator
+}
+
+// NewAPI builds the handler for agg.
+func NewAPI(agg *Aggregator) *API { return &API{agg: agg} }
+
+// Register mounts the API's routes on mux.
+func (a *API) Register(mux interface {
+	Handle(pattern string, handler http.Handler)
+}) {
+	mux.Handle("/fleet/sites", http.HandlerFunc(a.handleSites))
+	mux.Handle("/fleet/topk", http.HandlerFunc(a.handleTopK))
+	mux.Handle("/fleet/changers", http.HandlerFunc(a.handleChangers))
+	mux.Handle("/fleet/alerts", http.HandlerFunc(a.handleAlerts))
+	mux.Handle("/fleet/stats", http.HandlerFunc(a.handleStats))
+}
+
+// ServeHTTP dispatches /fleet/* paths, so the API is also usable as a
+// single handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/fleet/sites":
+		a.handleSites(w, r)
+	case "/fleet/topk":
+		a.handleTopK(w, r)
+	case "/fleet/changers":
+		a.handleChangers(w, r)
+	case "/fleet/alerts":
+		a.handleAlerts(w, r)
+	case "/fleet/stats":
+		a.handleStats(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func fleetWriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func fleetBadRequest(w http.ResponseWriter, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}
+
+func fleetIntParam(r *http.Request, name string, def int64) (int64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	return v, nil
+}
+
+func fleetByParam(r *http.Request) (byBytes bool, name string, err error) {
+	switch by := r.URL.Query().Get("by"); by {
+	case "", "packets", "pkts":
+		return false, "packets", nil
+	case "bytes":
+		return true, "bytes", nil
+	default:
+		return false, "", fmt.Errorf("bad by %q (want packets or bytes)", by)
+	}
+}
+
+func fleetFlowID(k *packet.FlowKey) string {
+	return fmt.Sprintf("%016x", k.Hash64(0))
+}
+
+func (a *API) handleSites(w http.ResponseWriter, r *http.Request) {
+	fleetWriteJSON(w, struct {
+		Sites []SiteStats `json:"sites"`
+	}{Sites: a.agg.Sites()})
+}
+
+// rankJSON is one flow in a top-k response.
+type rankJSON struct {
+	Flow  string      `json:"flow"`
+	ID    string      `json:"id"`
+	Pkts  float64     `json:"pkts"`
+	Bytes float64     `json:"bytes"`
+	Sites []SiteShare `json:"sites,omitempty"`
+}
+
+func (a *API) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := fleetIntParam(r, "k", 10)
+	if err != nil || k <= 0 {
+		fleetBadRequest(w, "bad k")
+		return
+	}
+	byBytes, byName, err := fleetByParam(r)
+	if err != nil {
+		fleetBadRequest(w, "%v", err)
+		return
+	}
+	out := struct {
+		By    string     `json:"by"`
+		Site  string     `json:"site,omitempty"`
+		Flows []rankJSON `json:"flows"`
+	}{By: byName, Flows: []rankJSON{}}
+	if site := r.URL.Query().Get("site"); site != "" {
+		flows, ok := a.agg.SiteTopK(site, int(k), byBytes)
+		if !ok {
+			fleetBadRequest(w, "unknown site %q", site)
+			return
+		}
+		out.Site = site
+		for _, f := range flows {
+			out.Flows = append(out.Flows, rankJSON{
+				Flow: f.Key.String(), ID: fleetFlowID(&f.Key), Pkts: f.Pkts, Bytes: f.Bytes,
+			})
+		}
+	} else {
+		for _, f := range a.agg.TopK(int(k), byBytes) {
+			out.Flows = append(out.Flows, rankJSON{
+				Flow: f.Key.String(), ID: fleetFlowID(&f.Key),
+				Pkts: f.Pkts, Bytes: f.Bytes, Sites: f.Sites,
+			})
+		}
+	}
+	fleetWriteJSON(w, out)
+}
+
+func (a *API) handleChangers(w http.ResponseWriter, r *http.Request) {
+	k, err := fleetIntParam(r, "k", 10)
+	if err != nil || k <= 0 {
+		fleetBadRequest(w, "bad k")
+		return
+	}
+	byBytes, byName, err := fleetByParam(r)
+	if err != nil {
+		fleetBadRequest(w, "%v", err)
+		return
+	}
+	type changeJSON struct {
+		Flow       string  `json:"flow"`
+		ID         string  `json:"id"`
+		Pkts       float64 `json:"pkts"`
+		Bytes      float64 `json:"bytes"`
+		NewerPkts  float64 `json:"newer_pkts"`
+		OlderPkts  float64 `json:"older_pkts"`
+		NewerBytes float64 `json:"newer_bytes"`
+		OlderBytes float64 `json:"older_bytes"`
+	}
+	changes := a.agg.Changers(int(k), byBytes)
+	out := struct {
+		By    string       `json:"by"`
+		Flows []changeJSON `json:"flows"`
+	}{By: byName, Flows: make([]changeJSON, len(changes))}
+	for i, c := range changes {
+		out.Flows[i] = changeJSON{
+			Flow: c.Key.String(), ID: fleetFlowID(&c.Key),
+			Pkts: c.Pkts, Bytes: c.Bytes,
+			NewerPkts: c.NewerPkts, OlderPkts: c.OlderPkts,
+			NewerBytes: c.NewerBytes, OlderBytes: c.OlderBytes,
+		}
+	}
+	fleetWriteJSON(w, out)
+}
+
+func (a *API) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	since, err := fleetIntParam(r, "since", 0)
+	if err != nil || since < 0 {
+		fleetBadRequest(w, "bad since")
+		return
+	}
+	max, err := fleetIntParam(r, "max", 100)
+	if err != nil || max <= 0 {
+		fleetBadRequest(w, "bad max")
+		return
+	}
+	alerts := a.agg.Alerts(uint64(since), int(max))
+	if alerts == nil {
+		alerts = []detect.Alert{}
+	}
+	fleetWriteJSON(w, struct {
+		LastSeq uint64         `json:"last_seq"`
+		Alerts  []detect.Alert `json:"alerts"`
+	}{LastSeq: a.agg.AlertSeq(), Alerts: alerts})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	fleetWriteJSON(w, a.agg.Stats())
+}

@@ -68,6 +68,15 @@ const (
 	// StagePacketSpan is a sampled hot-path span: Count packets measured,
 	// Dur the per-packet latency in nanoseconds.
 	StagePacketSpan
+	// StageAggregate is one batch folded into the fleet tier's per-site
+	// and network-wide views (Count = records, Dur = fold time).
+	StageAggregate
+	// StageDetect is one batch driven through the fleet's streaming
+	// detectors (Count = records observed, Dur = detector time).
+	StageDetect
+	// StageAlert is one detector alert admitted to the fleet alert ring
+	// (Count = alerts in this batch).
+	StageAlert
 	numStages
 )
 
@@ -84,6 +93,9 @@ var stageNames = [numStages]string{
 	StageCompact:    "compact",
 	StageQuery:      "query",
 	StagePacketSpan: "packet_span",
+	StageAggregate:  "aggregate",
+	StageDetect:     "detect",
+	StageAlert:      "alert",
 }
 
 func (s Stage) String() string {

@@ -1,0 +1,30 @@
+package store
+
+import (
+	"instameasure/internal/export"
+	"instameasure/internal/packet"
+)
+
+// UnionCumulative folds records into table under the cumulative-counter
+// model: counters in an exported record are lifetime totals, so a flow's
+// newest observation alone carries its state and simply replaces the
+// older one. Records apply in slice order (later entries win per flow) —
+// the same monotone-union step tableAt runs over a store epoch's appends
+// and the fleet aggregator runs over a site's arriving batches.
+func UnionCumulative(table map[packet.FlowKey]export.Record, records []export.Record) {
+	for i := range records {
+		table[records[i].Key] = records[i]
+	}
+}
+
+// RankDeltas sorts deltas by the chosen metric, largest first, breaking
+// ties by key order so results are deterministic, and keeps the top k
+// (k <= 0 keeps everything). Shared by the store's windowed TopK and the
+// fleet tier's network-wide queries.
+func RankDeltas(deltas map[packet.FlowKey]FlowDelta, k int, byBytes bool) []FlowDelta {
+	return rankDeltas(deltas, k, byBytes)
+}
+
+// KeyLess is the deterministic total order over flow keys the query
+// layer ranks ties with.
+func KeyLess(a, b *packet.FlowKey) bool { return keyLess(a, b) }

@@ -237,9 +237,7 @@ func tableAt(refs []recordRef, sr *segReader, e int64) (map[packet.FlowKey]expor
 		if err != nil {
 			return nil, 0, false, err
 		}
-		for _, rec := range recs {
-			table[rec.Key] = rec
-		}
+		UnionCumulative(table, recs)
 	}
 	return table, best, true, nil
 }

@@ -466,26 +466,31 @@ func (r *Registry) HistogramScaled(name, help string, buckets int, scale float64
 	return h
 }
 
-// Value returns the summed value of every counter or gauge child sharing
-// the fully qualified name (labels included and excluded alike);
-// histograms and gauge funcs contribute nothing. It is the programmatic
-// scrape used by CLI interim output and tests.
+// Value returns the summed value of every counter, gauge, or gauge-func
+// series matching fullName; histograms contribute nothing. A bare family
+// name ("instameasure_x_total") sums across all label children; a
+// label-qualified series ("instameasure_x_total{kind=\"y\"}") selects
+// exactly that child. It is the programmatic scrape used by CLI interim
+// output and tests.
 func (r *Registry) Value(fullName string) float64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var total float64
+	match := func(f *family) bool {
+		return f.name == fullName || f.name+f.labels == fullName
+	}
 	for _, m := range r.ordered {
 		switch v := m.(type) {
 		case *Counter:
-			if v.name == fullName {
+			if match(&v.family) {
 				total += float64(v.Value())
 			}
 		case *Gauge:
-			if v.name == fullName {
+			if match(&v.family) {
 				total += float64(v.Value())
 			}
 		case *gaugeFunc:
-			if v.name == fullName {
+			if match(&v.family) {
 				total += v.value()
 			}
 		}

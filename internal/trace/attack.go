@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"instameasure/internal/flowhash"
+	"instameasure/internal/packet"
+)
+
+// Adversarial attack generators with exact ground truth, built for
+// scoring the fleet tier's streaming detectors: a spoofed DDoS flood
+// (many sources converging on one victim) and a super-spreader sweep
+// (one source fanning out across hosts and ports). Both are
+// deterministic in Seed and return the oracle the detector is judged
+// against, so tests can assert precision and recall, not just "an
+// alert happened".
+
+// SpoofedDDoSConfig shapes a source-spoofed flood at one victim:
+// every spoofed source sends a handful of SYN-sized packets, so the
+// attack is all mice — the traffic class the WSAF exists to keep, and
+// the worst case for cache-based designs.
+type SpoofedDDoSConfig struct {
+	// Victim is the target IPv4 address in host order; 0 means
+	// 203.0.113.7 (TEST-NET-3).
+	Victim uint32
+	// Sources is the number of distinct spoofed source addresses;
+	// 0 means 4096.
+	Sources int
+	// PacketsPerSource is how many packets each spoofed source sends;
+	// 0 means 2.
+	PacketsPerSource int
+	// DstPort is the attacked service port; 0 means 80.
+	DstPort uint16
+	// RatePPS shapes timestamps; 0 means 1e6.
+	RatePPS float64
+	// StartTS is the first packet's timestamp in nanoseconds.
+	StartTS int64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// AttackTruth is the oracle for an attack trace: who the offender is
+// and exactly how wide the attack is. Hosts carries every address that
+// should trip a detector (for these generators, exactly one).
+type AttackTruth struct {
+	// Host is the address a detector must name: the flooded victim
+	// (DDoS) or the scanning source (super-spreader).
+	Host netip.Addr
+	// DistinctSources is the exact number of distinct source
+	// addresses in the attack traffic.
+	DistinctSources int
+	// DistinctDsts is the exact number of distinct destination
+	// addresses in the attack traffic.
+	DistinctDsts int
+	// DistinctPorts is the exact number of distinct destination ports
+	// in the attack traffic.
+	DistinctPorts int
+	// Packets is the total attack packet count.
+	Packets int
+}
+
+// ErrAttackShape rejects nonsensical attack dimensions.
+var ErrAttackShape = errors.New("trace: attack dimensions must be positive")
+
+// GenerateSpoofedDDoS produces a randomized-source flood at one victim
+// plus the exact ground truth a DDoS-victim detector is scored
+// against.
+func GenerateSpoofedDDoS(cfg SpoofedDDoSConfig) (*Trace, AttackTruth, error) {
+	if cfg.Sources < 0 || cfg.PacketsPerSource < 0 {
+		return nil, AttackTruth{}, fmt.Errorf("%w (sources %d, packets/source %d)",
+			ErrAttackShape, cfg.Sources, cfg.PacketsPerSource)
+	}
+	victim := cfg.Victim
+	if victim == 0 {
+		victim = 0xCB007107 // 203.0.113.7
+	}
+	sources := cfg.Sources
+	if sources == 0 {
+		sources = 4096
+	}
+	perSource := cfg.PacketsPerSource
+	if perSource == 0 {
+		perSource = 2
+	}
+	dstPort := cfg.DstPort
+	if dstPort == 0 {
+		dstPort = 80
+	}
+	rate := cfg.RatePPS
+	if rate == 0 {
+		rate = 1e6
+	}
+
+	rng := flowhash.NewRand(cfg.Seed ^ 0xDD05)
+	srcs := distinctAddrs(rng, sources, victim)
+	// One ephemeral port per source, held for the whole flood: each
+	// spoofed source is one flow of perSource packets, so a
+	// flow-granularity meter can accumulate it into the WSAF and export
+	// it. (A per-packet random port would make every packet its own
+	// 1-packet flow — invisible to any flow table.)
+	srcPorts := make([]uint16, sources)
+	for i := range srcPorts {
+		srcPorts[i] = uint16(1024 + rng.Intn(64000))
+	}
+
+	total := sources * perSource
+	gap := 1e9 / rate
+	pkts := make([]packet.Packet, 0, total)
+	ts := float64(cfg.StartTS)
+	// Round-robin over sources so the flood interleaves the way a
+	// botnet's packets do on the wire, instead of arriving
+	// source-by-source.
+	for round := 0; round < perSource; round++ {
+		for i, src := range srcs {
+			key := packet.V4Key(src, victim, srcPorts[i], dstPort, packet.ProtoTCP)
+			pkts = append(pkts, packet.Packet{
+				Key: key,
+				Len: uint16(60 + rng.Intn(8)), // SYN-sized
+				TS:  int64(ts),
+			})
+			ts += gap * (0.5 + rng.Float64())
+		}
+	}
+
+	truth := AttackTruth{
+		Host:            v4Addr(victim),
+		DistinctSources: sources,
+		DistinctDsts:    1,
+		DistinctPorts:   1,
+		Packets:         total,
+	}
+	return NewTrace(pkts), truth, nil
+}
+
+// SuperSpreaderConfig shapes a single-source sweep across many
+// destination hosts and ports — the union shape of a super-spreader
+// (many hosts) and a port scan (many ports), so one trace exercises
+// both detectors.
+type SuperSpreaderConfig struct {
+	// Source is the scanning IPv4 address in host order; 0 means
+	// 198.51.100.66 (TEST-NET-2).
+	Source uint32
+	// Targets is the number of distinct destination hosts; 0 means
+	// 2048.
+	Targets int
+	// PortsPerTarget is how many distinct ports are probed on each
+	// host; 0 means 1. Ports advance across the whole sweep, so the
+	// trace's distinct-port count is min(Targets*PortsPerTarget, 64511).
+	PortsPerTarget int
+	// RatePPS shapes timestamps; 0 means 1e6.
+	RatePPS float64
+	// StartTS is the first packet's timestamp in nanoseconds.
+	StartTS int64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GenerateSuperSpreader produces a one-source host/port sweep plus its
+// exact ground truth.
+func GenerateSuperSpreader(cfg SuperSpreaderConfig) (*Trace, AttackTruth, error) {
+	if cfg.Targets < 0 || cfg.PortsPerTarget < 0 {
+		return nil, AttackTruth{}, fmt.Errorf("%w (targets %d, ports/target %d)",
+			ErrAttackShape, cfg.Targets, cfg.PortsPerTarget)
+	}
+	source := cfg.Source
+	if source == 0 {
+		source = 0xC6336442 // 198.51.100.66
+	}
+	targets := cfg.Targets
+	if targets == 0 {
+		targets = 2048
+	}
+	perTarget := cfg.PortsPerTarget
+	if perTarget == 0 {
+		perTarget = 1
+	}
+	rate := cfg.RatePPS
+	if rate == 0 {
+		rate = 1e6
+	}
+
+	rng := flowhash.NewRand(cfg.Seed ^ 0x5CA4)
+	dsts := distinctAddrs(rng, targets, source)
+
+	// Ports walk a fixed cycle over [1024, 65535) so the distinct-port
+	// ground truth is exact: one probe = one new port until the cycle
+	// wraps.
+	const portSpan = 65535 - 1024
+	total := targets * perTarget
+	distinctPorts := total
+	if distinctPorts > portSpan {
+		distinctPorts = portSpan
+	}
+
+	gap := 1e9 / rate
+	pkts := make([]packet.Packet, 0, total)
+	ts := float64(cfg.StartTS)
+	probe := 0
+	// Sweep ports in the outer loop so even a prefix of the trace
+	// touches every host once before any host is probed twice.
+	for round := 0; round < perTarget; round++ {
+		for _, dst := range dsts {
+			port := uint16(1024 + probe%portSpan)
+			probe++
+			key := packet.V4Key(source, dst,
+				uint16(1024+rng.Intn(64000)), port, packet.ProtoTCP)
+			pkts = append(pkts, packet.Packet{
+				Key: key,
+				Len: uint16(60 + rng.Intn(8)),
+				TS:  int64(ts),
+			})
+			ts += gap * (0.5 + rng.Float64())
+		}
+	}
+
+	truth := AttackTruth{
+		Host:            v4Addr(source),
+		DistinctSources: 1,
+		DistinctDsts:    targets,
+		DistinctPorts:   distinctPorts,
+		Packets:         total,
+	}
+	return NewTrace(pkts), truth, nil
+}
+
+// distinctAddrs draws n distinct random IPv4 addresses, none equal to
+// excluded, so attack ground truth is exact rather than probabilistic.
+func distinctAddrs(rng *flowhash.Rand, n int, excluded uint32) []uint32 {
+	out := make([]uint32, 0, n)
+	seen := make(map[uint32]struct{}, n)
+	for len(out) < n {
+		a := uint32(rng.Next())
+		if a == excluded || a == 0 {
+			continue
+		}
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+// v4Addr converts a host-order IPv4 integer to netip.Addr.
+func v4Addr(a uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+}

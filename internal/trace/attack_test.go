@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"instameasure/internal/packet"
+)
+
+// distinctCounts walks a trace and tallies its actual distinct sources,
+// destinations, and destination ports — the independent oracle the
+// generators' AttackTruth is checked against.
+func distinctCounts(tr *Trace) (srcs, dsts, ports int) {
+	srcSet := map[[16]byte]struct{}{}
+	dstSet := map[[16]byte]struct{}{}
+	portSet := map[uint16]struct{}{}
+	for i := range tr.Packets {
+		k := &tr.Packets[i].Key
+		srcSet[k.SrcIP] = struct{}{}
+		dstSet[k.DstIP] = struct{}{}
+		portSet[k.DstPort] = struct{}{}
+	}
+	return len(srcSet), len(dstSet), len(portSet)
+}
+
+func TestGenerateSpoofedDDoSTruth(t *testing.T) {
+	tr, truth, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: 500, PacketsPerSource: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != truth.Packets || truth.Packets != 1500 {
+		t.Fatalf("packets = %d, truth %d, want 1500", len(tr.Packets), truth.Packets)
+	}
+	srcs, dsts, ports := distinctCounts(tr)
+	if srcs != truth.DistinctSources || srcs != 500 {
+		t.Errorf("distinct sources = %d, truth %d, want 500", srcs, truth.DistinctSources)
+	}
+	if dsts != truth.DistinctDsts || dsts != 1 {
+		t.Errorf("distinct dsts = %d, truth %d, want 1", dsts, truth.DistinctDsts)
+	}
+	if ports != truth.DistinctPorts || ports != 1 {
+		t.Errorf("distinct dst ports = %d, truth %d, want 1", ports, truth.DistinctPorts)
+	}
+	if want := netip.AddrFrom4([4]byte{203, 0, 113, 7}); truth.Host != want {
+		t.Errorf("victim = %v, want %v", truth.Host, want)
+	}
+	// Every packet must target the victim.
+	victim := truth.Host.As4()
+	for i := range tr.Packets {
+		k := &tr.Packets[i].Key
+		if k.IsV6 || [4]byte(k.DstIP[:4]) != victim {
+			t.Fatalf("packet %d targets %v, not the victim", i, k.DstIP[:4])
+		}
+	}
+	// Timestamps are sorted (NewTrace contract) and strictly advancing
+	// per the rate shape.
+	for i := 1; i < len(tr.Packets); i++ {
+		if tr.Packets[i].TS < tr.Packets[i-1].TS {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+	}
+}
+
+func TestGenerateSuperSpreaderTruth(t *testing.T) {
+	tr, truth, err := GenerateSuperSpreader(SuperSpreaderConfig{Targets: 300, PortsPerTarget: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != truth.Packets || truth.Packets != 600 {
+		t.Fatalf("packets = %d, truth %d, want 600", len(tr.Packets), truth.Packets)
+	}
+	srcs, dsts, ports := distinctCounts(tr)
+	if srcs != truth.DistinctSources || srcs != 1 {
+		t.Errorf("distinct sources = %d, truth %d, want 1", srcs, truth.DistinctSources)
+	}
+	if dsts != truth.DistinctDsts || dsts != 300 {
+		t.Errorf("distinct dsts = %d, truth %d, want 300", dsts, truth.DistinctDsts)
+	}
+	if ports != truth.DistinctPorts || ports != 600 {
+		t.Errorf("distinct dst ports = %d, truth %d, want 600", ports, truth.DistinctPorts)
+	}
+	if want := netip.AddrFrom4([4]byte{198, 51, 100, 66}); truth.Host != want {
+		t.Errorf("source = %v, want %v", truth.Host, want)
+	}
+}
+
+// TestSuperSpreaderPortWrap pins the distinct-port truth when the sweep
+// exceeds the port cycle.
+func TestSuperSpreaderPortWrap(t *testing.T) {
+	_, truth, err := GenerateSuperSpreader(SuperSpreaderConfig{Targets: 1000, PortsPerTarget: 70, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 65535 - 1024; truth.DistinctPorts != want {
+		t.Errorf("wrapped distinct ports = %d, want %d", truth.DistinctPorts, want)
+	}
+	if truth.Packets != 70000 {
+		t.Errorf("packets = %d, want 70000", truth.Packets)
+	}
+}
+
+func TestAttackDeterminism(t *testing.T) {
+	a1, t1, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: 64, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, t2, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: 64, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("truth differs across runs: %+v vs %+v", t1, t2)
+	}
+	if len(a1.Packets) != len(a2.Packets) {
+		t.Fatalf("packet counts differ: %d vs %d", len(a1.Packets), len(a2.Packets))
+	}
+	for i := range a1.Packets {
+		if a1.Packets[i] != a2.Packets[i] {
+			t.Fatalf("packet %d differs across identically seeded runs", i)
+		}
+	}
+	a3, _, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: 64, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a3.Packets) == len(a1.Packets)
+	if same {
+		diff := false
+		for i := range a1.Packets {
+			if a1.Packets[i].Key != a3.Packets[i].Key {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical attack traffic")
+		}
+	}
+}
+
+func TestAttackShapeErrors(t *testing.T) {
+	if _, _, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: -1}); !errors.Is(err, ErrAttackShape) {
+		t.Errorf("negative sources: err = %v, want ErrAttackShape", err)
+	}
+	if _, _, err := GenerateSuperSpreader(SuperSpreaderConfig{PortsPerTarget: -2}); !errors.Is(err, ErrAttackShape) {
+		t.Errorf("negative ports/target: err = %v, want ErrAttackShape", err)
+	}
+}
+
+// TestAttackMergesWithBenign checks the composition path the fleet
+// experiment uses: attack + zipf background merge into one sorted trace
+// whose per-flow ground truth covers both components.
+func TestAttackMergesWithBenign(t *testing.T) {
+	bg, err := GenerateZipf(ZipfConfig{Flows: 500, TotalPackets: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, truth, err := GenerateSpoofedDDoS(SpoofedDDoSConfig{Sources: 100, PacketsPerSource: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(bg, atk)
+	if got, want := len(merged.Packets), len(bg.Packets)+len(atk.Packets); got != want {
+		t.Fatalf("merged packets = %d, want %d", got, want)
+	}
+	for i := 1; i < len(merged.Packets); i++ {
+		if merged.Packets[i].TS < merged.Packets[i-1].TS {
+			t.Fatalf("merged timestamps out of order at %d", i)
+		}
+	}
+	// Attack flows keep their truth through the merge.
+	var attackPkts uint64
+	merged.EachTruth(func(k packet.FlowKey, ft *FlowTruth) {
+		if !k.IsV6 && [4]byte(k.DstIP[:4]) == truth.Host.As4() {
+			attackPkts += ft.Pkts
+		}
+	})
+	if attackPkts < uint64(truth.Packets) {
+		t.Errorf("merged truth has %d attack packets, want >= %d", attackPkts, truth.Packets)
+	}
+}

@@ -88,6 +88,47 @@ func NewTraceFromPackets(pkts []Packet) *Trace {
 	return trace.FromPackets(pkts)
 }
 
+// MergeTraces interleaves traces by timestamp into one workload with
+// combined ground truth — e.g. an attack overlaid on benign background.
+func MergeTraces(traces ...*Trace) *Trace {
+	return trace.Merge(traces...)
+}
+
+// AttackTruth is the exact oracle for a generated attack trace: the
+// offending host and the attack's true distinct-source/dst/port widths,
+// for scoring detector precision and recall.
+type AttackTruth = trace.AttackTruth
+
+// SpoofedDDoSConfig shapes a source-spoofed SYN flood at one victim;
+// see internal/trace for defaults.
+type SpoofedDDoSConfig = trace.SpoofedDDoSConfig
+
+// GenerateSpoofedDDoSTrace produces a many-sources-to-one-victim flood
+// plus its exact ground truth — the workload the fleet tier's
+// DDoS-victim detector is scored against.
+func GenerateSpoofedDDoSTrace(cfg SpoofedDDoSConfig) (*Trace, AttackTruth, error) {
+	tr, truth, err := trace.GenerateSpoofedDDoS(cfg)
+	if err != nil {
+		return nil, AttackTruth{}, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, truth, nil
+}
+
+// SuperSpreaderConfig shapes a one-source sweep across many hosts and
+// ports; see internal/trace for defaults.
+type SuperSpreaderConfig = trace.SuperSpreaderConfig
+
+// GenerateSuperSpreaderTrace produces a one-source host/port sweep plus
+// its exact ground truth, exercising both the super-spreader and
+// port-scan detectors.
+func GenerateSuperSpreaderTrace(cfg SuperSpreaderConfig) (*Trace, AttackTruth, error) {
+	tr, truth, err := trace.GenerateSuperSpreader(cfg)
+	if err != nil {
+		return nil, AttackTruth{}, fmt.Errorf("instameasure: %w", err)
+	}
+	return tr, truth, nil
+}
+
 // OpenPcapStream returns a PacketSource that decodes a classic-libpcap
 // stream incrementally — constant memory regardless of capture size, for
 // live pipes and very large files. Non-IP frames are skipped.
