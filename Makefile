@@ -21,7 +21,10 @@ test: tier1
 # lint runs imvet, the repo's domain-specific static-analysis gate
 # (cmd/imvet + internal/analysis): hot-path allocation discipline,
 # single-hash-per-packet, atomic-field hygiene, store/export error
-# checking, and wall-clock bans in the deterministic packages. Exits
+# checking, wall-clock bans in the deterministic packages, lock-scope
+# discipline (no dynamic calls / blocking I/O / channel sends under a
+# mutex, cross-package lock-order cycles), seqlock and SPSC-ring protocol
+# conformance, and wire-derived length bounds in decode paths. Exits
 # non-zero with file:line:col diagnostics on any violation.
 lint:
 	$(GO) run ./cmd/imvet ./...
@@ -54,12 +57,15 @@ fleet-smoke:
 	$(GO) test -race -run 'TestMultiExporterStress|TestDetectionThroughIngest' -count=1 ./internal/fleet/
 	$(GO) test -race -run 'TestCollectorSlowSinkDoesNotBlockQueries|TestCollectorHookSeesSite' -count=1 ./internal/export/
 
-# vet-race is the observability gate: static checks plus the telemetry
-# and pipeline packages under the race detector (lock-free counters and
-# the drop-when-full manager are the racy surfaces).
+# vet-race is the concurrency gate: static checks plus every package
+# with a locked or lock-free concurrent surface under the race detector —
+# telemetry (lock-free counters), pipeline (SPSC rings, drop-when-full
+# manager), flight (seqlock recorder), export (exporter send path +
+# collector callback seams), fleet (aggregator/detector callbacks), and
+# store (WAL lock scope).
 vet-race: lint
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/pipeline/...
+	$(GO) test -race ./internal/telemetry/... ./internal/pipeline/... ./internal/flight/... ./internal/export/... ./internal/fleet/... ./internal/store/...
 
 # fuzz-smoke gives each native fuzz target a short budget against its
 # committed seed corpus (testdata/fuzz/). go test accepts one -fuzz

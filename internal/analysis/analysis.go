@@ -30,6 +30,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one analyzer finding, resolved to a file position.
@@ -66,6 +68,53 @@ type Program struct {
 	// allow[file][line] holds the analyzer names suppressed on that line
 	// by //im:allow directives ("*" suppresses everything).
 	allow map[string]map[int][]string
+
+	// fnOnce guards the lazily-built function index shared by every
+	// analyzer that walks the static call graph (hotalloc, flightrec,
+	// locksafe): the program is loaded once, so the declaration index is
+	// built once too instead of re-walked per analyzer.
+	fnOnce  sync.Once
+	fnDecls map[*types.Func]*ast.FuncDecl
+	fnRoots []*types.Func
+}
+
+// buildFuncIndex walks every file once, indexing function declarations by
+// their type object and collecting the //im:hotpath-annotated roots.
+func (prog *Program) buildFuncIndex() {
+	prog.fnDecls = make(map[*types.Func]*ast.FuncDecl)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.fnDecls[fn] = fd
+				if hotpathAnnotated(fd) {
+					prog.fnRoots = append(prog.fnRoots, fn)
+				}
+			}
+		}
+	}
+}
+
+// FuncDecls returns the program-wide index of function declarations with
+// bodies, keyed by their type objects. The index is built once and shared
+// across analyzers; callers must not mutate it.
+func (prog *Program) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	prog.fnOnce.Do(prog.buildFuncIndex)
+	return prog.fnDecls
+}
+
+// HotpathRoots returns every //im:hotpath-annotated function, in file
+// order. Shared like FuncDecls; callers must not mutate it.
+func (prog *Program) HotpathRoots() []*types.Func {
+	prog.fnOnce.Do(prog.buildFuncIndex)
+	return prog.fnRoots
 }
 
 // Analyzer is one named check. Run inspects the program and reports
@@ -77,12 +126,29 @@ type Analyzer struct {
 	Run  func(prog *Program, report func(pos token.Pos, format string, args ...any))
 }
 
+// Timing is one analyzer's wall-clock cost over a program run.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+	Count   int // surviving diagnostics
+}
+
 // RunAnalyzers runs the given analyzers over prog, applies //im:allow
 // suppressions, and returns the surviving diagnostics sorted by position.
 func RunAnalyzers(prog *Program, analyzers ...*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(prog, analyzers...)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer wall-time report,
+// in the order the analyzers ran (imvet -v surfaces it).
+func RunAnalyzersTimed(prog *Program, analyzers ...*Analyzer) ([]Diagnostic, []Timing) {
 	var out []Diagnostic
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
 		name := a.Name
+		start := time.Now()
+		before := len(out)
 		a.Run(prog, func(pos token.Pos, format string, args ...any) {
 			p := prog.Fset.Position(pos)
 			if prog.allowed(name, p) {
@@ -90,6 +156,7 @@ func RunAnalyzers(prog *Program, analyzers ...*Analyzer) []Diagnostic {
 			}
 			out = append(out, Diagnostic{Pos: p, Analyzer: name, Message: fmt.Sprintf(format, args...)})
 		})
+		timings = append(timings, Timing{Name: name, Elapsed: time.Since(start), Count: len(out) - before})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -104,7 +171,7 @@ func RunAnalyzers(prog *Program, analyzers ...*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, timings
 }
 
 // allowed reports whether an //im:allow directive suppresses analyzer name

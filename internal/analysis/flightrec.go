@@ -36,28 +36,10 @@ var Flightrec = &Analyzer{
 }
 
 func runFlightrec(prog *Program, report func(token.Pos, string, ...any)) {
-	// Index every function declaration and collect the annotated roots —
-	// the same whole-module view hotalloc propagates over.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	var roots []*types.Func
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := prog.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				decls[fn] = fd
-				if hotpathAnnotated(fd) {
-					roots = append(roots, fn)
-				}
-			}
-		}
-	}
+	// The declaration index and annotated roots come from the shared
+	// Program-level index — the same whole-module view hotalloc uses.
+	decls := prog.FuncDecls()
+	roots := prog.HotpathRoots()
 
 	// Breadth-first reachability from the roots through static calls.
 	// via[fn] records the root that made fn hot, for the diagnostic.

@@ -139,3 +139,15 @@ func TestErrcloseGolden(t *testing.T) {
 func TestWallclockGolden(t *testing.T) {
 	runGolden(t, Wallclock, "wallclock/core", "wallclock/free", "wallclock/fleet")
 }
+
+func TestLocksafeGolden(t *testing.T) {
+	runGolden(t, Locksafe, "locksafe")
+}
+
+func TestSeqprotoGolden(t *testing.T) {
+	runGolden(t, Seqproto, "seqproto")
+}
+
+func TestWireboundGolden(t *testing.T) {
+	runGolden(t, Wirebound, "wirebound/export", "wirebound/store", "wirebound/free")
+}

@@ -35,27 +35,10 @@ var Hotalloc = &Analyzer{
 }
 
 func runHotalloc(prog *Program, report func(token.Pos, string, ...any)) {
-	// Index every function declaration in the program by its object.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	var roots []*types.Func
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := prog.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				decls[fn] = fd
-				if hotpathAnnotated(fd) {
-					roots = append(roots, fn)
-				}
-			}
-		}
-	}
+	// The function-declaration index and annotated roots are built once on
+	// the Program and shared with flightrec and locksafe.
+	decls := prog.FuncDecls()
+	roots := prog.HotpathRoots()
 
 	// Breadth-first propagation from the annotated roots through static
 	// calls. via[fn] records the annotated root that made fn hot, for the

@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Seqproto verifies the repo's two hand-rolled memory-ordering protocols
+// — the flight recorder's per-slot seqlock and the pipeline's Lamport
+// SPSC ring — at the access-pattern level, extending atomicfield from
+// layout to protocol.
+//
+// A SEQLOCK STRUCT is any struct with an atomic field named "seq" plus at
+// least one other sync/atomic wrapper field (the data). The protocol:
+//
+//   - a writer (any function storing data fields) must bracket ALL data
+//     writes between a seq.Add before the first write (making seq odd)
+//     and a seq.Add after the last (making it even again)
+//   - a reader (any function loading data fields) must load seq into a
+//     local first, test it for oddness (a writer is mid-update), load the
+//     data, and then revalidate seq — compare a second seq.Load against
+//     the saved local AFTER every data load, or the read may be torn
+//
+// An SPSC RING STRUCT is any struct with atomic cursor fields named
+// "head" and "tail" plus a buffer slice. The protocol:
+//
+//   - cursors move only by Load-then-Store from their single owner:
+//     Add/Swap/CompareAndSwap would publish slots before they are filled
+//     (and imply multiple owners). Plain access to a cursor — including
+//     taking its address — escapes the protocol entirely and is banned.
+//   - a side that stores a cursor owns it: it must first load its own
+//     cursor, must not store the other side's, and must publish (store)
+//     only after every buffer-slot access — publish-after-fill on the
+//     producer, consume-before-release on the consumer
+//   - buffer slots may be touched only after loading the opposite cursor
+//     (the availability/capacity check)
+//
+// Structures that multi-write by design (the flight ring's fetch-add
+// "pos" cursor) don't match these shapes and are out of scope. Deliberate
+// departures carry //im:allow seqproto with a justification.
+var Seqproto = &Analyzer{
+	Name: "seqproto",
+	Doc:  "verify seqlock write/read brackets and SPSC ring cursor protocol on the flight and pipeline hot structures",
+	Run:  runSeqproto,
+}
+
+// seqStruct is one seqlock-shaped struct: the seq field and its data set.
+type seqStruct struct {
+	name string
+	seq  *types.Var
+	data map[*types.Var]bool
+}
+
+// ringStruct is one SPSC-shaped struct: both cursors and the buffer.
+type ringStruct struct {
+	name       string
+	head, tail *types.Var
+	buf        *types.Var
+}
+
+func runSeqproto(prog *Program, report func(token.Pos, string, ...any)) {
+	seqs, rings := findProtoStructs(prog)
+	if len(seqs) == 0 && len(rings) == 0 {
+		return
+	}
+	for _, decl := range prog.FuncDecls() {
+		checkSeqProtoBody(prog, decl.Body, seqs, rings, report)
+	}
+	// Plain (non-atomic-call) access to SPSC cursors, module-wide.
+	checkCursorEscapes(prog, rings, report)
+}
+
+// findProtoStructs scans every module struct for the two protocol shapes.
+func findProtoStructs(prog *Program) (map[*types.Var]*seqStruct, map[*types.Var]*ringStruct) {
+	seqs := make(map[*types.Var]*seqStruct)   // any involved field -> struct
+	rings := make(map[*types.Var]*ringStruct) // any cursor/buf field -> struct
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				obj, ok := prog.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				var seqF, headF, tailF, bufF *types.Var
+				data := make(map[*types.Var]bool)
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					switch {
+					case f.Name() == "seq" && isAtomicWrapper(f.Type()):
+						seqF = f
+					case f.Name() == "head" && isAtomicWrapper(f.Type()):
+						headF = f
+					case f.Name() == "tail" && isAtomicWrapper(f.Type()):
+						tailF = f
+					case isAtomicWrapper(f.Type()):
+						data[f] = true
+					case bufF == nil:
+						if _, isSlice := f.Type().Underlying().(*types.Slice); isSlice {
+							bufF = f
+						}
+					}
+				}
+				if seqF != nil && len(data) > 0 {
+					s := &seqStruct{name: obj.Name(), seq: seqF, data: data}
+					seqs[seqF] = s
+					for f := range data {
+						seqs[f] = s
+					}
+				}
+				if headF != nil && tailF != nil && bufF != nil {
+					r := &ringStruct{name: obj.Name(), head: headF, tail: tailF, buf: bufF}
+					rings[headF] = r
+					rings[tailF] = r
+					rings[bufF] = r
+				}
+				return true
+			})
+		}
+	}
+	return seqs, rings
+}
+
+// protoOp is one atomic-method call (or buffer access) on a tracked field.
+type protoOp struct {
+	pos   token.Pos
+	field *types.Var
+	op    string       // Load, Store, Add, Swap, CompareAndSwap; "index" for buffer access
+	local types.Object // for seq Loads: the local the result was assigned to
+}
+
+// seqReval is one revalidation comparison: a fresh seq.Load compared
+// against the saved snapshot local.
+type seqReval struct {
+	pos   token.Pos
+	field *types.Var
+	local types.Object
+}
+
+func checkSeqProtoBody(prog *Program, body *ast.BlockStmt, seqs map[*types.Var]*seqStruct, rings map[*types.Var]*ringStruct, report func(token.Pos, string, ...any)) {
+	info := prog.Info
+	var ops []protoOp
+	var revals []seqReval
+	oddChecked := make(map[types.Object]bool) // locals tested with &1
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f, op := atomicFieldOp(info, n); f != nil {
+				if seqs[f] != nil || rings[f] != nil {
+					ops = append(ops, protoOp{pos: n.Pos(), field: f, op: op})
+				}
+			}
+		case *ast.IndexExpr:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				if f := fieldOf(info, sel); f != nil && rings[f] != nil && rings[f].buf == f {
+					ops = append(ops, protoOp{pos: n.Pos(), field: f, op: "index"})
+				}
+			}
+		case *ast.AssignStmt:
+			// seq := s.seq.Load() — remember which local holds the snapshot.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				f, op := atomicFieldOp(info, call)
+				if f == nil || op != "Load" || seqs[f] == nil || seqs[f].seq != f {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						ops = append(ops, protoOp{pos: call.Pos(), field: f, op: "LoadInto", local: obj})
+					} else if obj := info.Uses[id]; obj != nil {
+						ops = append(ops, protoOp{pos: call.Pos(), field: f, op: "LoadInto", local: obj})
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ:
+				// s.seq.Load() != seq — a revalidation comparison.
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					call, ok := ast.Unparen(pair[0]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					f, op := atomicFieldOp(info, call)
+					if f == nil || op != "Load" || seqs[f] == nil || seqs[f].seq != f {
+						continue
+					}
+					if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							revals = append(revals, seqReval{pos: n.Pos(), field: f, local: obj})
+						}
+					}
+				}
+			case token.AND:
+				// seq&1 — the writer-in-progress oddness test.
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if lit, ok := ast.Unparen(pair[1]).(*ast.BasicLit); !ok || lit.Value != "1" {
+						continue
+					}
+					if obj := info.Uses[id]; obj != nil {
+						oddChecked[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(ops) == 0 {
+		return
+	}
+
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+
+	// Group ops by protocol struct and check each.
+	bySeq := make(map[*seqStruct][]protoOp)
+	byRing := make(map[*ringStruct][]protoOp)
+	for _, op := range ops {
+		if s := seqs[op.field]; s != nil {
+			bySeq[s] = append(bySeq[s], op)
+		}
+		if r := rings[op.field]; r != nil {
+			byRing[r] = append(byRing[r], op)
+		}
+	}
+	for s, sops := range bySeq {
+		checkSeqlock(s, sops, revals, oddChecked, report)
+	}
+	for r, rops := range byRing {
+		checkRing(r, rops, report)
+	}
+}
+
+func checkSeqlock(s *seqStruct, ops []protoOp, revals []seqReval, oddChecked map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	var dataWrites, dataLoads []protoOp
+	var seqAdds []protoOp
+	var seqLoadInto []protoOp
+	for _, op := range ops {
+		switch {
+		case s.data[op.field] && (op.op == "Store" || op.op == "Add" || op.op == "Swap" || op.op == "CompareAndSwap"):
+			dataWrites = append(dataWrites, op)
+		case s.data[op.field] && op.op == "Load":
+			dataLoads = append(dataLoads, op)
+		case op.field == s.seq && op.op == "Add":
+			seqAdds = append(seqAdds, op)
+		case op.field == s.seq && op.op == "LoadInto":
+			seqLoadInto = append(seqLoadInto, op)
+		}
+	}
+
+	if len(dataWrites) > 0 {
+		// Writer rule: an even number (≥2) of seq.Add transitions, opening
+		// before the first data write and closing after the last.
+		switch {
+		case len(seqAdds) < 2 || len(seqAdds)%2 != 0:
+			report(dataWrites[0].pos, "seqlock %s: field %s written with %d seq transition(s) in scope — writers must seq.Add(1) before the first data write and seq.Add(1) after the last, leaving seq even",
+				s.name, dataWrites[0].field.Name(), len(seqAdds))
+		case seqAdds[0].pos > dataWrites[0].pos:
+			report(dataWrites[0].pos, "seqlock %s: field %s written before the opening seq.Add — readers cannot detect the in-progress update",
+				s.name, dataWrites[0].field.Name())
+		case seqAdds[len(seqAdds)-1].pos < dataWrites[len(dataWrites)-1].pos:
+			report(dataWrites[len(dataWrites)-1].pos, "seqlock %s: field %s written after the closing seq.Add — the write is published outside the bracket and can tear a validated read",
+				s.name, dataWrites[len(dataWrites)-1].field.Name())
+		}
+		return
+	}
+
+	if len(dataLoads) == 0 {
+		return
+	}
+	// Reader rule.
+	first := dataLoads[0]
+	var snap *protoOp
+	for i := range seqLoadInto {
+		if seqLoadInto[i].pos < first.pos {
+			snap = &seqLoadInto[i]
+		}
+	}
+	if snap == nil {
+		report(first.pos, "seqlock %s: field %s read without first loading seq into a local — the read cannot be validated against a concurrent writer",
+			s.name, first.field.Name())
+		return
+	}
+	if !oddChecked[snap.local] {
+		report(snap.pos, "seqlock %s: seq snapshot %s is never tested for oddness (seq&1) — an in-progress writer's slot would be read as stable",
+			s.name, snap.local.Name())
+	}
+	last := dataLoads[len(dataLoads)-1]
+	validated := false
+	for _, rv := range revals {
+		if rv.field == s.seq && rv.local == snap.local && rv.pos > last.pos {
+			validated = true
+			break
+		}
+	}
+	if !validated {
+		report(last.pos, "seqlock %s: data loads are not revalidated — compare a second seq.Load against %s AFTER the last data load, or the read may be torn",
+			s.name, snap.local.Name())
+	}
+}
+
+func checkRing(r *ringStruct, ops []protoOp, report func(token.Pos, string, ...any)) {
+	var cursorStores, cursorLoads, bufAccesses []protoOp
+	for _, op := range ops {
+		switch {
+		case op.field == r.buf:
+			bufAccesses = append(bufAccesses, op)
+		case op.op == "Store":
+			cursorStores = append(cursorStores, op)
+		case op.op == "Load" || op.op == "LoadInto":
+			cursorLoads = append(cursorLoads, op)
+		case op.op == "Add" || op.op == "Swap" || op.op == "CompareAndSwap":
+			report(op.pos, "SPSC ring %s: cursor %s moved with %s — cursors have a single owner and move by Load-then-Store only (read-modify-publish)",
+				r.name, op.field.Name(), op.op)
+		}
+	}
+
+	if len(cursorStores) == 0 {
+		if len(bufAccesses) > 0 {
+			// Touching slots without publishing: require both cursors
+			// loaded first (an availability/occupancy computation).
+			loaded := make(map[*types.Var]bool)
+			for _, l := range cursorLoads {
+				if l.pos < bufAccesses[0].pos {
+					loaded[l.field] = true
+				}
+			}
+			if !loaded[r.head] || !loaded[r.tail] {
+				report(bufAccesses[0].pos, "SPSC ring %s: buffer slots accessed outside the push/pop protocol — load both cursors before touching %s",
+					r.name, r.buf.Name())
+			}
+		}
+		return
+	}
+
+	own := cursorStores[0].field
+	opposite := r.head
+	if own == r.head {
+		opposite = r.tail
+	}
+	for _, st := range cursorStores[1:] {
+		if st.field != own {
+			report(st.pos, "SPSC ring %s: one function stores both cursors — each side owns exactly one (producer: tail, consumer: head)",
+				r.name)
+			return
+		}
+	}
+	ownLoaded := false
+	oppLoadedBefore := func(pos token.Pos) bool {
+		for _, l := range cursorLoads {
+			if l.field == opposite && l.pos < pos {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range cursorLoads {
+		if l.field == own && l.pos < cursorStores[0].pos {
+			ownLoaded = true
+		}
+	}
+	if !ownLoaded {
+		report(cursorStores[0].pos, "SPSC ring %s: cursor %s stored without loading it first — the owner must read-modify-publish its own cursor",
+			r.name, own.Name())
+	}
+	if len(bufAccesses) > 0 {
+		if !oppLoadedBefore(bufAccesses[0].pos) {
+			report(bufAccesses[0].pos, "SPSC ring %s: buffer slots touched before loading the opposite cursor (%s) — no availability check bounds the access",
+				r.name, opposite.Name())
+		}
+		if cursorStores[0].pos < bufAccesses[len(bufAccesses)-1].pos {
+			report(cursorStores[0].pos, "SPSC ring %s: cursor %s published before the last buffer-slot access — the other side would see unfilled (or reclaim unread) slots",
+				r.name, own.Name())
+		}
+	}
+}
+
+// checkCursorEscapes flags selector accesses to SPSC cursor fields that
+// are not receivers of an atomic method call — plain reads, copies, and
+// address-taking all escape the protocol.
+func checkCursorEscapes(prog *Program, rings map[*types.Var]*ringStruct, report func(token.Pos, string, ...any)) {
+	info := prog.Info
+	// Pass 1: mark cursor selectors that are receivers of atomic method
+	// calls; pass 2 flags every other cursor selector.
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if f := fieldOf(info, inner); f != nil {
+					if r := rings[f]; r != nil && (f == r.head || f == r.tail) {
+						exempt[inner] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || exempt[sel] {
+					return true
+				}
+				f := fieldOf(info, sel)
+				if f == nil {
+					return true
+				}
+				if r := rings[f]; r != nil && (f == r.head || f == r.tail) {
+					report(sel.Pos(), "SPSC ring %s: plain access to cursor %s — cursors are owned atomics; touch them only through their atomic methods",
+						r.name, f.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// atomicFieldOp resolves a call like x.field.Load() to (field, "Load")
+// when field is a sync/atomic wrapper struct field; (nil, "") otherwise.
+func atomicFieldOp(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	f := fieldOf(info, inner)
+	if f == nil {
+		return nil, ""
+	}
+	return f, callee.Name()
+}

@@ -9,5 +9,8 @@ func Suite() []*Analyzer {
 		Atomicfield,
 		Errclose,
 		Wallclock,
+		Locksafe,
+		Seqproto,
+		Wirebound,
 	}
 }

@@ -1,0 +1,44 @@
+package locksafe
+
+import "sync"
+
+// pair's two locks are taken in both orders — the classic AB/BA
+// inversion the lock-order graph exists to catch.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `lock-order cycle: \(pair\)\.a → \(pair\)\.b → \(pair\)\.a — an ordering inversion that deadlocks under contention`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ordered always takes a then b — consistent with ab, so no new cycle.
+type ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (o *ordered) both() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *ordered) bothAgain() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}

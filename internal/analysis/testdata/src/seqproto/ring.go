@@ -1,0 +1,74 @@
+package seqproto
+
+import "sync/atomic"
+
+// ring matches the SPSC shape: atomic head/tail cursors plus a buffer.
+type ring struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	buf  []uint64
+	mask uint64
+}
+
+// push is a conforming producer: own-cursor load, opposite-cursor
+// availability check, fill, then publish.
+func (r *ring) push(v uint64) bool {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop is the conforming consumer mirror.
+func (r *ring) pop() (uint64, bool) {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h == t {
+		return 0, false
+	}
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// pushAdd moves the cursor with fetch-add — multi-owner semantics the
+// SPSC protocol forbids — and touches slots with no availability check.
+func (r *ring) pushAdd(v uint64) {
+	t := r.tail.Add(1) - 1 // want `SPSC ring ring: cursor tail moved with Add — cursors have a single owner`
+	r.buf[t&r.mask] = v    // want `SPSC ring ring: buffer slots accessed outside the push/pop protocol`
+}
+
+// reset stores both cursors from one function: no side owns both.
+func (r *ring) reset() {
+	h := r.head.Load()
+	_ = h
+	r.head.Store(0)
+	r.tail.Store(0) // want `SPSC ring ring: one function stores both cursors`
+}
+
+// pushEarly publishes the slot before filling it.
+func (r *ring) pushEarly(v uint64) {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h == uint64(len(r.buf)) {
+		return
+	}
+	r.tail.Store(t + 1) // want `SPSC ring ring: cursor tail published before the last buffer-slot access`
+	r.buf[t&r.mask] = v
+}
+
+// pushBlind fills a slot without checking the consumer's cursor.
+func (r *ring) pushBlind(v uint64) {
+	t := r.tail.Load()
+	r.buf[t&r.mask] = v // want `SPSC ring ring: buffer slots touched before loading the opposite cursor \(head\)`
+	r.tail.Store(t + 1)
+}
+
+// leak hands out the raw cursor — every later access escapes the protocol.
+func (r *ring) leak() *atomic.Uint64 {
+	return &r.head // want `SPSC ring ring: plain access to cursor head — cursors are owned atomics`
+}

@@ -1,0 +1,87 @@
+// Package seqproto is the seqproto golden fixture: the seqlock and SPSC
+// ring shapes with protocol-conforming and protocol-breaking accessors.
+package seqproto
+
+import "sync/atomic"
+
+// slot matches the seqlock shape: an atomic "seq" field plus atomic data.
+type slot struct {
+	seq   atomic.Uint64
+	bytes atomic.Uint64
+	dur   atomic.Uint64
+}
+
+// record is a conforming writer: odd/even bracket around all data writes.
+func (s *slot) record(b, d uint64) {
+	s.seq.Add(1)
+	s.bytes.Store(b)
+	s.dur.Store(d)
+	s.seq.Add(1)
+}
+
+// torn writes data inside a half-open bracket.
+func (s *slot) torn(b uint64) {
+	s.seq.Add(1)
+	s.bytes.Store(b) // want `seqlock slot: field bytes written with 1 seq transition\(s\) in scope`
+}
+
+// early writes a field before the opening transition.
+func (s *slot) early(b, d uint64) {
+	s.bytes.Store(b) // want `seqlock slot: field bytes written before the opening seq\.Add`
+	s.seq.Add(1)
+	s.dur.Store(d)
+	s.seq.Add(1)
+}
+
+// late publishes a field after the bracket closed.
+func (s *slot) late(b, d uint64) {
+	s.seq.Add(1)
+	s.bytes.Store(b)
+	s.seq.Add(1)
+	s.dur.Store(d) // want `seqlock slot: field dur written after the closing seq\.Add`
+}
+
+// snapshot is a conforming reader: snapshot, oddness test, data loads,
+// revalidation after the last load.
+func (s *slot) snapshot() (uint64, uint64, bool) {
+	seq := s.seq.Load()
+	if seq&1 != 0 {
+		return 0, 0, false
+	}
+	b := s.bytes.Load()
+	d := s.dur.Load()
+	if s.seq.Load() != seq {
+		return 0, 0, false
+	}
+	return b, d, true
+}
+
+// blind loads data without any seq discipline.
+func (s *slot) blind() uint64 {
+	return s.bytes.Load() // want `seqlock slot: field bytes read without first loading seq into a local`
+}
+
+// unchecked snapshots seq but never tests it for a writer in progress.
+func (s *slot) unchecked() uint64 {
+	seq := s.seq.Load() // want `seqlock slot: seq snapshot seq is never tested for oddness \(seq&1\)`
+	b := s.bytes.Load()
+	if s.seq.Load() != seq {
+		return 0
+	}
+	return b
+}
+
+// unvalidated never compares a second seq.Load after the data loads.
+func (s *slot) unvalidated() uint64 {
+	seq := s.seq.Load()
+	if seq&1 != 0 {
+		return 0
+	}
+	return s.bytes.Load() // want `seqlock slot: data loads are not revalidated — compare a second seq\.Load against seq AFTER the last data load`
+}
+
+// blessed is an approved departure: a single-writer init-time store.
+func (s *slot) blessed(b uint64) {
+	//im:allow seqproto — fixture: construction-time store before the slot is published
+	s.bytes.Store(b)
+}

@@ -1,0 +1,85 @@
+// Package export is a wirebound golden fixture. Its synthetic import
+// path ends in "export", one of the decode-path scopes.
+package export
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxRecords = 1 << 20
+
+// DecodeUnchecked trusts the wire count straight into the allocator —
+// the pre-PR-3 bug shape.
+func DecodeUnchecked(r io.Reader) ([]uint64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(hdr[0:4])
+	out := make([]uint64, count) // want `wire-derived length count \(from binary\.BigEndian\.Uint32\(hdr\[0:4\]\)\) reaches make without a bounds comparison`
+	return out, nil
+}
+
+// DecodeChecked caps the count first: the comparison sanitizes it.
+func DecodeChecked(r io.Reader) ([]uint64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(hdr[0:4])
+	if count > maxRecords {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]uint64, count)
+	return out, nil
+}
+
+// DecodeClamped bounds the count with the min builtin instead.
+func DecodeClamped(r io.Reader) ([]uint64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := int(binary.BigEndian.Uint32(hdr[0:4]))
+	out := make([]uint64, min(count, maxRecords))
+	return out, nil
+}
+
+// PayloadByte indexes with a wire-derived offset, unchecked.
+func PayloadByte(r io.Reader) (byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	off := int(binary.BigEndian.Uint16(hdr[0:2]))
+	var payload [64]byte
+	if _, err := io.ReadFull(r, payload[:]); err != nil {
+		return 0, err
+	}
+	return payload[off], nil // want `wire-derived length off \(from binary\.BigEndian\.Uint16\(hdr\[0:2\]\)\) reaches index expression`
+}
+
+// ReadBody slices a fixed buffer with an unchecked wire length.
+func ReadBody(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	body := make([]byte, 1024)
+	_, err := io.ReadFull(r, body[:n]) // want `wire-derived length n \(from binary\.BigEndian\.Uint32\(hdr\[:4\]\)\) reaches slice bound`
+	return body, err
+}
+
+// DecodeBlessed is an approved seam: the directive blesses the make.
+func DecodeBlessed(r io.Reader) ([]uint64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(hdr[0:4])
+	//im:allow wirebound — fixture: the caller bounds the stream length before handing it over
+	out := make([]uint64, count)
+	return out, nil
+}

@@ -1,0 +1,19 @@
+// Package free is outside wirebound's decode-path scope: the same
+// unchecked pattern draws no diagnostic here.
+package free
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Decode would be flagged in an export/store/pcap package; here it is
+// out of scope by design.
+func Decode(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	return make([]byte, n), nil
+}

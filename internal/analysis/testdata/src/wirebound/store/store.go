@@ -1,0 +1,34 @@
+// Package store is a wirebound golden fixture for the frame-reader
+// shape: lengths assembled from raw wire-buffer bytes.
+package store
+
+import "io"
+
+const maxFrame = 1 << 24
+
+// ReadFrame trusts a length assembled from raw wire bytes.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := int(hdr[0]) | int(hdr[1])<<8
+	buf := make([]byte, size) // want `wire-derived length size \(from hdr\[0\]\) reaches make without a bounds comparison`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadFrameChecked bounds the assembled length before allocating.
+func ReadFrameChecked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := int(hdr[0]) | int(hdr[1])<<8
+	if size > maxFrame {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, size)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

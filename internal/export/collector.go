@@ -81,9 +81,16 @@ var ErrBackoff = errors.New("export: waiting out reconnect backoff")
 type Exporter struct {
 	addr string
 
+	// sendMu is the wire-order lock: held across dial + frame write so
+	// concurrent Exports cannot interleave frames on the stream. It is
+	// acquired BEFORE mu and is the only lock held during blocking socket
+	// work — probes (Connected, Site) take mu alone and stay responsive
+	// while a send is stalled on a full TCP buffer.
+	sendMu sync.Mutex
+	cw     countingWriter // guarded by sendMu
+
 	mu       sync.Mutex
 	conn     net.Conn // nil while disconnected
-	cw       countingWriter
 	attempts int       // consecutive failed dials/sends
 	retryAt  time.Time // no redial before this
 	base     time.Duration
@@ -180,72 +187,97 @@ func (e *Exporter) noteFailureLocked() {
 	e.retryAt = time.Now().Add(e.backoffDelay())
 }
 
-// ensureConnLocked returns the live connection, redialing if the previous
-// one broke and the backoff window has passed.
-func (e *Exporter) ensureConnLocked() error {
-	if e.conn != nil {
-		return nil
-	}
-	if time.Now().Before(e.retryAt) {
-		return fmt.Errorf("%w (%s)", ErrBackoff, time.Until(e.retryAt).Round(time.Millisecond))
-	}
-	conn, err := net.Dial("tcp", e.addr)
-	if err != nil {
-		e.noteFailureLocked()
-		return fmt.Errorf("export: redial %s: %w", e.addr, err)
-	}
-	e.conn = conn
-	e.cw.w = conn
-	e.attempts = 0
-	return nil
-}
-
 // Export sends one batch, redialing first if the connection previously
 // broke. A send error tears the connection down; the following Export
 // attempts the reconnect (or returns ErrBackoff while the wait is on).
+//
+// Blocking work — the dial and the frame write — happens under sendMu
+// only; e.mu guards state for at most a few field copies at a time, so
+// Connected/Site/SetBackoff never stall behind a send blocked on a full
+// TCP buffer. Close tears the connection down with only e.mu held, which
+// unblocks an in-flight write immediately.
 func (e *Exporter) Export(b Batch) error {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if b.Site == "" {
 		b.Site = e.site
 	}
-	wasDown := e.conn == nil
-	if err := e.ensureConnLocked(); err != nil {
+	fl := e.fl
+	conn := e.conn
+	wasDown := conn == nil
+	if wasDown && time.Now().Before(e.retryAt) {
+		wait := time.Until(e.retryAt).Round(time.Millisecond)
 		if e.tm != nil {
 			e.tm.Errors.Inc()
 		}
-		if errors.Is(err, ErrBackoff) {
-			e.fl.Event(flight.StageBackoff, b.Epoch, uint32(len(b.Records)), 0, 0)
-		} else {
-			e.fl.Event(flight.StageSendError, b.Epoch, uint32(len(b.Records)), 0, 0)
-		}
-		return err
+		e.mu.Unlock()
+		fl.Event(flight.StageBackoff, b.Epoch, uint32(len(b.Records)), 0, 0)
+		return fmt.Errorf("%w (%s)", ErrBackoff, wait)
 	}
+	e.mu.Unlock()
+
 	if wasDown {
-		e.fl.Event(flight.StageReconnect, b.Epoch, 0, 0, 0)
+		// Dial outside e.mu: sendMu alone serializes reconnects, and the
+		// probes stay live while the dial waits out a slow network.
+		nc, err := net.Dial("tcp", e.addr)
+		e.mu.Lock()
+		if err != nil {
+			e.noteFailureLocked()
+			if e.tm != nil {
+				e.tm.Errors.Inc()
+			}
+			e.mu.Unlock()
+			fl.Event(flight.StageSendError, b.Epoch, uint32(len(b.Records)), 0, 0)
+			return fmt.Errorf("export: redial %s: %w", e.addr, err)
+		}
+		// Close may have raced the dial: its sentinel retryAt means the
+		// exporter is shut down — drop the fresh connection unused.
+		if time.Now().Before(e.retryAt) {
+			e.mu.Unlock()
+			_ = nc.Close()
+			fl.Event(flight.StageBackoff, b.Epoch, uint32(len(b.Records)), 0, 0)
+			return fmt.Errorf("%w (closed)", ErrBackoff)
+		}
+		e.conn = nc
+		e.attempts = 0
+		e.mu.Unlock()
+		e.cw.w = nc
+		conn = nc
+		fl.Event(flight.StageReconnect, b.Epoch, 0, 0, 0)
 	}
+
 	start := time.Now()
 	before := e.cw.n
-	if err := WriteBatch(&e.cw, b); err != nil {
+	//im:allow locksafe sendMu is the wire-order lock; its entire purpose is to be held across this frame write, and Close unblocks it via conn.Close under e.mu
+	err := WriteBatch(&e.cw, b)
+	if err != nil {
 		// The write already failed; a close error adds nothing.
-		_ = e.conn.Close()
-		e.conn = nil
-		e.noteFailureLocked()
+		_ = conn.Close()
+		e.mu.Lock()
+		if e.conn == conn {
+			e.conn = nil
+			e.noteFailureLocked()
+		}
 		if e.tm != nil {
 			e.tm.Errors.Inc()
 			e.tm.Bytes.Add(e.cw.n - before)
 		}
-		e.fl.EventAt(start, flight.StageSendError, b.Epoch,
+		e.mu.Unlock()
+		fl.EventAt(start, flight.StageSendError, b.Epoch,
 			uint32(len(b.Records)), e.cw.n-before, uint64(time.Since(start)))
 		return fmt.Errorf("export: %w", err)
 	}
+	e.mu.Lock()
 	e.attempts = 0
 	if e.tm != nil {
 		e.tm.Batches.Inc()
 		e.tm.Records.Add(uint64(len(b.Records)))
 		e.tm.Bytes.Add(e.cw.n - before)
 	}
-	e.fl.EventAt(start, flight.StageSend, b.Epoch,
+	e.mu.Unlock()
+	fl.EventAt(start, flight.StageSend, b.Epoch,
 		uint32(len(b.Records)), e.cw.n-before, uint64(time.Since(start)))
 	return nil
 }

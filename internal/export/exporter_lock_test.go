@@ -1,0 +1,153 @@
+package export
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestExporterSlowSendDoesNotBlockProbes pins Export's lock split: the
+// blocking socket write happens under sendMu only, so a send stalled on a
+// peer that stopped reading must not wedge Connected/Site/SetBackoff —
+// the /readyz probe path. Before the split, Export held e.mu across
+// WriteBatch and every probe hung for as long as the peer's receive
+// buffer stayed full. Run under -race by the vet-race target.
+func TestExporterSlowSendDoesNotBlockProbes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+
+	exp, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	// A batch far larger than both sides' socket buffers combined, so the
+	// frame write must stall once the peer stops reading.
+	big := make([]Record, 1<<20)
+	for i := range big {
+		big[i] = rec(i)
+	}
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- exp.Export(Batch{Epoch: 1, Records: big}) }()
+
+	var peer net.Conn
+	select {
+	case peer = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("exporter connection never accepted")
+	}
+	defer peer.Close()
+	// Confirm the frame is flowing, then stop reading: the kernel buffers
+	// fill and the exporter's write blocks mid-frame.
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(peer, hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every probe must complete while the send sits blocked. A deadline
+	// turns a regression (probe stuck on e.mu) into a clean failure.
+	probes := make(chan struct{})
+	go func() {
+		defer close(probes)
+		if !exp.Connected() {
+			t.Error("Connected() = false during an in-flight send")
+		}
+		if got := exp.Site(); got != "" {
+			t.Errorf("Site() = %q during an in-flight send, want \"\"", got)
+		}
+		exp.SetBackoff(time.Millisecond, time.Second)
+	}()
+	select {
+	case <-probes:
+	case <-time.After(5 * time.Second):
+		_ = peer.Close() // unwedge the write so deferred Close can finish
+		t.Fatal("probes blocked behind a stalled send: Export is holding e.mu across the socket write")
+	}
+
+	// Tear the peer down; the stalled write must error out and Export
+	// must return rather than wedging the exporter forever.
+	_ = peer.Close()
+	select {
+	case err := <-sendDone:
+		if err == nil {
+			t.Error("Export succeeded against a peer that never drained the frame")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Export did not return after the peer connection closed")
+	}
+	if exp.Connected() {
+		t.Error("Connected() = true after a failed send tore the connection down")
+	}
+}
+
+// TestExporterCloseUnblocksStalledSend pins the shutdown path: Close
+// takes only e.mu, closes the live connection, and arms the never-redial
+// sentinel — which unblocks an Export stalled inside WriteBatch and makes
+// every later Export fail fast with ErrBackoff.
+func TestExporterCloseUnblocksStalledSend(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+
+	exp, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big := make([]Record, 1<<20)
+	for i := range big {
+		big[i] = rec(i)
+	}
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- exp.Export(Batch{Epoch: 1, Records: big}) }()
+
+	var peer net.Conn
+	select {
+	case peer = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("exporter connection never accepted")
+	}
+	defer peer.Close()
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(peer, hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := exp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-sendDone:
+		if err == nil {
+			t.Error("Export succeeded though Close tore the connection down mid-frame")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Export still blocked after Close — Close could not reach the connection")
+	}
+	if err := exp.Export(Batch{Epoch: 2, Records: []Record{rec(1)}}); err == nil {
+		t.Error("Export after Close succeeded, want ErrBackoff")
+	}
+}

@@ -250,6 +250,7 @@ func (s *Store) Append(epoch int64, records []export.Record, stats export.TableS
 		return fmt.Errorf("store: append epoch %d: %w", epoch, err)
 	}
 	if s.opt.Sync == SyncEach {
+		//im:allow locksafe — WAL durability seam: SyncEach promises the frame is on stable storage before Append returns, and the fsync must serialize with the write and the index update under mu
 		if err := s.act.Sync(); err != nil {
 			// The frame bytes are already in the file; without a rollback
 			// the next append's recordRef would point at prevSize while
@@ -294,6 +295,7 @@ func (s *Store) Append(epoch int64, records []export.Record, stats export.TableS
 
 // rollLocked seals the active segment and opens the next. Callers hold mu.
 func (s *Store) rollLocked() error {
+	//im:allow locksafe — WAL durability seam: sealing a segment must fsync before the handoff to the next file, and rolling is only atomic under mu
 	if err := s.act.Sync(); err != nil {
 		return fmt.Errorf("store: seal: %w", err)
 	}
@@ -327,6 +329,7 @@ func (s *Store) Sync() error {
 	if s.act == nil {
 		return ErrClosed
 	}
+	//im:allow locksafe — WAL durability seam: Sync must not race a concurrent roll swapping s.act, so the fsync stays under mu by design
 	return s.act.Sync()
 }
 
@@ -344,6 +347,7 @@ func (s *Store) Close() error {
 	close(s.closed)
 	var err error
 	if s.act != nil {
+		//im:allow locksafe — WAL durability seam: Close seals the final segment; appends are already fenced off by the closed channel, and the last fsync must precede the file close under mu
 		if serr := s.act.Sync(); serr != nil {
 			err = serr
 		}

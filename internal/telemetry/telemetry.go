@@ -473,13 +473,18 @@ func (r *Registry) HistogramScaled(name, help string, buckets int, scale float64
 // exactly that child. It is the programmatic scrape used by CLI interim
 // output and tests.
 func (r *Registry) Value(fullName string) float64 {
+	// Snapshot the metric list under the lock, then read values outside
+	// it: gauge funcs run user callbacks, which must never execute under
+	// r.mu (a callback that re-enters the registry would deadlock).
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	snapshot := make([]interface{}, len(r.ordered))
+	copy(snapshot, r.ordered)
+	r.mu.RUnlock()
 	var total float64
 	match := func(f *family) bool {
 		return f.name == fullName || f.name+f.labels == fullName
 	}
-	for _, m := range r.ordered {
+	for _, m := range snapshot {
 		switch v := m.(type) {
 		case *Counter:
 			if match(&v.family) {
